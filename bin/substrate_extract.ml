@@ -1,0 +1,213 @@
+(* substrate_extract: command-line front end for the substrate coupling
+   extraction and sparsification library.
+
+     substrate_extract layouts                        render the built-in layouts
+     substrate_extract extract --layout alternating   extract a sparsified model
+     substrate_extract solve --layout regular -c 0    one black-box solve
+
+   The extract command reports the thesis's metrics (sparsity, solve
+   reduction, and — with --verify — entrywise error against the exact G). *)
+
+module Profile = Substrate.Profile
+module Blackbox = Substrate.Blackbox
+module Layout = Geometry.Layout
+open Sparsify
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let layout_names = [ "regular"; "irregular"; "alternating"; "mixed"; "large" ]
+
+let make_layout name per_side seed =
+  let rng = La.Rng.create seed in
+  match name with
+  | "regular" -> Layout.regular_grid ~size:128.0 ~per_side ~fill:0.5 ()
+  | "irregular" -> Layout.irregular ~size:128.0 ~per_side ~fill:0.4 rng ()
+  | "alternating" -> Layout.alternating ~size:128.0 ~per_side ()
+  | "mixed" -> Layout.mixed_shapes ~size:128.0 ~per_side:(max 16 per_side) ()
+  | "large" -> Layout.large_mixed ~size:128.0 ~per_side rng ()
+  | other -> invalid_arg (Printf.sprintf "unknown layout %S" other)
+
+let layout_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) layout_names)) "regular"
+    & info [ "layout"; "l" ] ~docv:"NAME" ~doc:"Contact layout: regular, irregular, alternating, mixed, large.")
+
+let per_side_arg =
+  Arg.(value & opt int 16 & info [ "per-side" ] ~docv:"N" ~doc:"Cells per side of the layout grid.")
+
+let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for generated layouts.")
+
+let panels_arg =
+  Arg.(value & opt int 64 & info [ "panels" ] ~docv:"P" ~doc:"Surface panels per side for the eigenfunction solver.")
+
+let solver_arg =
+  Arg.(
+    value
+    & opt (enum [ ("eig", `Eig); ("fd", `Fd); ("fd-direct", `Fd_direct) ]) `Eig
+    & info [ "solver" ] ~docv:"S"
+        ~doc:
+          "Substrate solver: eig (eigenfunction/DCT), fd (finite difference, PCG), or fd-direct \
+           (finite difference, sparse Cholesky).")
+
+(* A grid-friendly layered profile: h = 2 at nx = 64. *)
+let fd_profile =
+  Profile.make ~a:128.0 ~b:128.0
+    ~layers:
+      [
+        { Profile.thickness = 2.0; conductivity = 1.0 };
+        { Profile.thickness = 28.0; conductivity = 100.0 };
+        { Profile.thickness = 2.0; conductivity = 0.1 };
+      ]
+    ~backplane:Profile.Grounded
+
+let blackbox_of ~solver ~panels layout =
+  let profile = Profile.thesis_default () in
+  match solver with
+  | `Eig ->
+    let s = Eigsolver.Eig_solver.create profile layout ~panels_per_side:panels in
+    Eigsolver.Eig_solver.blackbox s
+  | `Fd ->
+    let s =
+      Fdsolver.Fd_solver.create
+        ~precond:(Fdsolver.Fd_solver.Fast_poisson (Fdsolver.Fd_solver.area_fraction layout))
+        fd_profile layout ~nx:64 ~nz:16
+    in
+    Fdsolver.Fd_solver.blackbox s
+  | `Fd_direct ->
+    let s = Fdsolver.Direct_solver.create fd_profile layout ~nx:32 ~nz:8 in
+    Fdsolver.Direct_solver.blackbox s
+
+(* ------------------------------------------------------------------ *)
+(* layouts *)
+
+let run_layouts per_side seed =
+  List.iter
+    (fun name -> print_string (Layout.render ~width:64 (make_layout name per_side seed)))
+    layout_names;
+  0
+
+let layouts_cmd =
+  Cmd.v
+    (Cmd.info "layouts" ~doc:"Render the built-in contact layouts as ASCII.")
+    Term.(const run_layouts $ per_side_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* extract *)
+
+let run_extract layout_name per_side seed solver panels method_ threshold verify estimate spy output =
+  let layout = make_layout layout_name per_side seed in
+  let n = Layout.n_contacts layout in
+  Printf.printf "layout: %s (%d contacts)\n%!" layout.Layout.name n;
+  let bb = blackbox_of ~solver ~panels layout in
+  let repr =
+    match method_ with
+    | `Lowrank -> Lowrank.extract layout bb
+    | `Wavelet -> Wavelet.extract (Wavelet.create ~p:2 layout) bb
+  in
+  let repr = if threshold > 1.0 then Repr.threshold repr ~target:threshold else repr in
+  Printf.printf "solves: %d (%.1fx reduction over naive)\n" repr.Repr.solves
+    (Metrics.solve_reduction ~n ~solves:repr.Repr.solves);
+  Printf.printf "G_w: %d nonzeros, sparsity factor %.1f\n" (Repr.nnz_gw repr) (Repr.sparsity_gw repr);
+  Printf.printf "Q: sparsity factor %.1f\n" (Repr.sparsity_q repr);
+  if spy then Sparsemat.Spy.print ~width:64 repr.Repr.gw;
+  if estimate then begin
+    let est = Metrics.estimate_apply_error ~blackbox:bb ~apply:(Repr.apply repr) () in
+    Printf.printf "probe estimate (%d probes, %d extra solves): mean rel residual %.2e, max %.2e\n"
+      est.Metrics.probes est.Metrics.extra_solves est.Metrics.mean_rel_residual
+      est.Metrics.max_rel_residual
+  end;
+  if verify then begin
+    Printf.printf "verifying against exact G (%d naive solves)...\n%!" n;
+    let exact_bb = blackbox_of ~solver ~panels layout in
+    let g = Blackbox.extract_dense exact_bb in
+    let err = Metrics.error_dense ~exact:g ~approx:(Repr.to_dense repr) in
+    Printf.printf "entrywise error: %s\n" (Fmt.str "%a" Metrics.pp_error err)
+  end;
+  (match output with
+  | None -> ()
+  | Some base ->
+    let write suffix m comment =
+      let path = base ^ suffix in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Sparsemat.Csr.to_matrix_market ~comment m oc);
+      Printf.printf "wrote %s\n" path
+    in
+    write ".q.mtx" repr.Repr.q (Printf.sprintf "change of basis Q for %s" layout.Layout.name);
+    write ".gw.mtx" repr.Repr.gw (Printf.sprintf "transformed G_w for %s (G ~ Q G_w Q')" layout.Layout.name));
+  0
+
+let method_arg =
+  Arg.(
+    value
+    & opt (enum [ ("lowrank", `Lowrank); ("wavelet", `Wavelet) ]) `Lowrank
+    & info [ "method"; "m" ] ~docv:"M" ~doc:"Sparsification method: lowrank (Chapter 4) or wavelet (Chapter 3).")
+
+let threshold_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "threshold"; "t" ] ~docv:"X" ~doc:"Threshold G_w to roughly X times fewer nonzeros (1 = off).")
+
+let verify_arg = Arg.(value & flag & info [ "verify" ] ~doc:"Extract the exact G naively and report entrywise error.")
+
+let estimate_arg =
+  Arg.(value & flag & info [ "estimate" ] ~doc:"Cheap a-posteriori error estimate from a few random probe solves.")
+
+let spy_arg = Arg.(value & flag & info [ "spy" ] ~doc:"Print an ASCII spy plot of G_w.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "output"; "o" ] ~docv:"BASE" ~doc:"Write Q and G_w as Matrix Market files BASE.q.mtx / BASE.gw.mtx.")
+
+let extract_cmd =
+  Cmd.v
+    (Cmd.info "extract" ~doc:"Extract a sparsified conductance representation G ~ Q G_w Q'.")
+    Term.(
+      const run_extract $ layout_arg $ per_side_arg $ seed_arg $ solver_arg $ panels_arg $ method_arg
+      $ threshold_arg $ verify_arg $ estimate_arg $ spy_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* solve *)
+
+let run_solve layout_name per_side seed solver panels contact =
+  let layout = make_layout layout_name per_side seed in
+  let n = Layout.n_contacts layout in
+  if contact < 0 || contact >= n then begin
+    Printf.eprintf "contact index %d out of range (0..%d)\n" contact (n - 1);
+    1
+  end
+  else begin
+    let bb = blackbox_of ~solver ~panels layout in
+    let v = Array.make n 0.0 in
+    v.(contact) <- 1.0;
+    let currents = Blackbox.apply bb v in
+    Printf.printf "currents with 1 V on contact %d (all others grounded):\n" contact;
+    Array.iteri (fun i c -> if i < 32 || i = contact then Printf.printf "  I[%d] = %+.5f\n" i c) currents;
+    if n > 32 then Printf.printf "  ... (%d more)\n" (n - 32);
+    Printf.printf "sum of currents: %+.5f (current escaping through the backplane)\n"
+      (La.Vec.sum currents);
+    0
+  end
+
+let contact_arg =
+  Arg.(value & opt int 0 & info [ "contact"; "c" ] ~docv:"I" ~doc:"Contact to drive with 1 V.")
+
+let solve_cmd =
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run one black-box substrate solve and print contact currents.")
+    Term.(const run_solve $ layout_arg $ per_side_arg $ seed_arg $ solver_arg $ panels_arg $ contact_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
+  let doc = "Substrate coupling extraction and sparsification (Kanapka/Phillips/White, DAC 2000)." in
+  let info = Cmd.info "substrate_extract" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ layouts_cmd; extract_cmd; solve_cmd ]))

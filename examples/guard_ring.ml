@@ -1,0 +1,133 @@
+(* Guard ring isolation study.
+
+   A classic substrate-noise countermeasure: surround the sensitive contact
+   with a grounded guard ring so aggressor current returns through the ring
+   instead of the victim. We quantify the isolation directly from the
+   conductance model: with 1 V on the aggressor and everything else
+   grounded, the victim current is G(victim, aggressor).
+
+   The ring is built from cell-sized strips, as the thesis requires for
+   irregular shapes ("they need to be broken up into many small contacts",
+   §5.2), and the low-rank representation is validated on this decidedly
+   non-uniform layout.
+
+     dune exec examples/guard_ring.exe *)
+
+module Profile = Substrate.Profile
+module Blackbox = Substrate.Blackbox
+module Layout = Geometry.Layout
+module Contact = Geometry.Contact
+open Sparsify
+
+let size = 128.0
+
+(* Aggressor bottom-left, victim top-right; optionally a grounded ring of
+   strip contacts around the victim. *)
+let build ~with_ring =
+  let contacts = ref [] in
+  let add c = contacts := c :: !contacts in
+  (* Aggressor: a large contact. *)
+  add (Contact.make ~x0:18.0 ~y0:18.0 ~x1:28.0 ~y1:28.0);
+  (* Victim: a small analog contact (one level-4 quadtree cell). *)
+  add (Contact.make ~x0:104.0 ~y0:104.0 ~x1:112.0 ~y1:112.0);
+  (* Filler digital contacts that keep the rest of the chip realistic,
+     aligned so each fits inside a level-4 quadtree square. *)
+  for k = 0 to 6 do
+    let x0 = 10.0 +. (float_of_int k *. 16.0) in
+    add (Contact.make ~x0 ~y0:58.0 ~x1:(x0 +. 6.0) ~y1:64.0)
+  done;
+  let ring = ref [] in
+  if with_ring then begin
+    (* A ring of 8-unit strips around the victim (cells of the level-4
+       quadtree, 8 units each). *)
+    (* Strips aligned to 8-unit quadtree cells so each fits in one
+       finest-level square. *)
+    let strips =
+      [
+        (* bottom and top runs *)
+        (96.0, 96.0, 104.0, 100.0); (104.0, 96.0, 112.0, 100.0); (112.0, 96.0, 120.0, 100.0);
+        (96.0, 116.0, 104.0, 120.0); (104.0, 116.0, 112.0, 120.0); (112.0, 116.0, 120.0, 120.0);
+        (* left and right runs *)
+        (96.0, 100.0, 100.0, 104.0); (96.0, 104.0, 100.0, 112.0); (96.0, 112.0, 100.0, 116.0);
+        (116.0, 100.0, 120.0, 104.0); (116.0, 104.0, 120.0, 112.0); (116.0, 112.0, 120.0, 116.0);
+      ]
+    in
+    List.iter
+      (fun (x0, y0, x1, y1) ->
+        ring := List.length !contacts :: !ring;
+        add (Contact.make ~x0 ~y0 ~x1 ~y1))
+      strips
+  end;
+  let contacts = Array.of_list (List.rev !contacts) in
+  ({ Layout.size; contacts; name = (if with_ring then "with guard ring" else "no guard ring") }, List.rev !ring)
+
+let victim_current layout =
+  let profile = Profile.thesis_default () in
+  let solver = Eigsolver.Eig_solver.create profile layout ~panels_per_side:64 in
+  let bb = Eigsolver.Eig_solver.blackbox solver in
+  let n = Layout.n_contacts layout in
+  let v = Array.make n 0.0 in
+  v.(0) <- 1.0;
+  (* aggressor *)
+  let currents = Blackbox.apply bb v in
+  (currents.(1), bb)
+
+let () =
+  let bare, _ = build ~with_ring:false in
+  let ringed, ring_ids = build ~with_ring:true in
+  Printf.printf "%s" (Layout.render ~width:48 ringed);
+  let i_bare, _ = victim_current bare in
+  let i_ringed, bb = victim_current ringed in
+  Printf.printf "\nvictim current from a 1 V aggressor (all other contacts grounded):\n";
+  Printf.printf "  without guard ring: %.5f\n" (Float.abs i_bare);
+  Printf.printf "  with grounded ring: %.5f\n" (Float.abs i_ringed);
+  Printf.printf "  isolation improvement: %.1fx (%d ring strips)\n"
+    (Float.abs i_bare /. Float.abs i_ringed)
+    (List.length ring_ids);
+  (* Validate the sparsified model on the ring layout: the coupling entry it
+     predicts must match the black box. *)
+  Blackbox.reset_count bb;
+  let repr = Lowrank.extract ringed bb in
+  let n = Layout.n_contacts ringed in
+  let v = Array.make n 0.0 in
+  v.(0) <- 1.0;
+  let model = (Repr.apply repr v).(1) in
+  Printf.printf "\nsparsified model reproduces the ringed coupling: %.5f vs %.5f (%.2f%% off),\n"
+    (Float.abs model) (Float.abs i_ringed)
+    (100.0 *. Float.abs ((model -. i_ringed) /. i_ringed));
+  Printf.printf "using %d solves for %d contact pieces.\n" repr.Repr.solves n;
+
+  (* Compound contacts (thesis §5.2): tie the twelve ring strips into ONE
+     electrical node through the grouping layer — the extraction above is
+     reused untouched. With the 3-node electrical model we can answer a
+     question the piece-level G makes awkward: how much isolation does the
+     ring lose if it is left floating instead of grounded? *)
+  let module Grouping = Substrate.Grouping in
+  let group_of =
+    Array.init n (fun piece ->
+        if piece = 0 then 0 (* aggressor *)
+        else if piece = 1 then 1 (* victim *)
+        else if List.mem piece ring_ids then 2 (* the ring, as one node *)
+        else 3 (* all fillers lumped as one grounded digital node *))
+  in
+  let grouping = Grouping.of_group_ids group_of in
+  let apply_elec = Grouping.lift grouping (Repr.apply repr) in
+  let g_elec =
+    La.Mat.init 4 4 (fun i j ->
+        let e = Array.make 4 0.0 in
+        e.(j) <- 1.0;
+        (apply_elec e).(i))
+  in
+  let g_va = La.Mat.get g_elec 1 0 in
+  let g_vr = La.Mat.get g_elec 1 2 in
+  let g_ra = La.Mat.get g_elec 2 0 in
+  let g_rr = La.Mat.get g_elec 2 2 in
+  (* Floating ring: zero net ring current fixes its voltage. *)
+  let v_ring = -.g_ra /. g_rr in
+  let i_floating = g_va +. (g_vr *. v_ring) in
+  Printf.printf "\ncompound-contact analysis (ring as one electrical node):\n";
+  Printf.printf "  ring grounded: victim current %.5f\n" (Float.abs g_va);
+  Printf.printf "  ring floating: ring rises to %.3f V, victim current %.5f\n" v_ring
+    (Float.abs i_floating);
+  Printf.printf "  a floating ring forfeits %.0f%% of the grounded ring's benefit.\n"
+    (100.0 *. (Float.abs i_floating -. Float.abs g_va) /. Float.abs g_va)

@@ -1,0 +1,57 @@
+(* Quickstart: extract a sparsified substrate coupling model.
+
+   Builds the thesis's standard layered substrate, places a small grid of
+   contacts on it, wraps the eigenfunction solver as a black box, runs the
+   low-rank extraction, and applies the resulting sparse representation.
+
+     dune exec examples/quickstart.exe *)
+
+module Profile = Substrate.Profile
+module Blackbox = Substrate.Blackbox
+module Layout = Geometry.Layout
+open Sparsify
+
+let () =
+  (* 1. The substrate: 128 x 128 x 40, layered 1 / 100 / 0.1 (thesis §3.7). *)
+  let profile = Profile.thesis_default () in
+
+  (* 2. The contacts: a 16 x 16 grid of square contacts. *)
+  let layout = Layout.regular_grid ~size:128.0 ~per_side:16 ~fill:0.5 () in
+  let n = Layout.n_contacts layout in
+  Printf.printf "layout: %s (%d contacts)\n" layout.Layout.name n;
+
+  (* 3. The black-box substrate solver: contact voltages -> contact
+     currents. Any solver with this signature works; here, the
+     eigenfunction (DCT) solver. *)
+  let solver = Eigsolver.Eig_solver.create profile layout ~panels_per_side:64 in
+  let blackbox = Eigsolver.Eig_solver.blackbox solver in
+
+  (* 4. Extract the sparsified representation G ~ Q G_w Q' with the
+     low-rank method (thesis Chapter 4). *)
+  let repr = Lowrank.extract layout blackbox in
+  Printf.printf "extracted with %d black-box solves (naive method needs %d: %.1fx reduction)\n"
+    repr.Repr.solves n
+    (Metrics.solve_reduction ~n ~solves:repr.Repr.solves);
+  Printf.printf "G_w sparsity factor: %.1f; Q sparsity factor: %.1f\n" (Repr.sparsity_gw repr)
+    (Repr.sparsity_q repr);
+
+  (* 5. Trade accuracy for more sparsity by thresholding. *)
+  let sparse = Repr.threshold repr ~target:6.0 in
+  Printf.printf "after 6x thresholding: G_w sparsity %.1f (%d nonzeros for %d entries)\n"
+    (Repr.sparsity_gw sparse) (Repr.nnz_gw sparse) (n * n);
+
+  (* 6. Apply the model: currents drawn when the left half of the chip
+     switches to 1 V. *)
+  let v =
+    Array.init n (fun i ->
+        let cx, _ = Geometry.Contact.centroid layout.Layout.contacts.(i) in
+        if cx < 64.0 then 1.0 else 0.0)
+  in
+  let currents_model = Repr.apply sparse v in
+  let currents_exact = Blackbox.apply blackbox v in
+  let err =
+    La.Vec.norm2 (La.Vec.sub currents_model currents_exact) /. La.Vec.norm2 currents_exact
+  in
+  Printf.printf "model vs exact currents for a half-chip switching pattern: %.2e relative error\n" err;
+  Printf.printf "current into a quiet right-half contact: %.4f (model) vs %.4f (exact)\n"
+    currents_model.(n - 1) currents_exact.(n - 1)

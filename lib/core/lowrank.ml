@@ -1,0 +1,345 @@
+module Quadtree = Geometry.Quadtree
+module Layout = Geometry.Layout
+module Blackbox = Substrate.Blackbox
+module Mat = La.Mat
+module Vec = La.Vec
+module Csr = Sparsemat.Csr
+module Coo = Sparsemat.Coo
+
+(* Phase 2 of the low-rank method (thesis §4.4): the fine-to-coarse sweep.
+
+   Starting from the row bases of phase 1 (U_s = V_s slow-decaying,
+   T_s = W_s fast-decaying on the finest level), each coarser square
+   recombines its children's slow-decaying vectors: the SVD of the
+   interaction G(I_p, p) X_p — evaluated through the phase-1 representation,
+   with no further black-box solves — splits the recombination into a few
+   more slow-decaying vectors U_p (large singular values) and many
+   fast-decaying ones T_p (eq. (4.27)). The T vectors of all levels plus the
+   level-2 U vectors form the orthogonal Q, and G_w keeps only interactions
+   between basis vectors in mutually local squares (same conservative
+   cross-level rule as the wavelet method) plus the coarse U interactions
+   with everything. *)
+
+type phase2_square = {
+  coords : int * int;
+  level : int;
+  contacts : int array;
+  u : Mat.t;  (* slow-decaying, n_s x u_s *)
+  t : Mat.t;  (* fast-decaying, n_s x t_s *)
+  mutable t_offset : int;
+  mutable u_offset : int;  (* level 2 only; -1 elsewhere *)
+}
+
+type t = {
+  rb : Rowbasis.t;
+  tree : Quadtree.t;
+  n : int;
+  max_level : int;
+  squares : (int * int * int, phase2_square) Hashtbl.t;
+  level_order : (int * int) list array;  (* nonempty squares per level, Morton *)
+}
+
+let find t ~level ~ix ~iy = Hashtbl.find_opt t.squares (level, ix, iy)
+let rowbasis t = t.rb
+
+let keep_rule ~sigma_rel_tol ~max_rank (s : float array) =
+  if Array.length s = 0 then 0
+  else begin
+    let s1 = s.(0) in
+    let k = ref 0 in
+    Array.iteri (fun i sigma -> if i < max_rank && sigma >= sigma_rel_tol *. s1 && sigma > 0.0 then incr k) s;
+    !k
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fine-to-coarse sweep. *)
+
+let build ?(sigma_rel_tol = 0.01) ?(max_rank = 6) rb =
+  let tree = Rowbasis.tree rb in
+  let max_level = Quadtree.max_level tree in
+  let n = Quadtree.squares_at_level tree 0 |> fun a -> Array.length a.(0).Quadtree.contacts in
+  let squares : (int * int * int, phase2_square) Hashtbl.t = Hashtbl.create 256 in
+  let level_order = Array.make (max_level + 1) [] in
+  (* Finest level: U = V, T = W (thesis §4.4.2). *)
+  let nonempty level =
+    Array.to_list (Quadtree.squares_at_level tree level)
+    |> List.filter_map (fun (sq : Quadtree.square) ->
+           if Array.length sq.Quadtree.contacts > 0 then Some (sq.Quadtree.ix, sq.Quadtree.iy) else None)
+  in
+  List.iter
+    (fun (ix, iy) ->
+      match Rowbasis.find rb ~level:max_level ~ix ~iy with
+      | None -> ()
+      | Some d ->
+        let w = match d.Rowbasis.w with Some w -> w | None -> Mat.create (Array.length d.Rowbasis.contacts) 0 in
+        (* With no contacts in the interactive region there was nothing to
+           discriminate fast- from slow-decaying vectors against (the
+           thesis's "very irregular contact layouts" caveat, §4.3.3):
+           conservatively keep the whole space slow-decaying so coarser
+           levels, which do see far contacts, make the split. *)
+        let inter_empty =
+          List.for_all
+            (fun (jx, jy) ->
+              Array.length (Quadtree.contacts_of tree ~level:max_level ~ix:jx ~iy:jy) = 0)
+            (Quadtree.interactive_squares ~level:max_level ~ix ~iy)
+        in
+        let u, t =
+          if inter_empty then (Mat.hcat d.Rowbasis.v w, Mat.create (Array.length d.Rowbasis.contacts) 0)
+          else (d.Rowbasis.v, w)
+        in
+        Hashtbl.replace squares (max_level, ix, iy)
+          { coords = (ix, iy); level = max_level; contacts = d.Rowbasis.contacts; u; t; t_offset = -1; u_offset = -1 };
+        level_order.(max_level) <- (ix, iy) :: level_order.(max_level))
+    (nonempty max_level);
+  (* Coarser levels down to 2. *)
+  for level = max_level - 1 downto 2 do
+    List.iter
+      (fun (ix, iy) ->
+        match Rowbasis.find rb ~level ~ix ~iy with
+        | None -> ()
+        | Some pd ->
+          let contacts = pd.Rowbasis.contacts in
+          (* Collect the children's slow-decaying vectors in parent
+             coordinates. *)
+          let cols = ref [] in
+          List.iter
+            (fun (cx, cy) ->
+              match Hashtbl.find_opt squares (level + 1, cx, cy) with
+              | None -> ()
+              | Some child ->
+                for j = 0 to Mat.cols child.u - 1 do
+                  cols := Regions.embed ~within:contacts ~sub:child.contacts (Mat.col child.u j) :: !cols
+                done)
+            (Quadtree.children_coords ~ix ~iy);
+          let entry =
+            match List.rev !cols with
+            | [] ->
+              { coords = (ix, iy); level; contacts; u = Mat.create (Array.length contacts) 0;
+                t = Mat.create (Array.length contacts) 0; t_offset = -1; u_offset = -1 }
+            | cols_list ->
+              let x = Mat.of_cols cols_list in
+              let k_cols = Mat.cols x in
+              (* Interaction of the recombined vectors with the interactive
+                 region, through the phase-1 representation. *)
+              let inter =
+                List.filter_map
+                  (fun (jx, jy) -> Rowbasis.find rb ~level ~ix:jx ~iy:jy)
+                  (Quadtree.interactive_squares ~level ~ix ~iy)
+              in
+              let inter_rows = List.fold_left (fun acc d -> acc + Array.length d.Rowbasis.contacts) 0 inter in
+              if inter_rows = 0 then
+                (* No interactive contacts to discriminate against: keep all
+                   recombined vectors slow-decaying (conservative). *)
+                { coords = (ix, iy); level; contacts; u = x;
+                  t = Mat.create (Array.length contacts) 0; t_offset = -1; u_offset = -1 }
+              else begin
+                let b = Mat.create (max inter_rows k_cols) k_cols in
+                (* Padding rows of zeros (when inter_rows < k_cols) leave
+                   singular values and right vectors unchanged but keep the
+                   SVD's right factor full. *)
+                for j = 0 to k_cols - 1 do
+                  let xj = Mat.col x j in
+                  let row0 = ref 0 in
+                  List.iter
+                    (fun d ->
+                      let block = Rowbasis.interaction_block rb ~src:pd ~dst:d xj in
+                      Array.iteri (fun r v -> Mat.set b (!row0 + r) j v) block;
+                      row0 := !row0 + Array.length d.Rowbasis.contacts)
+                    inter
+                done;
+                let f = La.Svd.decomp b in
+                let k = keep_rule ~sigma_rel_tol ~max_rank f.La.Svd.s in
+                let vfull = f.La.Svd.v in
+                let u_coeff = Mat.sub_matrix vfull ~row:0 ~col:0 ~rows:k_cols ~cols:k in
+                let t_coeff = Mat.sub_matrix vfull ~row:0 ~col:k ~rows:k_cols ~cols:(k_cols - k) in
+                { coords = (ix, iy); level; contacts; u = Mat.mul x u_coeff; t = Mat.mul x t_coeff;
+                  t_offset = -1; u_offset = -1 }
+              end
+          in
+          Hashtbl.replace squares (level, ix, iy) entry;
+          level_order.(level) <- (ix, iy) :: level_order.(level))
+      (nonempty level)
+  done;
+  (* Morton ordering and Q column offsets: level-2 U first, then T by level
+     coarse to fine. *)
+  Array.iteri
+    (fun l sqs ->
+      level_order.(l) <-
+        List.sort
+          (fun (ax, ay) (bx, by) -> compare (Wavelet.morton ~ix:ax ~iy:ay) (Wavelet.morton ~ix:bx ~iy:by))
+          sqs)
+    level_order;
+  let next = ref 0 in
+  List.iter
+    (fun (ix, iy) ->
+      let sq = Hashtbl.find squares (2, ix, iy) in
+      sq.u_offset <- !next;
+      next := !next + Mat.cols sq.u)
+    level_order.(2);
+  for level = 2 to max_level do
+    List.iter
+      (fun (ix, iy) ->
+        let sq = Hashtbl.find squares (level, ix, iy) in
+        sq.t_offset <- !next;
+        next := !next + Mat.cols sq.t)
+      level_order.(level)
+  done;
+  if !next <> n then
+    invalid_arg (Printf.sprintf "Lowrank.build: basis has %d columns for %d contacts" !next n);
+  { rb; tree; n; max_level; squares; level_order }
+
+(* ------------------------------------------------------------------ *)
+(* The sparse orthogonal Q. *)
+
+let q_matrix t =
+  let coo = Coo.create t.n t.n in
+  Hashtbl.iter
+    (fun _ (sq : phase2_square) ->
+      for j = 0 to Mat.cols sq.t - 1 do
+        Coo.add_column coo ~j:(sq.t_offset + j) ~row_idx:sq.contacts (Mat.col sq.t j)
+      done;
+      if sq.u_offset >= 0 then
+        for j = 0 to Mat.cols sq.u - 1 do
+          Coo.add_column coo ~j:(sq.u_offset + j) ~row_idx:sq.contacts (Mat.col sq.u j)
+        done)
+    t.squares;
+  Csr.of_coo coo
+
+(* ------------------------------------------------------------------ *)
+(* Local responses: approximately apply G restricted to the 3x3
+   neighborhood of a square, recursing through children (interactive parts
+   from the pair formula, finest-level local blocks explicit). *)
+
+let rec local_response t ~level ~ix ~iy (x : Mat.t) : int array * Mat.t =
+  let d =
+    match Rowbasis.find t.rb ~level ~ix ~iy with
+    | Some d -> d
+    | None -> invalid_arg "Lowrank.local_response: empty square"
+  in
+  if level = t.max_level then (d.Rowbasis.l_region, Mat.mul (Option.get d.Rowbasis.g_local) x)
+  else begin
+    let region = Quadtree.region_contacts t.tree ~level (Quadtree.local_squares ~level ~ix ~iy) in
+    let out = Mat.create (Array.length region) (Mat.cols x) in
+    let add_block sub block =
+      let pos = Regions.positions ~within:region sub in
+      for r = 0 to Mat.rows block - 1 do
+        for j = 0 to Mat.cols block - 1 do
+          Mat.update out pos.(r) j (fun v -> v +. Mat.get block r j)
+        done
+      done
+    in
+    List.iter
+      (fun (cx, cy) ->
+        match Rowbasis.find t.rb ~level:(level + 1) ~ix:cx ~iy:cy with
+        | None -> ()
+        | Some cd ->
+          let x_c = Regions.restrict_rows ~within:d.Rowbasis.contacts ~sub:cd.Rowbasis.contacts x in
+          let reg_c, resp_c = local_response t ~level:(level + 1) ~ix:cx ~iy:cy x_c in
+          add_block reg_c resp_c;
+          List.iter
+            (fun (jx, jy) ->
+              match Rowbasis.find t.rb ~level:(level + 1) ~ix:jx ~iy:jy with
+              | None -> ()
+              | Some dd ->
+                let block =
+                  Mat.of_cols
+                    (List.init (Mat.cols x_c) (fun j ->
+                         Rowbasis.interaction_block t.rb ~src:cd ~dst:dd (Mat.col x_c j)))
+                in
+                add_block dd.Rowbasis.contacts block)
+            (Quadtree.interactive_squares ~level:(level + 1) ~ix:cx ~iy:cy))
+      (Quadtree.children_coords ~ix ~iy);
+    (region, out)
+  end
+
+(* Squares at level la >= lb whose level-lb ancestor is local to (ix, iy). *)
+let kept_targets t ~level ~ix ~iy ~level' =
+  let shiftn = level' - level in
+  List.concat_map
+    (fun (jx, jy) ->
+      let acc = ref [] in
+      for cy = jy lsl shiftn to ((jy + 1) lsl shiftn) - 1 do
+        for cx = jx lsl shiftn to ((jx + 1) lsl shiftn) - 1 do
+          match find t ~level:level' ~ix:cx ~iy:cy with Some sq -> acc := sq :: !acc | None -> ()
+        done
+      done;
+      !acc)
+    (Quadtree.local_squares ~level ~ix ~iy)
+
+(* ------------------------------------------------------------------ *)
+(* Fill G_w and assemble the representation. *)
+
+let representation t =
+  let entries : (int * int, float) Hashtbl.t = Hashtbl.create (t.n * 8) in
+  let set i j v =
+    if v <> 0.0 then begin
+      Hashtbl.replace entries (i, j) v;
+      Hashtbl.replace entries (j, i) v
+    end
+  in
+  (* T-T interactions between mutually local squares (cross-level rule as in
+     the wavelet method). *)
+  for level = 2 to t.max_level do
+    List.iter
+      (fun (ix, iy) ->
+        let b = Hashtbl.find t.squares (level, ix, iy) in
+        if Mat.cols b.t > 0 then begin
+          let region, resp = local_response t ~level ~ix ~iy b.t in
+          for level' = level to t.max_level do
+            List.iter
+              (fun (a : phase2_square) ->
+                if Mat.cols a.t > 0 then begin
+                  let resp_a = Regions.restrict_rows ~within:region ~sub:a.contacts resp in
+                  let block = Mat.mul (Mat.transpose a.t) resp_a in
+                  for i = 0 to Mat.rows block - 1 do
+                    for j = 0 to Mat.cols block - 1 do
+                      set (a.t_offset + i) (b.t_offset + j) (Mat.get block i j)
+                    done
+                  done
+                end)
+              (kept_targets t ~level ~ix ~iy ~level')
+          done
+        end)
+      t.level_order.(level)
+  done;
+  (* Level-2 U interactions with everything, through the full phase-1
+     apply. *)
+  List.iter
+    (fun (ix, iy) ->
+      let s = Hashtbl.find t.squares (2, ix, iy) in
+      for j = 0 to Mat.cols s.u - 1 do
+        let y = Rowbasis.apply t.rb (Regions.scatter ~n:t.n s.contacts (Mat.col s.u j)) in
+        let col = s.u_offset + j in
+        Hashtbl.iter
+          (fun _ (a : phase2_square) ->
+            let y_a = Regions.gather a.contacts y in
+            let coeffs_t = Mat.gemv_t a.t y_a in
+            Array.iteri (fun i v -> set (a.t_offset + i) col v) coeffs_t;
+            if a.u_offset >= 0 then begin
+              let coeffs_u = Mat.gemv_t a.u y_a in
+              Array.iteri (fun i v -> set (a.u_offset + i) col v) coeffs_u
+            end)
+          t.squares
+      done)
+    t.level_order.(2);
+  let coo = Coo.create t.n t.n in
+  Hashtbl.iter (fun (i, j) v -> Coo.add coo i j v) entries;
+  Repr.make ~q:(q_matrix t) ~gw:(Csr.of_coo coo) ~solves:(Rowbasis.solves t.rb)
+
+(* ------------------------------------------------------------------ *)
+(* Whole pipeline: phase 1 + phase 2 from a layout and a black box. *)
+
+let extract ?max_level ?sigma_rel_tol ?max_rank ?seed ?symmetric_refinement ?samples_per_square layout
+    blackbox =
+  let max_level =
+    match max_level with
+    | Some l -> l
+    | None -> max 2 (Quadtree.suggest_max_level ~target:8 layout)
+  in
+  let tree = Quadtree.create ~max_level layout in
+  let rb =
+    Rowbasis.build ?sigma_rel_tol ?max_rank ?seed ?symmetric_refinement ?samples_per_square tree layout
+      blackbox
+  in
+  let t = build ?sigma_rel_tol ?max_rank rb in
+  representation t

@@ -1,0 +1,43 @@
+(** Phase 2 of the low-rank method (thesis §4.4): fine-to-coarse sweep from
+    the row-basis representation to the wavelet-structured Q G_w Q' form,
+    plus the whole-pipeline driver. *)
+
+type phase2_square = {
+  coords : int * int;
+  level : int;
+  contacts : int array;
+  u : La.Mat.t;  (** slow-decaying basis *)
+  t : La.Mat.t;  (** fast-decaying basis *)
+  mutable t_offset : int;
+  mutable u_offset : int;
+}
+
+type t
+
+(** Fine-to-coarse sweep over a phase-1 representation; no further
+    black-box solves. Keep rule defaults are the thesis's (sigma_1/100,
+    at most 6). *)
+val build : ?sigma_rel_tol:float -> ?max_rank:int -> Rowbasis.t -> t
+
+val find : t -> level:int -> ix:int -> iy:int -> phase2_square option
+val rowbasis : t -> Rowbasis.t
+
+(** The sparse orthogonal change-of-basis matrix. *)
+val q_matrix : t -> Sparsemat.Csr.t
+
+(** Fill G_w from the row-basis representation and assemble Q G_w Q'. *)
+val representation : t -> Repr.t
+
+(** Whole pipeline: build the quadtree (default depth
+    [suggest_max_level ~target:8]), run both phases, return the sparsified
+    representation. *)
+val extract :
+  ?max_level:int ->
+  ?sigma_rel_tol:float ->
+  ?max_rank:int ->
+  ?seed:int ->
+  ?symmetric_refinement:bool ->
+  ?samples_per_square:int ->
+  Geometry.Layout.t ->
+  Substrate.Blackbox.t ->
+  Repr.t

@@ -1,0 +1,93 @@
+(* Accuracy and efficiency metrics in the form the thesis reports
+   (§3.7, §4.6): entrywise relative error against the exact G, the fraction
+   of entries off by more than 10%, sparsity factors, and the
+   solve-reduction factor. *)
+
+type error_stats = {
+  max_rel_error : float;
+  frac_above_10pct : float;
+  mean_rel_error : float;
+  entries : int;
+}
+
+let error_of_columns ~exact_cols ~approx_cols =
+  (* Columns are (index, exact, approx) aligned lists of equal-length
+     vectors. *)
+  let max_err = ref 0.0 and sum = ref 0.0 and above = ref 0 and count = ref 0 in
+  List.iter2
+    (fun (e : La.Vec.t) (a : La.Vec.t) ->
+      Array.iteri
+        (fun i x ->
+          let err = Float.abs (a.(i) -. x) /. Float.abs x in
+          if Float.is_finite err then begin
+            max_err := Float.max !max_err err;
+            sum := !sum +. err;
+            if err > 0.10 then incr above;
+            incr count
+          end)
+        e)
+    exact_cols approx_cols;
+  {
+    max_rel_error = !max_err;
+    frac_above_10pct = (if !count = 0 then 0.0 else float_of_int !above /. float_of_int !count);
+    mean_rel_error = (if !count = 0 then 0.0 else !sum /. float_of_int !count);
+    entries = !count;
+  }
+
+(* Entrywise relative error of a dense approximation against the exact
+   dense G (thesis: error(i,j) = |approx - exact| / |exact|). *)
+let error_dense ~exact ~approx =
+  let n = La.Mat.cols exact in
+  let exact_cols = List.init n (La.Mat.col exact) in
+  let approx_cols = List.init n (La.Mat.col approx) in
+  error_of_columns ~exact_cols ~approx_cols
+
+(* Error over a sample of columns (thesis Table 4.3 uses a 10% column
+   sample on the large examples). *)
+let error_sampled ~exact_columns ~approx_columns =
+  error_of_columns ~exact_cols:(Array.to_list exact_columns) ~approx_cols:(Array.to_list approx_columns)
+
+(* Evenly spaced sample of [count] column indices out of [n]. *)
+let sample_indices ~n ~count =
+  let count = max 1 (min n count) in
+  Array.init count (fun k -> k * n / count)
+
+(* Solve-reduction factor (thesis §4.6): naive extraction needs n solves. *)
+let solve_reduction ~n ~solves = if solves = 0 then infinity else float_of_int n /. float_of_int solves
+
+let pp_error ppf e =
+  Fmt.pf ppf "max rel err %.2g%%, >10%%: %.2g%%, mean %.2g%%"
+    (100.0 *. e.max_rel_error) (100.0 *. e.frac_above_10pct) (100.0 *. e.mean_rel_error)
+
+(* A-posteriori stochastic error estimate (the error-analysis direction of
+   thesis §5.2): compare the representation against the black box on a few
+   random probe vectors. For symmetric operators the relative 2-norm error
+   on Gaussian probes concentrates around the relative spectral error, so a
+   handful of probes gives a cheap certificate without extracting G. *)
+
+type probe_estimate = {
+  mean_rel_residual : float;
+  max_rel_residual : float;
+  probes : int;
+  extra_solves : int;
+}
+
+let estimate_apply_error ?(probes = 5) ?(seed = 99) ~blackbox ~apply () =
+  let n = Substrate.Blackbox.n blackbox in
+  let rng = La.Rng.create seed in
+  let before = Substrate.Blackbox.solve_count blackbox in
+  let sum = ref 0.0 and worst = ref 0.0 in
+  for _ = 1 to probes do
+    let v = La.Rng.gaussian_array rng n in
+    let exact = Substrate.Blackbox.apply blackbox v in
+    let approx = apply v in
+    let err = La.Vec.norm2 (La.Vec.sub approx exact) /. La.Vec.norm2 exact in
+    sum := !sum +. err;
+    worst := Float.max !worst err
+  done;
+  {
+    mean_rel_residual = !sum /. float_of_int probes;
+    max_rel_residual = !worst;
+    probes;
+    extra_solves = Substrate.Blackbox.solve_count blackbox - before;
+  }

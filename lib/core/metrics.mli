@@ -1,0 +1,41 @@
+(** Accuracy and efficiency metrics as the thesis reports them. *)
+
+type error_stats = {
+  max_rel_error : float;
+  frac_above_10pct : float;
+  mean_rel_error : float;
+  entries : int;  (** finite-relative-error entries measured *)
+}
+
+(** Entrywise relative error over full dense matrices. *)
+val error_dense : exact:La.Mat.t -> approx:La.Mat.t -> error_stats
+
+(** Entrywise relative error over matching column samples. *)
+val error_sampled : exact_columns:La.Vec.t array -> approx_columns:La.Vec.t array -> error_stats
+
+(** Evenly spaced sample of column indices. *)
+val sample_indices : n:int -> count:int -> int array
+
+(** n / solves — how many times fewer black-box calls than naive
+    extraction. *)
+val solve_reduction : n:int -> solves:int -> float
+
+val pp_error : Format.formatter -> error_stats -> unit
+
+(** A-posteriori stochastic error estimate: relative 2-norm residual of the
+    approximate operator against the black box on random Gaussian probes
+    (thesis §5.2's error-analysis direction). *)
+type probe_estimate = {
+  mean_rel_residual : float;
+  max_rel_residual : float;
+  probes : int;
+  extra_solves : int;
+}
+
+val estimate_apply_error :
+  ?probes:int ->
+  ?seed:int ->
+  blackbox:Substrate.Blackbox.t ->
+  apply:(La.Vec.t -> La.Vec.t) ->
+  unit ->
+  probe_estimate

@@ -1,0 +1,21 @@
+(** IES3-style pairwise truncated-SVD baseline (thesis §4.5): per
+    interactive-pair low-rank blocks built from *entry access* to the dense
+    G — the capability a black-box substrate solver does not provide. Used
+    to measure the storage cost of per-pair importance vectors against the
+    thesis's shared, multipole-like row bases. *)
+
+type t
+
+(** [build tree g] compresses every interactive-pair block of the dense [g]
+    with a truncated SVD (keep rule sigma >= sigma_1 / 100, at most
+    [max_rank]); finest-level local blocks stay dense. *)
+val build : ?sigma_rel_tol:float -> ?max_rank:int -> Geometry.Quadtree.t -> La.Mat.t -> t
+
+(** Apply the compressed operator. *)
+val apply : t -> La.Vec.t -> La.Vec.t
+
+(** Floats stored by the representation. *)
+val storage_floats : t -> int
+
+val block_count : t -> int
+val to_dense : t -> La.Mat.t

@@ -1,0 +1,48 @@
+(* Index bookkeeping between contact regions.
+
+   The sparsification algorithms constantly move vectors between coordinate
+   systems: a square's own contacts, its local / interactive regions, and the
+   global contact numbering. Regions are always sorted ascending arrays of
+   global contact ids; this module maps between them. *)
+
+(* Positions of each element of [sub] within the sorted array [within].
+   Both must be sorted ascending and [sub] must be a subset. *)
+let positions ~within sub =
+  let n = Array.length within in
+  let out = Array.make (Array.length sub) 0 in
+  let i = ref 0 in
+  Array.iteri
+    (fun k x ->
+      while !i < n && within.(!i) < x do
+        incr i
+      done;
+      if !i >= n || within.(!i) <> x then
+        invalid_arg (Printf.sprintf "Regions.positions: id %d not present in region" x);
+      out.(k) <- !i)
+    sub;
+  out
+
+(* Gather entries of a global vector at the region's contacts. *)
+let gather region (v : La.Vec.t) : La.Vec.t = Array.map (fun id -> v.(id)) region
+
+(* Scatter a region vector into a global vector of dimension [n]
+   (zeros elsewhere). *)
+let scatter ~n region (x : La.Vec.t) : La.Vec.t =
+  let out = Array.make n 0.0 in
+  Array.iteri (fun k id -> out.(id) <- x.(k)) region;
+  out
+
+(* Add a region vector into an existing global accumulator. *)
+let scatter_add region (x : La.Vec.t) (acc : La.Vec.t) =
+  Array.iteri (fun k id -> acc.(id) <- acc.(id) +. x.(k)) region
+
+(* Restrict the rows of a matrix (rows indexed by [within]) to the subset
+   [sub]. *)
+let restrict_rows ~within ~sub m = La.Mat.select_rows m (positions ~within sub)
+
+(* Embed a vector over [sub] into a vector over [within]. *)
+let embed ~within ~sub (x : La.Vec.t) : La.Vec.t =
+  let out = Array.make (Array.length within) 0.0 in
+  let pos = positions ~within sub in
+  Array.iteri (fun k p -> out.(p) <- x.(k)) pos;
+  out

@@ -1,0 +1,15 @@
+(** Index bookkeeping between sorted contact-id regions. *)
+
+(** Positions of each element of the second array within the first; both
+    sorted ascending, subset required. *)
+val positions : within:int array -> int array -> int array
+
+val gather : int array -> La.Vec.t -> La.Vec.t
+val scatter : n:int -> int array -> La.Vec.t -> La.Vec.t
+val scatter_add : int array -> La.Vec.t -> La.Vec.t -> unit
+
+(** Restrict matrix rows indexed by [within] to the subset [sub]. *)
+val restrict_rows : within:int array -> sub:int array -> La.Mat.t -> La.Mat.t
+
+(** Embed a vector over [sub] into the coordinates of [within]. *)
+val embed : within:int array -> sub:int array -> La.Vec.t -> La.Vec.t

@@ -1,0 +1,72 @@
+(* The sparsified conductance representation G ~ Q G_w Q'
+   (thesis eq. (3.1)): an orthogonal sparse change of basis Q and a sparse
+   transformed matrix G_w. Applying the representation costs three sparse
+   matrix-vector products. *)
+
+module Csr = Sparsemat.Csr
+
+type t = {
+  n : int;
+  q : Csr.t;  (* n x n, orthonormal columns *)
+  gw : Csr.t;  (* n x n, symmetric *)
+  solves : int;  (* black-box solves spent building the representation *)
+}
+
+let make ~q ~gw ~solves =
+  if Csr.rows q <> Csr.cols q || Csr.rows gw <> Csr.cols gw || Csr.rows q <> Csr.rows gw then
+    invalid_arg "Repr.make: Q and G_w must be square of equal size";
+  { n = Csr.rows q; q; gw; solves }
+
+(* G v ~ Q (G_w (Q' v)). *)
+let apply t (v : La.Vec.t) : La.Vec.t = Csr.gemv t.q (Csr.gemv t.gw (Csr.gemv_t t.q v))
+
+(* Densify Q G_w Q' column by column (for error measurement). *)
+let to_dense t =
+  let g = La.Mat.create t.n t.n in
+  let e = Array.make t.n 0.0 in
+  for j = 0 to t.n - 1 do
+    e.(j) <- 1.0;
+    La.Mat.set_col g j (apply t e);
+    e.(j) <- 0.0
+  done;
+  g
+
+(* Selected columns of Q G_w Q' (for sampled error measurement on large
+   examples). *)
+let columns t indices =
+  let e = Array.make t.n 0.0 in
+  Array.map
+    (fun j ->
+      e.(j) <- 1.0;
+      let col = apply t e in
+      e.(j) <- 0.0;
+      col)
+    indices
+
+(* Thresholding (thesis §3.7): drop small entries of G_w so its nonzero
+   count falls by roughly [target]; the threshold is found by binary
+   search. *)
+let threshold t ~target =
+  let cut = Csr.threshold_for_sparsity t.gw ~target in
+  { t with gw = Csr.drop_below t.gw cut }
+
+let sparsity_gw t = Csr.sparsity_factor t.gw
+let sparsity_q t = Csr.sparsity_factor t.q
+let nnz_gw t = Csr.nnz t.gw
+
+(* Q' Q should be the identity; returns the largest deviation (testing). *)
+let orthogonality_defect t =
+  let qt = Csr.transpose t.q in
+  let worst = ref 0.0 in
+  let e = Array.make t.n 0.0 in
+  for j = 0 to t.n - 1 do
+    e.(j) <- 1.0;
+    let col = Csr.gemv qt (Csr.gemv t.q e) in
+    e.(j) <- 0.0;
+    Array.iteri
+      (fun i x ->
+        let expected = if i = j then 1.0 else 0.0 in
+        worst := Float.max !worst (Float.abs (x -. expected)))
+      col
+  done;
+  !worst

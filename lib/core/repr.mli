@@ -1,0 +1,30 @@
+(** The sparsified conductance representation [G ~ Q G_w Q']. *)
+
+type t = {
+  n : int;
+  q : Sparsemat.Csr.t;
+  gw : Sparsemat.Csr.t;
+  solves : int;  (** black-box solves spent building the representation *)
+}
+
+val make : q:Sparsemat.Csr.t -> gw:Sparsemat.Csr.t -> solves:int -> t
+
+(** Apply the represented operator: three sparse matrix-vector products. *)
+val apply : t -> La.Vec.t -> La.Vec.t
+
+(** Densify (for error measurement against an exact G). *)
+val to_dense : t -> La.Mat.t
+
+(** Selected columns of the represented operator. *)
+val columns : t -> int array -> La.Vec.t array
+
+(** Drop small entries of G_w to make it roughly [target] times sparser
+    (binary-searched threshold, thesis §3.7). *)
+val threshold : t -> target:float -> t
+
+val sparsity_gw : t -> float
+val sparsity_q : t -> float
+val nnz_gw : t -> int
+
+(** Largest deviation of Q'Q from the identity. *)
+val orthogonality_defect : t -> float

@@ -1,0 +1,446 @@
+module Quadtree = Geometry.Quadtree
+module Layout = Geometry.Layout
+module Blackbox = Substrate.Blackbox
+module Mat = La.Mat
+module Vec = La.Vec
+
+(* Phase 1 of the low-rank method (thesis §4.3): the multilevel row-basis
+   representation.
+
+   For every square s on levels 2..L, a small orthonormal "row basis" V_s
+   (at most [max_rank] columns) approximately spans the row space of the
+   interaction block G(I_s, s), together with the responses G(P_s, s) V_s
+   on s's local-plus-interactive region P_s. The bases are found by random
+   sampling (one random sample vector per square, shared between that
+   square's interactive neighbors) and an SVD (eq. (4.19)); the responses
+   on finer levels are obtained with the splitting method (eq. (4.22)),
+   whose raw combine-solves output is refined through the symmetric
+   identity (4.24). On the finest level the local interactions are stored
+   explicitly via (4.26).
+
+   The representation alone already supports an O(n log n) application of
+   G (thesis §4.3.2, with the symmetry refinement (4.16)); phase 2
+   (Lowrank) turns it into the wavelet-structured Q G_w Q' form. *)
+
+type square_data = {
+  coords : int * int;
+  level : int;
+  contacts : int array;  (* global contact ids, ascending *)
+  v : Mat.t;  (* row basis, n_s x k_s *)
+  gpv : Mat.t;  (* responses G(P_s, s) V_s, |P_s| x k_s *)
+  p_region : int array;  (* contacts of I_s + L_s *)
+  (* finest level only: *)
+  w : Mat.t option;  (* orthogonal complement of V_s *)
+  g_local : Mat.t option;  (* G(L_s, s) approximation, |L_s| x n_s *)
+  l_region : int array;
+}
+
+type t = {
+  tree : Quadtree.t;
+  layout : Layout.t;
+  n : int;
+  max_level : int;
+  data : (int * int * int, square_data) Hashtbl.t;
+  symmetric_refinement : bool;
+  solves : int;
+}
+
+let find t ~level ~ix ~iy = Hashtbl.find_opt t.data (level, ix, iy)
+let tree t = t.tree
+let solves t = t.solves
+
+(* Keep rule for singular values (thesis §4.6): sigma >= sigma_1 / 100,
+   capped at [max_rank] (= 6, matching the p = 2 moment count). *)
+let keep_rule ~sigma_rel_tol ~max_rank (s : float array) =
+  if Array.length s = 0 then 0
+  else begin
+    let s1 = s.(0) in
+    let k = ref 0 in
+    Array.iteri (fun i sigma -> if i < max_rank && sigma >= sigma_rel_tol *. s1 && sigma > 0.0 then incr k) s;
+    !k
+  end
+
+let nonempty_squares tree level =
+  Array.to_list (Quadtree.squares_at_level tree level)
+  |> List.filter_map (fun (sq : Quadtree.square) ->
+         if Array.length sq.Quadtree.contacts > 0 then Some (sq.Quadtree.ix, sq.Quadtree.iy) else None)
+
+(* --------------------------------------------------------------------- *)
+(* Context carried through the build. *)
+
+type ctx = {
+  c_tree : Quadtree.t;
+  c_n : int;
+  c_bb : Blackbox.t;
+  c_data : (int * int * int, square_data) Hashtbl.t;
+  c_refine : bool;
+  c_sigma_rel_tol : float;
+  c_max_rank : int;
+}
+
+let get ctx ~level ~ix ~iy = Hashtbl.find_opt ctx.c_data (level, ix, iy)
+
+let p_region_of ctx ~level ~ix ~iy =
+  Quadtree.region_contacts ctx.c_tree ~level
+    (Quadtree.local_squares ~level ~ix ~iy @ Quadtree.interactive_squares ~level ~ix ~iy)
+
+(* Restrict a stored response matrix (rows over d.p_region) to the rows of a
+   contact subset. *)
+let gpv_rows (d : square_data) sub = Regions.restrict_rows ~within:d.p_region ~sub d.gpv
+
+(* --------------------------------------------------------------------- *)
+(* Splitting method (thesis §4.3.3, Fig 4-7): responses G(P_s, s) X_s for
+   per-square column sets X_s at [level], using the parent-level row bases
+   and combine-solves on the V_p-orthogonal remainders. *)
+
+let split_responses ctx ~level ~(vectors : (int * int) -> Mat.t option) =
+  let squares = nonempty_squares ctx.c_tree level in
+  let out : (int * int, Mat.t) Hashtbl.t = Hashtbl.create 64 in
+  (* Prepare per-square decompositions. *)
+  let prepared =
+    List.filter_map
+      (fun (ix, iy) ->
+        match vectors (ix, iy) with
+        | None -> None
+        | Some x when Mat.cols x = 0 ->
+          let region = p_region_of ctx ~level ~ix ~iy in
+          Hashtbl.replace out (ix, iy) (Mat.create (Array.length region) 0);
+          None
+        | Some x ->
+          let px, py = Quadtree.parent_coords ~ix ~iy in
+          let p =
+            match get ctx ~level:(level - 1) ~ix:px ~iy:py with
+            | Some p -> p
+            | None -> invalid_arg "Rowbasis.split_responses: missing parent data"
+          in
+          let contacts = Quadtree.contacts_of ctx.c_tree ~level ~ix ~iy in
+          (* Embed x into parent coordinates and split against the parent's
+             row basis: emb = r + o with r in span(V_p). *)
+          let emb =
+            Mat.of_cols
+              (List.init (Mat.cols x) (fun j ->
+                   Regions.embed ~within:p.contacts ~sub:contacts (Mat.col x j)))
+          in
+          let alpha = Mat.mul (Mat.transpose p.v) emb in
+          (* k_p x k *)
+          let o = Mat.sub emb (Mat.mul p.v alpha) in
+          Some ((ix, iy), contacts, p, emb, alpha, o))
+      squares
+  in
+  let max_cols = List.fold_left (fun acc (_, _, _, _, _, o) -> max acc (Mat.cols o)) 0 prepared in
+  (* Combine-solves over the 36 child groups. *)
+  let groups = Combine.groups_of_children (List.map (fun (c, _, _, _, _, _) -> c) prepared) in
+  let member_of = Hashtbl.create 64 in
+  List.iter (fun ((c, _, _, _, _, _) as entry) -> Hashtbl.replace member_of c entry) prepared;
+  (* Initialize output matrices. *)
+  List.iter
+    (fun ((ix, iy), _, _, _, _, o) ->
+      let region = p_region_of ctx ~level ~ix ~iy in
+      ignore region;
+      Hashtbl.replace out (ix, iy) (Mat.create (Array.length region) (Mat.cols o)))
+    prepared;
+  for m = 0 to max_cols - 1 do
+    Array.iter
+      (fun group ->
+        let members =
+          List.filter_map
+            (fun c ->
+              match Hashtbl.find_opt member_of c with
+              | Some ((_, _, p, _, _, o) as entry) when Mat.cols o > m ->
+                ignore p;
+                Some entry
+              | _ -> None)
+            group
+        in
+        let summed =
+          List.map
+            (fun (_, _, p, _, _, o) -> Regions.scatter ~n:ctx.c_n p.contacts (Mat.col o m))
+            members
+        in
+        match Combine.solve_sum ctx.c_bb summed with
+        | None -> ()
+        | Some y ->
+          List.iter
+            (fun ((ix, iy), _, p, emb, alpha, o) ->
+              ignore emb;
+              let region = p_region_of ctx ~level ~ix ~iy in
+              let resp = Array.make (Array.length region) 0.0 in
+              (* Row-basis part from the parent: (G(P_p, p) V_p) alpha,
+                 restricted to P_s. *)
+              let parent_part = Mat.gemv p.gpv (Mat.col alpha m) in
+              let parent_on_region =
+                Regions.gather (Regions.positions ~within:p.p_region region) parent_part
+              in
+              Vec.add_inplace resp parent_on_region;
+              (* Remainder part: refined combine-solves output per local
+                 square q of the parent (eq. (4.24)). *)
+              let px, py = Quadtree.parent_coords ~ix ~iy in
+              List.iter
+                (fun (qx, qy) ->
+                  match get ctx ~level:(level - 1) ~ix:qx ~iy:qy with
+                  | None -> ()
+                  | Some q ->
+                    let raw = Regions.gather q.contacts y in
+                    let refined =
+                      if ctx.c_refine && Mat.cols q.v > 0 then begin
+                        (* V_q ((G(p,q) V_q))' o + (I - V_q V_q') raw *)
+                        let gpq_vq = gpv_rows q p.contacts in
+                        let coeff = Mat.gemv_t gpq_vq (Mat.col o m) in
+                        let term1 = Mat.gemv q.v coeff in
+                        let proj = Mat.gemv q.v (Mat.gemv_t q.v raw) in
+                        Vec.add term1 (Vec.sub raw proj)
+                      end
+                      else raw
+                    in
+                    (* Accumulate at q's contacts within P_s (q's contacts
+                       may extend beyond P_s only when... they cannot:
+                       L_p refines into P_s exactly). *)
+                    let pos = Regions.positions ~within:region q.contacts in
+                    Array.iteri (fun k pos_k -> resp.(pos_k) <- resp.(pos_k) +. refined.(k)) pos)
+                (Quadtree.local_squares ~level:(level - 1) ~ix:px ~iy:py);
+              let matrix = Hashtbl.find out (ix, iy) in
+              Mat.set_col matrix m resp)
+            members)
+      groups
+  done;
+  out
+
+(* --------------------------------------------------------------------- *)
+(* Build the representation. *)
+
+let build ?(sigma_rel_tol = 0.01) ?(max_rank = 6) ?(seed = 20020524) ?(symmetric_refinement = true)
+    ?(samples_per_square = 1) tree layout blackbox =
+  if samples_per_square < 1 then invalid_arg "Rowbasis.build: samples_per_square must be positive";
+  let max_level = Quadtree.max_level tree in
+  if max_level < 2 then invalid_arg "Rowbasis.build: max_level must be at least 2";
+  let n = Layout.n_contacts layout in
+  let rng = La.Rng.create seed in
+  let ctx =
+    {
+      c_tree = tree;
+      c_n = n;
+      c_bb = blackbox;
+      c_data = Hashtbl.create 256;
+      c_refine = symmetric_refinement;
+      c_sigma_rel_tol = sigma_rel_tol;
+      c_max_rank = max_rank;
+    }
+  in
+  (* Build the row basis of one square from the sample responses of its
+     interactive squares. [sample_of coords] gives (response over the
+     sampled square's P region, that P region). *)
+  let basis_from_samples ~level ~ix ~iy ~contacts sample_of =
+    (* Each interactive square may contribute several sample-response
+       columns ([samples_per_square] > 1 is the thesis's own mitigation for
+       sparse interactive regions, §4.3.3). *)
+    let cols =
+      List.concat_map
+        (fun (jx, jy) ->
+          match sample_of (jx, jy) with
+          | None -> []
+          | Some (resp, region) ->
+            let restricted = Regions.restrict_rows ~within:region ~sub:contacts resp in
+            List.init (Mat.cols restricted) (Mat.col restricted))
+        (Quadtree.interactive_squares ~level ~ix ~iy)
+    in
+    match cols with
+    | [] -> Mat.create (Array.length contacts) 0
+    | _ ->
+      let s = Mat.of_cols cols in
+      let f = La.Svd.decomp s in
+      let k = keep_rule ~sigma_rel_tol:ctx.c_sigma_rel_tol ~max_rank:ctx.c_max_rank f.La.Svd.s in
+      Mat.sub_matrix f.La.Svd.u ~row:0 ~col:0 ~rows:(Array.length contacts) ~cols:k
+  in
+  (* ---- Level 2: direct solves. ---- *)
+  let level2 = nonempty_squares tree 2 in
+  let samples2 : (int * int, Mat.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (ix, iy) ->
+      let contacts = Quadtree.contacts_of tree ~level:2 ~ix ~iy in
+      let k = min samples_per_square (Array.length contacts) in
+      let ys =
+        List.init k (fun _ ->
+            let m_s = La.Rng.gaussian_array rng (Array.length contacts) in
+            Blackbox.apply blackbox (Regions.scatter ~n contacts m_s))
+      in
+      Hashtbl.replace samples2 (ix, iy) (Mat.of_cols ys))
+    level2;
+  List.iter
+    (fun (ix, iy) ->
+      let contacts = Quadtree.contacts_of tree ~level:2 ~ix ~iy in
+      let v =
+        basis_from_samples ~level:2 ~ix ~iy ~contacts (fun c ->
+            match Hashtbl.find_opt samples2 c with
+            | None -> None
+            | Some y -> Some (y, Array.init n Fun.id))
+      in
+      let p_region = p_region_of ctx ~level:2 ~ix ~iy in
+      let gpv = Mat.create (Array.length p_region) (Mat.cols v) in
+      for j = 0 to Mat.cols v - 1 do
+        let y = Blackbox.apply blackbox (Regions.scatter ~n contacts (Mat.col v j)) in
+        Mat.set_col gpv j (Regions.gather p_region y)
+      done;
+      Hashtbl.replace ctx.c_data (2, ix, iy)
+        { coords = (ix, iy); level = 2; contacts; v; gpv; p_region; w = None; g_local = None; l_region = [||] })
+    level2;
+  (* ---- Levels 3..max: sampling and responses via the splitting method. ---- *)
+  for level = 3 to max_level do
+    let squares = nonempty_squares tree level in
+    (* Per-square random sample vectors. *)
+    let sample_vectors : (int * int, Mat.t) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (ix, iy) ->
+        let contacts = Quadtree.contacts_of tree ~level ~ix ~iy in
+        let k = min samples_per_square (Array.length contacts) in
+        Hashtbl.replace sample_vectors (ix, iy)
+          (Mat.of_cols (List.init k (fun _ -> La.Rng.gaussian_array rng (Array.length contacts)))))
+      squares;
+    let sample_resps = split_responses ctx ~level ~vectors:(Hashtbl.find_opt sample_vectors) in
+    (* Row bases from the sampled responses. *)
+    let bases : (int * int, Mat.t) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (ix, iy) ->
+        let contacts = Quadtree.contacts_of tree ~level ~ix ~iy in
+        let v =
+          basis_from_samples ~level ~ix ~iy ~contacts (fun (jx, jy) ->
+              match Hashtbl.find_opt sample_resps (jx, jy) with
+              | None -> None
+              | Some resp when Mat.cols resp = 0 -> None
+              | Some resp -> Some (resp, p_region_of ctx ~level ~ix:jx ~iy:jy))
+        in
+        Hashtbl.replace bases (ix, iy) v)
+      squares;
+    (* Responses to the row bases, again via splitting. *)
+    let gpvs = split_responses ctx ~level ~vectors:(Hashtbl.find_opt bases) in
+    List.iter
+      (fun (ix, iy) ->
+        let contacts = Quadtree.contacts_of tree ~level ~ix ~iy in
+        let v = Hashtbl.find bases (ix, iy) in
+        let gpv = Hashtbl.find gpvs (ix, iy) in
+        Hashtbl.replace ctx.c_data (level, ix, iy)
+          {
+            coords = (ix, iy);
+            level;
+            contacts;
+            v;
+            gpv;
+            p_region = p_region_of ctx ~level ~ix ~iy;
+            w = None;
+            g_local = None;
+            l_region = [||];
+          })
+      squares
+  done;
+  (* ---- Finest level: explicit local interactions (eq. (4.26)). ---- *)
+  let finest = nonempty_squares tree max_level in
+  let complements : (int * int, Mat.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (ix, iy) ->
+      let d = Hashtbl.find ctx.c_data (max_level, ix, iy) in
+      let w =
+        if Mat.cols d.v = 0 then Mat.identity (Array.length d.contacts) else La.Qr.complement d.v
+      in
+      Hashtbl.replace complements (ix, iy) w)
+    finest;
+  (* Responses to the complements: splitting method on deep trees, direct
+     solves when the finest level is level 2 itself. *)
+  let w_resps : (int * int, Mat.t * int array) Hashtbl.t = Hashtbl.create 64 in
+  if max_level = 2 then
+    List.iter
+      (fun (ix, iy) ->
+        let d = Hashtbl.find ctx.c_data (2, ix, iy) in
+        let w = Hashtbl.find complements (ix, iy) in
+        let resp = Mat.create (Array.length d.p_region) (Mat.cols w) in
+        for j = 0 to Mat.cols w - 1 do
+          let y = Blackbox.apply blackbox (Regions.scatter ~n d.contacts (Mat.col w j)) in
+          Mat.set_col resp j (Regions.gather d.p_region y)
+        done;
+        Hashtbl.replace w_resps (ix, iy) (resp, d.p_region))
+      finest
+  else begin
+    let resps = split_responses ctx ~level:max_level ~vectors:(Hashtbl.find_opt complements) in
+    List.iter
+      (fun (ix, iy) ->
+        Hashtbl.replace w_resps (ix, iy)
+          (Hashtbl.find resps (ix, iy), p_region_of ctx ~level:max_level ~ix ~iy))
+      finest
+  end;
+  List.iter
+    (fun (ix, iy) ->
+      let d = Hashtbl.find ctx.c_data (max_level, ix, iy) in
+      let w = Hashtbl.find complements (ix, iy) in
+      let l_region =
+        Quadtree.region_contacts tree ~level:max_level (Quadtree.local_squares ~level:max_level ~ix ~iy)
+      in
+      let resp, region = Hashtbl.find w_resps (ix, iy) in
+      let glw = Regions.restrict_rows ~within:region ~sub:l_region resp in
+      let glv = Regions.restrict_rows ~within:d.p_region ~sub:l_region d.gpv in
+      (* G(L_s, s) ~ (G(L_s,s) V) V' + (G(L_s,s) W) W'. *)
+      let g_local = Mat.add (Mat.mul glv (Mat.transpose d.v)) (Mat.mul glw (Mat.transpose w)) in
+      Hashtbl.replace ctx.c_data (max_level, ix, iy)
+        { d with w = Some w; g_local = Some g_local; l_region })
+    finest;
+  {
+    tree;
+    layout;
+    n;
+    max_level;
+    data = ctx.c_data;
+    symmetric_refinement;
+    solves = Blackbox.solve_count blackbox;
+  }
+
+(* --------------------------------------------------------------------- *)
+(* Apply the represented operator (thesis §4.3.2). *)
+
+let apply t (v : Vec.t) : Vec.t =
+  if Array.length v <> t.n then invalid_arg "Rowbasis.apply: dimension mismatch";
+  let out = Array.make t.n 0.0 in
+  for level = 2 to t.max_level do
+    Hashtbl.iter
+      (fun (l, ix, iy) (src : square_data) ->
+        if l = level then begin
+          let v_s = Regions.gather src.contacts v in
+          let alpha = Mat.gemv_t src.v v_s in
+          let resid = Vec.sub v_s (Mat.gemv src.v alpha) in
+          List.iter
+            (fun (jx, jy) ->
+              match find t ~level ~ix:jx ~iy:jy with
+              | None -> ()
+              | Some dst ->
+                let term1 = Mat.gemv (gpv_rows src dst.contacts) alpha in
+                let contribution =
+                  if t.symmetric_refinement && Mat.cols dst.v > 0 then begin
+                    let gsd_vd = gpv_rows dst src.contacts in
+                    Vec.add term1 (Mat.gemv dst.v (Mat.gemv_t gsd_vd resid))
+                  end
+                  else term1
+                in
+                Regions.scatter_add dst.contacts contribution out)
+            (Quadtree.interactive_squares ~level ~ix ~iy)
+        end)
+      t.data
+  done;
+  (* Finest-level local blocks. *)
+  Hashtbl.iter
+    (fun (l, _, _) (src : square_data) ->
+      if l = t.max_level then
+        match src.g_local with
+        | None -> ()
+        | Some g_local ->
+          let v_s = Regions.gather src.contacts v in
+          Regions.scatter_add src.l_region (Mat.gemv g_local v_s) out)
+    t.data;
+  out
+
+(* Expose the pair formula for phase 2. *)
+let interaction_block t ~(src : square_data) ~(dst : square_data) (x : Vec.t) : Vec.t =
+  let alpha = Mat.gemv_t src.v x in
+  let resid = Vec.sub x (Mat.gemv src.v alpha) in
+  let ctx_refine = t.symmetric_refinement in
+  let term1 = Mat.gemv (gpv_rows src dst.contacts) alpha in
+  if ctx_refine && Mat.cols dst.v > 0 then begin
+    let gsd_vd = gpv_rows dst src.contacts in
+    Vec.add term1 (Mat.gemv dst.v (Mat.gemv_t gsd_vd resid))
+  end
+  else term1

@@ -1,0 +1,50 @@
+(** Phase 1 of the low-rank method (thesis §4.3): the multilevel row-basis
+    representation of G, built with O(log n) black-box solves, and its
+    O(n log n) application. *)
+
+type square_data = {
+  coords : int * int;
+  level : int;
+  contacts : int array;
+  v : La.Mat.t;  (** row basis V_s, orthonormal columns *)
+  gpv : La.Mat.t;  (** responses G(P_s, s) V_s over [p_region] *)
+  p_region : int array;  (** contacts of the interactive + local region *)
+  w : La.Mat.t option;  (** finest level: orthonormal complement of V_s *)
+  g_local : La.Mat.t option;  (** finest level: G(L_s, s) over [l_region] *)
+  l_region : int array;
+}
+
+type t
+
+(** [build tree layout blackbox] runs the coarse-to-fine sweep of §4.3.4.
+    [sigma_rel_tol] and [max_rank] set the singular-value keep rule
+    (defaults 1/100 and 6, the thesis's §4.6 settings). [seed] fixes the
+    random sample vectors. [symmetric_refinement:false] disables the
+    (4.16)/(4.24) refinements — the "stronger assumption" ablation of
+    §4.3.1. [samples_per_square] uses more than one random sample vector
+    per square (the thesis's own mitigation for layouts whose interactive
+    regions hold few contacts, §4.3.3). The quadtree must have
+    [max_level >= 2]. *)
+val build :
+  ?sigma_rel_tol:float ->
+  ?max_rank:int ->
+  ?seed:int ->
+  ?symmetric_refinement:bool ->
+  ?samples_per_square:int ->
+  Geometry.Quadtree.t ->
+  Geometry.Layout.t ->
+  Substrate.Blackbox.t ->
+  t
+
+val find : t -> level:int -> ix:int -> iy:int -> square_data option
+val tree : t -> Geometry.Quadtree.t
+
+(** Black-box solves consumed while building. *)
+val solves : t -> int
+
+(** Apply the represented operator G to a voltage vector (§4.3.2). *)
+val apply : t -> La.Vec.t -> La.Vec.t
+
+(** The approximate interaction block G(dst, src) applied to a vector in
+    src coordinates (pair formula (4.16)); used by phase 2. *)
+val interaction_block : t -> src:square_data -> dst:square_data -> La.Vec.t -> La.Vec.t

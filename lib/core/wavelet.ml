@@ -1,0 +1,374 @@
+module Quadtree = Geometry.Quadtree
+module Layout = Geometry.Layout
+module Moments = Geometry.Moments
+module Blackbox = Substrate.Blackbox
+module Mat = La.Mat
+module Vec = La.Vec
+module Csr = Sparsemat.Csr
+module Coo = Sparsemat.Coo
+
+(* Wavelet sparsification of the substrate conductance matrix (thesis
+   Chapter 3).
+
+   The change of basis Q is built from geometry alone. On the finest level,
+   each square's voltage space splits into vectors whose contact-area
+   moments up to order p vanish (W_s — fast-decaying current response) and
+   an orthonormal complement (V_s); coarser levels recombine the children's
+   V bases under the same moment criterion (eqs. (3.14)-(3.16), implemented
+   with rank-revealing QR of the transposed moment matrices, which yields
+   the same orthonormal split the thesis obtains from an SVD). The root's
+   non-vanishing V vectors complete the basis (eq. (3.10)).
+
+   The transformed matrix G_ws = Q' G Q is extracted with the
+   combine-solves technique of §3.5: only interactions between basis
+   vectors in non-well-separated squares are assumed nonzero (for vectors
+   on levels l <= l', the level-l ancestor of the finer square must be the
+   same as or a neighbor of the coarser square), and same-level vectors in
+   squares >= 3 apart share one black-box solve. *)
+
+type square_basis = {
+  coords : int * int;
+  level : int;
+  contacts : int array;  (* global contact ids, ascending *)
+  v : Mat.t;  (* slow-decaying basis, n_s x v_s *)
+  w : Mat.t;  (* vanishing-moments basis, n_s x w_s *)
+  mv : Mat.t;  (* moments of the V columns about the square center *)
+  mutable w_offset : int;  (* first Q column of this square's W vectors *)
+  (* Factored form (thesis §3.4.3): coarser squares store only the small
+     recombination (T | R) of their children's V columns, in [children]
+     order; finest squares apply [v w] directly. *)
+  trans : Mat.t option;  (* (T | R), sum-of-children-v x (v_s + w_s) *)
+  children : (int * int) list;  (* nonempty children contributing V columns *)
+}
+
+type t = {
+  tree : Quadtree.t;
+  layout : Layout.t;
+  p : int;  (* moment order *)
+  bases : (int * int * int, square_basis) Hashtbl.t;
+  level_squares : (int * int) list array;  (* nonempty squares per level, Morton order *)
+  root : square_basis;
+  n : int;
+}
+
+let find t ~level ~ix ~iy = Hashtbl.find_opt t.bases (level, ix, iy)
+let tree t = t.tree
+let n_contacts t = t.n
+let moment_order t = t.p
+
+(* Morton (quadrant-hierarchical) index for the within-level ordering of the
+   basis columns (thesis §3.7.1). *)
+let morton ~ix ~iy =
+  let rec weave acc bit x y =
+    if x = 0 && y = 0 then acc
+    else
+      weave
+        (acc lor ((x land 1) lsl (2 * bit)) lor ((y land 1) lsl ((2 * bit) + 1)))
+        (bit + 1) (x lsr 1) (y lsr 1)
+  in
+  weave 0 0 ix iy
+
+let create ?(p = 2) ?max_level layout =
+  let max_level =
+    match max_level with Some l -> l | None -> Quadtree.suggest_max_level ~target:16 layout
+  in
+  let tree = Quadtree.create ~max_level layout in
+  let contacts_arr = layout.Layout.contacts in
+  let bases : (int * int * int, square_basis) Hashtbl.t = Hashtbl.create 256 in
+  let level_squares = Array.make (max_level + 1) [] in
+  (* Finest level: split each square's space by its moment matrix
+     (eq. (3.14)): V spans the row space of M_s, W its null space. *)
+  let finest = max_level in
+  Array.iter
+    (fun (sq : Quadtree.square) ->
+      if Array.length sq.Quadtree.contacts > 0 then begin
+        let ix = sq.Quadtree.ix and iy = sq.Quadtree.iy in
+        let contacts = sq.Quadtree.contacts in
+        let center = Quadtree.square_center tree ~level:finest ~ix ~iy in
+        let m = Moments.matrix ~p ~center (Array.map (fun id -> contacts_arr.(id)) contacts) in
+        let v, w = La.Qr.range_split (Mat.transpose m) in
+        Hashtbl.replace bases (finest, ix, iy)
+          { coords = (ix, iy); level = finest; contacts; v; w; mv = Mat.mul m v; w_offset = -1;
+            trans = None; children = [] };
+        level_squares.(finest) <- (ix, iy) :: level_squares.(finest)
+      end)
+    (Quadtree.squares_at_level tree finest);
+  (* Coarser levels: recombine the children's V bases (eq. (3.16)), reusing
+     the children's stored moments shifted to the parent center (§3.4.2). *)
+  for level = finest - 1 downto 0 do
+    Array.iter
+      (fun (sq : Quadtree.square) ->
+        if Array.length sq.Quadtree.contacts > 0 then begin
+          let ix = sq.Quadtree.ix and iy = sq.Quadtree.iy in
+          let contacts = sq.Quadtree.contacts in
+          let center = Quadtree.square_center tree ~level ~ix ~iy in
+          let children =
+            List.filter_map
+              (fun (cx, cy) -> Hashtbl.find_opt bases (level + 1, cx, cy))
+              (Quadtree.children_coords ~ix ~iy)
+          in
+          let embedded = ref [] and shifted = ref [] in
+          List.iter
+            (fun (child : square_basis) ->
+              if Mat.cols child.v > 0 then begin
+                let cx, cy = child.coords in
+                let ccenter = Quadtree.square_center tree ~level:(level + 1) ~ix:cx ~iy:cy in
+                let shift =
+                  Moments.shift_matrix ~p ~dx:(fst ccenter -. fst center) ~dy:(snd ccenter -. snd center)
+                in
+                for j = 0 to Mat.cols child.v - 1 do
+                  embedded :=
+                    Regions.embed ~within:contacts ~sub:child.contacts (Mat.col child.v j) :: !embedded
+                done;
+                shifted := Mat.mul shift child.mv :: !shifted
+              end)
+            children;
+          let x = Mat.of_cols (List.rev !embedded) in
+          let a = Mat.hcat_list (List.rev !shifted) in
+          let tmat, rmat = La.Qr.range_split (Mat.transpose a) in
+          let contributing =
+            List.filter_map
+              (fun (child : square_basis) -> if Mat.cols child.v > 0 then Some child.coords else None)
+              children
+          in
+          Hashtbl.replace bases (level, ix, iy)
+            {
+              coords = (ix, iy);
+              level;
+              contacts;
+              v = Mat.mul x tmat;
+              w = Mat.mul x rmat;
+              mv = Mat.mul a tmat;
+              w_offset = -1;
+              trans = Some (Mat.hcat tmat rmat);
+              children = contributing;
+            };
+          level_squares.(level) <- (ix, iy) :: level_squares.(level)
+        end)
+      (Quadtree.squares_at_level tree level)
+  done;
+  (* Order squares within each level quadrant-hierarchically and assign Q
+     column offsets: root V first, then W level by level. *)
+  Array.iteri
+    (fun l sqs ->
+      level_squares.(l) <-
+        List.sort (fun (ax, ay) (bx, by) -> compare (morton ~ix:ax ~iy:ay) (morton ~ix:bx ~iy:by)) sqs)
+    level_squares;
+  let root =
+    match Hashtbl.find_opt bases (0, 0, 0) with
+    | Some r -> r
+    | None -> invalid_arg "Wavelet.create: empty layout"
+  in
+  let next = ref (Mat.cols root.v) in
+  Array.iteri
+    (fun level sqs ->
+      List.iter
+        (fun (ix, iy) ->
+          let b = Hashtbl.find bases (level, ix, iy) in
+          b.w_offset <- !next;
+          next := !next + Mat.cols b.w)
+        sqs)
+    level_squares;
+  let n = Layout.n_contacts layout in
+  if !next <> n then
+    invalid_arg (Printf.sprintf "Wavelet.create: basis has %d columns for %d contacts" !next n);
+  { tree; layout; p; bases; level_squares; root; n }
+
+(* The sparse orthogonal change-of-basis matrix. *)
+let q_matrix t =
+  let coo = Coo.create t.n t.n in
+  for j = 0 to Mat.cols t.root.v - 1 do
+    Coo.add_column coo ~j ~row_idx:t.root.contacts (Mat.col t.root.v j)
+  done;
+  Hashtbl.iter
+    (fun _ (b : square_basis) ->
+      for j = 0 to Mat.cols b.w - 1 do
+        Coo.add_column coo ~j:(b.w_offset + j) ~row_idx:b.contacts (Mat.col b.w j)
+      done)
+    t.bases;
+  Csr.of_coo coo
+
+(* Squares at level l' >= l whose level-l ancestor is [s] itself or one of
+   its neighbors: the pairs whose interactions are kept (§3.5). *)
+let kept_targets t ~level ~ix ~iy ~level' =
+  let shiftn = level' - level in
+  List.concat_map
+    (fun (jx, jy) ->
+      let acc = ref [] in
+      for cy = jy lsl shiftn to ((jy + 1) lsl shiftn) - 1 do
+        for cx = jx lsl shiftn to ((jx + 1) lsl shiftn) - 1 do
+          match find t ~level:level' ~ix:cx ~iy:cy with
+          | Some b when Mat.cols b.w > 0 -> acc := b :: !acc
+          | _ -> ()
+        done
+      done;
+      !acc)
+    (Quadtree.local_squares ~level ~ix ~iy)
+
+(* Extract G_ws = Q' G Q restricted to the kept interaction pattern, using
+   combine-solves (§3.5). [combine] can be disabled to measure the solve
+   reduction it buys. *)
+let extract ?(combine = true) t blackbox =
+  let entries : (int * int, float) Hashtbl.t = Hashtbl.create (t.n * 8) in
+  let set i j v =
+    Hashtbl.replace entries (i, j) v;
+    Hashtbl.replace entries (j, i) v
+  in
+  (* Project a global response vector onto all of a square's W columns. *)
+  let project_w (b : square_basis) (y : Vec.t) ~col =
+    let y_local = Regions.gather b.contacts y in
+    let coeffs = Mat.gemv_t b.w y_local in
+    Array.iteri (fun m' c -> set (b.w_offset + m') col c) coeffs
+  in
+  (* Step 1: responses to the root's V columns give every entry involving a
+     non-vanishing basis vector (eqs. (3.21)-(3.23)). *)
+  let root_cols = Mat.cols t.root.v in
+  for j = 0 to root_cols - 1 do
+    let y = Blackbox.apply blackbox (Regions.scatter ~n:t.n t.root.contacts (Mat.col t.root.v j)) in
+    for j' = 0 to root_cols - 1 do
+      let v = Vec.dot (Regions.gather t.root.contacts y) (Mat.col t.root.v j') in
+      set j' j v
+    done;
+    Hashtbl.iter (fun _ b -> if Mat.cols b.w > 0 then project_w b y ~col:j) t.bases
+  done;
+  (* Step 2: per level, combine same-level W vectors from squares >= 3
+     apart into shared solves and extract their kept interactions. *)
+  let max_level = Quadtree.max_level t.tree in
+  for level = 0 to max_level do
+    let squares =
+      List.filter_map
+        (fun (ix, iy) ->
+          match find t ~level ~ix ~iy with
+          | Some b when Mat.cols b.w > 0 -> Some b
+          | _ -> None)
+        t.level_squares.(level)
+    in
+    if squares <> [] then begin
+      let max_m = List.fold_left (fun acc b -> max acc (Mat.cols b.w)) 0 squares in
+      let groups =
+        if combine then
+          Combine.groups_of_squares (List.map (fun b -> b.coords) squares)
+          |> Array.to_list
+          |> List.filter (fun g -> g <> [])
+        else List.map (fun b -> [ b.coords ]) squares
+      in
+      for m = 0 to max_m - 1 do
+        List.iter
+          (fun group ->
+            let members =
+              List.filter_map
+                (fun (ix, iy) ->
+                  match find t ~level ~ix ~iy with
+                  | Some b when Mat.cols b.w > m -> Some b
+                  | _ -> None)
+                group
+            in
+            let vectors =
+              List.map (fun b -> Regions.scatter ~n:t.n b.contacts (Mat.col b.w m)) members
+            in
+            match Combine.solve_sum blackbox vectors with
+            | None -> ()
+            | Some y ->
+              List.iter
+                (fun (b : square_basis) ->
+                  let ix, iy = b.coords in
+                  let col = b.w_offset + m in
+                  for level' = level to max_level do
+                    List.iter
+                      (fun target -> project_w target y ~col)
+                      (kept_targets t ~level ~ix ~iy ~level')
+                  done)
+                members)
+          groups
+      done
+    end
+  done;
+  let coo = Coo.create t.n t.n in
+  Hashtbl.iter (fun (i, j) v -> Coo.add coo i j v) entries;
+  Repr.make ~q:(q_matrix t) ~gw:(Csr.of_coo coo) ~solves:(Blackbox.solve_count blackbox)
+
+(* Exact change of basis Q' G Q from a known dense G (for validation and
+   for the thesis's comparison against simply thresholding G itself). *)
+let change_basis_dense t g =
+  let qd = Csr.to_dense (q_matrix t) in
+  Mat.mul (Mat.transpose qd) (Mat.mul g qd)
+
+(* ------------------------------------------------------------------ *)
+(* Factored application of Q (thesis §3.4.3): instead of the explicit
+   O(n log n)-nonzero matrix, apply the per-square finest [V W] blocks and
+   the coarser (T | R) recombinations level by level — O(n) stored floats
+   and O(n) work. *)
+
+(* Analysis: y = Q' x. Each square's V-coefficients flow upward; its
+   W-coefficients land at the square's Q columns. *)
+let apply_qt_factored t (x : Vec.t) : Vec.t =
+  if Array.length x <> t.n then invalid_arg "Wavelet.apply_qt_factored: dimension mismatch";
+  let out = Array.make t.n 0.0 in
+  let vcoefs : (int * int * int, Vec.t) Hashtbl.t = Hashtbl.create 64 in
+  let max_level = Quadtree.max_level t.tree in
+  for level = max_level downto 0 do
+    List.iter
+      (fun (ix, iy) ->
+        let b = Hashtbl.find t.bases (level, ix, iy) in
+        let vc, wc =
+          match b.trans with
+          | None ->
+            (* finest level: project onto the explicit [v w] *)
+            let x_s = Regions.gather b.contacts x in
+            (Mat.gemv_t b.v x_s, Mat.gemv_t b.w x_s)
+          | Some tr ->
+            let c =
+              Array.concat
+                (List.map (fun (cx, cy) -> Hashtbl.find vcoefs (level + 1, cx, cy)) b.children)
+            in
+            let both = Mat.gemv_t tr c in
+            let nv = Mat.cols b.v in
+            (Array.sub both 0 nv, Array.sub both nv (Array.length both - nv))
+        in
+        Hashtbl.replace vcoefs (level, ix, iy) vc;
+        Array.iteri (fun m c -> out.(b.w_offset + m) <- c) wc)
+      t.level_squares.(level)
+  done;
+  Array.iteri (fun j c -> out.(j) <- c) (Hashtbl.find vcoefs (0, 0, 0));
+  out
+
+(* Synthesis: x = Q z. V-coefficients flow downward from the root; each
+   square adds its own W-coefficients from z. *)
+let apply_q_factored t (z : Vec.t) : Vec.t =
+  if Array.length z <> t.n then invalid_arg "Wavelet.apply_q_factored: dimension mismatch";
+  let out = Array.make t.n 0.0 in
+  let vcoefs : (int * int * int, Vec.t) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace vcoefs (0, 0, 0) (Array.sub z 0 (Mat.cols t.root.v));
+  let max_level = Quadtree.max_level t.tree in
+  for level = 0 to max_level do
+    List.iter
+      (fun (ix, iy) ->
+        let b = Hashtbl.find t.bases (level, ix, iy) in
+        let vc = Hashtbl.find vcoefs (level, ix, iy) in
+        let wc = Array.init (Mat.cols b.w) (fun m -> z.(b.w_offset + m)) in
+        match b.trans with
+        | None ->
+          let x_s = Vec.add (Mat.gemv b.v vc) (Mat.gemv b.w wc) in
+          Regions.scatter_add b.contacts x_s out
+        | Some tr ->
+          let both = Array.append vc wc in
+          let c = Mat.gemv tr both in
+          let pos = ref 0 in
+          List.iter
+            (fun (cx, cy) ->
+              let child = Hashtbl.find t.bases (level + 1, cx, cy) in
+              let k = Mat.cols child.v in
+              Hashtbl.replace vcoefs (level + 1, cx, cy) (Array.sub c !pos k);
+              pos := !pos + k)
+            b.children)
+      t.level_squares.(level)
+  done;
+  out
+
+let factored_storage_floats t =
+  Hashtbl.fold
+    (fun _ (b : square_basis) acc ->
+      match b.trans with
+      | None -> acc + (Mat.rows b.v * (Mat.cols b.v + Mat.cols b.w))
+      | Some tr -> acc + (Mat.rows tr * Mat.cols tr))
+    t.bases 0

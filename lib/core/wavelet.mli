@@ -1,0 +1,54 @@
+(** Wavelet sparsification of the conductance matrix (thesis Chapter 3):
+    a multilevel vanishing-moments change of basis Q and the combine-solves
+    extraction of G_ws = Q' G Q. *)
+
+type square_basis = {
+  coords : int * int;
+  level : int;
+  contacts : int array;
+  v : La.Mat.t;  (** slow-decaying (non-vanishing moments) basis *)
+  w : La.Mat.t;  (** vanishing-moments basis *)
+  mv : La.Mat.t;  (** moments of the V columns about the square center *)
+  mutable w_offset : int;  (** first Q column of this square's W vectors *)
+  trans : La.Mat.t option;
+      (** coarser squares: the small (T | R) recombination of the children's
+          V columns (thesis §3.4.3's factored form) *)
+  children : (int * int) list;  (** children contributing V columns, in order *)
+}
+
+type t
+
+(** Build the multilevel basis for a layout. [p] is the moment order
+    (default 2, the thesis's choice, 6 constraints per square);
+    [max_level] defaults to [Quadtree.suggest_max_level ~target:16]. *)
+val create : ?p:int -> ?max_level:int -> Geometry.Layout.t -> t
+
+val find : t -> level:int -> ix:int -> iy:int -> square_basis option
+val tree : t -> Geometry.Quadtree.t
+val n_contacts : t -> int
+val moment_order : t -> int
+
+(** Morton (quadrant-hierarchical) square ordering index. *)
+val morton : ix:int -> iy:int -> int
+
+(** The sparse orthogonal change-of-basis matrix Q. *)
+val q_matrix : t -> Sparsemat.Csr.t
+
+(** Extract the sparsified representation G ~ Q G_ws Q' with combine-solves
+    (§3.5); set [combine:false] to spend one solve per basis vector
+    instead. *)
+val extract : ?combine:bool -> t -> Substrate.Blackbox.t -> Repr.t
+
+(** Exact Q' G Q from a known dense G (validation). *)
+val change_basis_dense : t -> La.Mat.t -> La.Mat.t
+
+(** Apply Q' (analysis) and Q (synthesis) through the factored
+    [Q = Q^(L) ... Q^(1)] form of thesis §3.4.3: O(n) work and O(n) stored
+    floats, against O(n log n) for the explicit sparse Q. *)
+val apply_qt_factored : t -> La.Vec.t -> La.Vec.t
+
+val apply_q_factored : t -> La.Vec.t -> La.Vec.t
+
+(** Floats stored by the factored form (finest [V W] blocks plus the
+    coarser (T | R) blocks). *)
+val factored_storage_floats : t -> int

@@ -1,0 +1,107 @@
+module Profile = Substrate.Profile
+module Blackbox = Substrate.Blackbox
+(* Eigenfunction-based (surface-variable) substrate solver
+   (thesis §2.3.1, Fig 2-6).
+
+   The current-density-to-potential operator is applied by zero-padding the
+   contact-panel densities onto the full panel grid, taking a 2-D DCT into
+   the cosine eigenbasis, scaling by the eigenvalues, and transforming back —
+   exactly the pipeline of Fig 2-6. Because the orthonormal DCT is
+   orthogonal and the eigenvalues positive, the restricted operator A_cc is
+   symmetric positive definite, and given contact voltages the panel current
+   densities are found by conjugate gradients on
+
+       A_cc rho = F v          (F expands contact voltages to panels)
+
+   after which contact currents are I = panel_area * F' rho and therefore
+   G = panel_area * F' A_cc^{-1} F — symmetric, as §2.4 requires. *)
+
+(* Preconditioner for the contact-panel system (thesis §2.3.1,
+   '"Fast-solver" preconditioner?'): invert the *full-surface* operator by
+   reversing every arrow of Fig 2-6 — zero-padding in place of the
+   non-invertible "lifting" step — then restrict back to the contact panels.
+   The thesis found this unpromising because the preconditioner disagrees
+   with the true operator on the (large) non-contact surface; the
+   reproduction confirms it. *)
+type preconditioner = No_preconditioner | Fast_inverse
+
+type t = {
+  profile : Profile.t;
+  panel : Panel.t;
+  lambdas : float array;  (* mode eigenvalues, m-fastest *)
+  precond : preconditioner;
+  tol : float;
+  max_iter : int;
+  stats : La.Krylov.stats;
+}
+
+(* Galerkin correction for piecewise-constant panels (the precorrected-DCT
+   operator of Costa/Chou/Silveira that the thesis's solver family uses):
+   the cosine-mode coefficient of a uniform panel is its center sample times
+   sinc(m pi / 2P), so the exact panel-averaged operator is the DCT
+   conjugation with eigenvalues damped by sinc^2 in each direction. *)
+let sinc t = if Float.abs t < 1e-12 then 1.0 else sin t /. t
+
+let create ?(tol = 1e-9) ?(max_iter = 2000) ?(precond = No_preconditioner) ?(galerkin = false) profile
+    layout ~panels_per_side =
+  if profile.Profile.a <> profile.Profile.b then
+    invalid_arg "Eig_solver.create: square surface required";
+  if profile.Profile.a <> layout.Geometry.Layout.size then
+    invalid_arg "Eig_solver.create: layout and profile surface extents differ";
+  let panel = Panel.create layout ~panels_per_side in
+  let p = panels_per_side in
+  let lambdas = Eigenvalues.table profile ~p in
+  let lambdas =
+    if galerkin then
+      Array.mapi
+        (fun k lambda ->
+          let m = k mod p and n = k / p in
+          let sm = sinc (Float.pi *. float_of_int m /. (2.0 *. float_of_int p)) in
+          let sn = sinc (Float.pi *. float_of_int n /. (2.0 *. float_of_int p)) in
+          lambda *. sm *. sm *. sn *. sn)
+        lambdas
+    else lambdas
+  in
+  { profile; panel; lambdas; precond; tol; max_iter; stats = La.Krylov.make_stats () }
+
+let panel_count t = t.panel |> Panel.n_dofs
+let stats t = t.stats
+
+(* Apply the full-surface operator A: panel current densities (full grid) to
+   panel potentials (full grid). *)
+let apply_operator t (density : float array) : float array =
+  let p = int_of_float (sqrt (float_of_int (Array.length t.lambdas))) in
+  let hat = Transforms.Dct.dct_ii_2d ~nx:p ~ny:p density in
+  let scaled = Array.mapi (fun k v -> t.lambdas.(k) *. v) hat in
+  Transforms.Dct.dct_iii_2d ~nx:p ~ny:p scaled
+
+(* The restricted SPD operator A_cc on packed contact-panel dofs. *)
+let apply_restricted t (rho : La.Vec.t) : La.Vec.t =
+  Panel.gather t.panel (apply_operator t (Panel.scatter t.panel rho))
+
+(* Apply the inverse of the full-surface operator, restricted: the
+   fast-solver preconditioner candidate. *)
+let apply_inverse_restricted t (r : La.Vec.t) : La.Vec.t =
+  let p = int_of_float (sqrt (float_of_int (Array.length t.lambdas))) in
+  let hat = Transforms.Dct.dct_ii_2d ~nx:p ~ny:p (Panel.scatter t.panel r) in
+  let scaled = Array.mapi (fun k v -> v /. t.lambdas.(k)) hat in
+  Panel.gather t.panel (Transforms.Dct.dct_iii_2d ~nx:p ~ny:p scaled)
+
+(* One black-box solve: contact voltages to contact currents. *)
+let solve t (v : La.Vec.t) : La.Vec.t =
+  let rhs = Panel.expand_contacts t.panel v in
+  let precond =
+    match t.precond with
+    | No_preconditioner -> None
+    | Fast_inverse -> Some (apply_inverse_restricted t)
+  in
+  let result =
+    La.Krylov.cg ?precond ~apply:(apply_restricted t) ~tol:t.tol ~max_iter:t.max_iter ~stats:t.stats rhs
+  in
+  if not result.La.Krylov.converged then
+    Logs.warn (fun m ->
+        m "eigenfunction solve: CG not converged (residual %.2e after %d iterations)"
+          result.La.Krylov.residual_norm result.La.Krylov.iterations);
+  La.Vec.scale (Panel.panel_area t.panel) (Panel.sum_per_contact t.panel result.La.Krylov.x)
+
+let blackbox t = Blackbox.make ~n:(Panel.n_contacts t.panel) (solve t)

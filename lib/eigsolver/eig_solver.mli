@@ -1,0 +1,48 @@
+(** Eigenfunction-based (surface-variable) substrate solver
+    (thesis §2.3.1, Fig 2-6). *)
+
+type t
+
+(** CG preconditioner for the contact-panel system: [Fast_inverse] is the
+    zero-padded full-surface inverse the thesis evaluates (and finds
+    unpromising) in §2.3.1. *)
+type preconditioner = No_preconditioner | Fast_inverse
+
+(** [create profile layout ~panels_per_side] discretizes the surface into
+    panels and tabulates the mode eigenvalues. The layout and profile must
+    share a square surface. [galerkin] applies the exact piecewise-constant
+    panel averaging — sinc^2 damping per direction, the precorrected-DCT
+    operator; the default is the point-sampled modes used for all recorded
+    experiments (see DESIGN.md "Substitutions"). *)
+val create :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?precond:preconditioner ->
+  ?galerkin:bool ->
+  Substrate.Profile.t ->
+  Geometry.Layout.t ->
+  panels_per_side:int ->
+  t
+
+(** Apply the restricted inverse of the full-surface operator (the
+    fast-solver preconditioner candidate). *)
+val apply_inverse_restricted : t -> La.Vec.t -> La.Vec.t
+
+(** Number of contact-panel unknowns. *)
+val panel_count : t -> int
+
+(** CG iteration statistics across all solves so far (Table 2.2). *)
+val stats : t -> La.Krylov.stats
+
+(** Apply the full current-density-to-potential operator on the panel grid
+    (zero-padding / DCT / eigenvalue scaling / inverse DCT of Fig 2-6). *)
+val apply_operator : t -> float array -> float array
+
+(** The restricted SPD operator A_cc on packed contact-panel dofs. *)
+val apply_restricted : t -> La.Vec.t -> La.Vec.t
+
+(** One black-box solve: contact voltages to contact currents. *)
+val solve : t -> La.Vec.t -> La.Vec.t
+
+(** Wrap as a counted black box. *)
+val blackbox : t -> Substrate.Blackbox.t

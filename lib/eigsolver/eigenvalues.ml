@@ -1,0 +1,68 @@
+module Profile = Substrate.Profile
+(* Eigenvalues of the surface current-density-to-potential operator for a
+   layered substrate (thesis §2.3.1, eqs. (2.34)-(2.36)).
+
+   The cosine modes f_mn(x, y) = cos(m pi x / a) cos(n pi y / b) are
+   eigenfunctions of the operator A taking top-surface current density to
+   top-surface potential. The thesis derives the eigenvalues by gluing
+   exponential solutions across layer interfaces with the coefficient
+   recursion (2.34); that recursion overflows in floating point for thick
+   layers (the e^{2 gamma (d - d_k)} factors), so we use the equivalent and
+   numerically robust surface-admittance form familiar from transmission-line
+   analysis:
+
+     Y_top = sigma gamma (Y_below + sigma gamma tanh(gamma t))
+                        / (sigma gamma + Y_below tanh(gamma t))
+
+   propagated from the bottom boundary condition (Y = infinity for a grounded
+   backplane, Y = 0 floating) up through the layers; lambda_mn = 1 / Y_top.
+   For a single grounded layer this reproduces the classical
+   lambda = tanh(gamma d) / (sigma gamma), which is also what (2.35) gives
+   with (zeta, xi) = (1, -1). *)
+
+let gamma (profile : Profile.t) ~m ~n =
+  let mm = float_of_int m /. profile.Profile.a and nn = float_of_int n /. profile.Profile.b in
+  Float.pi *. sqrt ((mm *. mm) +. (nn *. nn))
+
+(* Propagate the surface admittance through one layer of thickness t and
+   conductivity sigma at transverse wavenumber gamma. *)
+let propagate_layer ~sigma ~gamma ~t y_below =
+  let sg = sigma *. gamma in
+  let th = tanh (gamma *. t) in
+  if y_below = Float.infinity then if th = 0.0 then Float.infinity else sg /. th
+  else sg *. (y_below +. (sg *. th)) /. (sg +. (y_below *. th))
+
+(* Large finite stand-in for the infinite lambda_00 of a floating backplane
+   (thesis: "A_00 = infinity ... impossible to push a uniform current into
+   the top of the substrate"). *)
+let floating_dc_lambda = 1e12
+
+let lambda (profile : Profile.t) ~m ~n =
+  let g = gamma profile ~m ~n in
+  (* Layers are stored top-first; the admittance recursion runs bottom-up. *)
+  let bottom_up = List.rev profile.Profile.layers in
+  if g = 0.0 then
+    (* DC mode: plain series resistance of the stack (thesis eq. (2.36)),
+       infinite without a backplane contact. *)
+    match profile.Profile.backplane with
+    | Profile.Floating -> floating_dc_lambda
+    | Profile.Grounded ->
+      List.fold_left (fun acc l -> acc +. (l.Profile.thickness /. l.Profile.conductivity)) 0.0 bottom_up
+  else begin
+    let y0 =
+      match profile.Profile.backplane with
+      | Profile.Grounded -> Float.infinity
+      | Profile.Floating -> 0.0
+    in
+    let y =
+      List.fold_left
+        (fun y l -> propagate_layer ~sigma:l.Profile.conductivity ~gamma:g ~t:l.Profile.thickness y)
+        y0 bottom_up
+    in
+    1.0 /. y
+  end
+
+(* All eigenvalues for modes (m, n) with 0 <= m, n < p, laid out m-fastest to
+   match the 2-D DCT's flat indexing. *)
+let table profile ~p =
+  Array.init (p * p) (fun k -> lambda profile ~m:(k mod p) ~n:(k / p))

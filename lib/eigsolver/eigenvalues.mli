@@ -1,0 +1,18 @@
+(** Eigenvalues of the layered-substrate current-density-to-potential
+    operator for the cosine modes (thesis §2.3.1). *)
+
+(** Transverse wavenumber [pi * sqrt((m/a)^2 + (n/b)^2)] of mode (m, n). *)
+val gamma : Substrate.Profile.t -> m:int -> n:int -> float
+
+(** One step of the surface-admittance recursion through a layer. *)
+val propagate_layer : sigma:float -> gamma:float -> t:float -> float -> float
+
+(** The large finite value standing in for the infinite DC eigenvalue of a
+    floating backplane. *)
+val floating_dc_lambda : float
+
+(** Eigenvalue of mode (m, n); strictly positive. *)
+val lambda : Substrate.Profile.t -> m:int -> n:int -> float
+
+(** Eigenvalues for all modes 0 <= m, n < p, m-fastest flat layout. *)
+val table : Substrate.Profile.t -> p:int -> float array

@@ -1,0 +1,17 @@
+(** Direct finite-difference substrate solver: one sparse Cholesky
+    factorization under nested dissection, then two triangular
+    substitutions per solve (thesis §2.2.2's direct alternative). *)
+
+type t
+
+val create :
+  ?placement:Grid.placement -> Substrate.Profile.t -> Geometry.Layout.t -> nx:int -> nz:int -> t
+
+val grid : t -> Grid.t
+
+(** Nonzeros in the Cholesky factor (the fill the thesis bounds by
+    O(n^{4/3} log n) for 3-D grids). *)
+val factor_nnz : t -> int
+
+val solve : t -> La.Vec.t -> La.Vec.t
+val blackbox : t -> Substrate.Blackbox.t

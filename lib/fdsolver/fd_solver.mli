@@ -1,0 +1,41 @@
+(** Finite-difference substrate solver with the preconditioner choices of
+    thesis §2.2.2 (Table 2.1). *)
+
+type preconditioner =
+  | No_preconditioner
+  | Ic0  (** incomplete Cholesky, zero fill-in *)
+  | Fast_poisson of float
+      (** fast Poisson solver with the given top-face Dirichlet fraction:
+          1.0 pure-Dirichlet, 0.0 pure-Neumann, contact area fraction for
+          the area-weighted preconditioner *)
+  | Multigrid  (** one geometric V-cycle per application (thesis §2.2.2) *)
+
+type t
+
+(** Fraction of the top surface covered by contacts. *)
+val area_fraction : Geometry.Layout.t -> float
+
+(** [create profile layout ~nx ~nz] builds the grid (spacing a/nx; nz planes
+    must span the substrate depth) and the chosen preconditioner. *)
+val create :
+  ?placement:Grid.placement ->
+  ?precond:preconditioner ->
+  ?tol:float ->
+  ?max_iter:int ->
+  Substrate.Profile.t ->
+  Geometry.Layout.t ->
+  nx:int ->
+  nz:int ->
+  t
+
+val grid : t -> Grid.t
+
+(** PCG iteration statistics across all solves (Table 2.1 reports the
+    average per solve). *)
+val stats : t -> La.Krylov.stats
+
+(** One black-box solve: contact voltages to contact currents. *)
+val solve : t -> La.Vec.t -> La.Vec.t
+
+(** Wrap as a counted black box. *)
+val blackbox : t -> Substrate.Blackbox.t

@@ -1,0 +1,168 @@
+module Profile = Substrate.Profile
+module Layout = Geometry.Layout
+module Contact = Geometry.Contact
+
+(* The grid-of-resistors finite-difference discretization of the substrate
+   (thesis §2.2.1, Fig 2-1).
+
+   Nodes are cell-centered on an nx x ny x nz grid with spacing h; plane 0
+   sits h/2 below the top surface. In-plane resistors in plane k have
+   conductance sigma_bar(k) * h where sigma_bar averages the conductivity
+   over the cell's depth extent; vertical resistors integrate resistivity
+   between node planes, which reduces to the series-resistor formula (2.8)
+   when a single layer boundary lies between the planes. Sidewalls are
+   Neumann (resistors simply omitted); a grounded backplane adds half-length
+   resistors below the bottom plane.
+
+   Two placements of the contact Dirichlet nodes are supported (Fig 2-4):
+   [Outside] hangs an eliminated Dirichlet node a full spacing above each
+   top-plane contact node (the variables keep a regular 3-D grid);
+   [Inside] fixes the top-plane nodes under each contact — the placement the
+   thesis uses for its reported results. *)
+
+type placement = Outside | Inside
+
+type t = {
+  nx : int;
+  ny : int;
+  nz : int;
+  h : float;
+  placement : placement;
+  sigma_plane : float array;  (* depth-averaged conductivity per plane *)
+  gz : float array;  (* vertical conductances between planes, length nz - 1 *)
+  g_backplane : float;  (* per-node conductance to a grounded backplane, 0 if none *)
+  g_contact : float;  (* Outside placement: conductance to the Dirichlet node above *)
+  contact_nodes : int array array;  (* per contact, flat top-plane node indices *)
+  is_contact_node : bool array;  (* flat node index -> under/on a contact *)
+  node_contact : int array;  (* top-plane nodes: owning contact or -1 *)
+}
+
+let node_count t = t.nx * t.ny * t.nz
+let index t ~ix ~iy ~iz = ix + (t.nx * (iy + (t.ny * iz)))
+
+let create ?(placement = Inside) ?(allow_empty_contacts = false) (profile : Profile.t) (layout : Layout.t)
+    ~nx ~nz =
+  if profile.Profile.a <> profile.Profile.b then invalid_arg "Grid.create: square surface required";
+  if profile.Profile.a <> layout.Layout.size then
+    invalid_arg "Grid.create: layout and profile surface extents differ";
+  let h = profile.Profile.a /. float_of_int nx in
+  let ny = nx in
+  let depth = Profile.depth profile in
+  if Float.abs ((float_of_int nz *. h) -. depth) > 1e-9 *. depth then
+    invalid_arg
+      (Printf.sprintf "Grid.create: nz * h = %g does not match substrate depth %g" (float_of_int nz *. h) depth);
+  (* Depth-averaged in-plane conductivity per plane. *)
+  let sigma_plane =
+    Array.init nz (fun k ->
+        let z0 = float_of_int k *. h and z1 = float_of_int (k + 1) *. h in
+        (* harmonic of nothing: plain average of sigma over the cell depth *)
+        let steps = 16 in
+        let acc = ref 0.0 in
+        for s = 0 to steps - 1 do
+          acc := !acc +. Profile.conductivity_at profile ~z:(z0 +. ((float_of_int s +. 0.5) /. float_of_int steps *. (z1 -. z0)))
+        done;
+        !acc /. float_of_int steps)
+  in
+  (* Vertical conductances by integrating resistivity node-to-node. *)
+  let gz =
+    Array.init (nz - 1) (fun k ->
+        let z0 = (float_of_int k +. 0.5) *. h and z1 = (float_of_int k +. 1.5) *. h in
+        h *. h /. Profile.integrated_resistivity profile ~z0 ~z1)
+  in
+  let g_backplane =
+    match profile.Profile.backplane with
+    | Profile.Floating -> 0.0
+    | Profile.Grounded ->
+      let z0 = (float_of_int nz -. 0.5) *. h in
+      h *. h /. Profile.integrated_resistivity profile ~z0 ~z1:depth
+  in
+  let g_contact = sigma_plane.(0) *. h in
+  (* Top-plane nodes under each contact. *)
+  let node_contact = Array.make (nx * ny) (-1) in
+  let contact_nodes =
+    Array.mapi
+      (fun id c ->
+        let mine = ref [] in
+        for iy = 0 to ny - 1 do
+          for ix = 0 to nx - 1 do
+            let x = (float_of_int ix +. 0.5) *. h and y = (float_of_int iy +. 0.5) *. h in
+            if Contact.contains c ~x ~y then begin
+              let k = ix + (nx * iy) in
+              if node_contact.(k) >= 0 then
+                invalid_arg
+                  (Printf.sprintf "Grid.create: node %d claimed by contacts %d and %d" k node_contact.(k) id);
+              node_contact.(k) <- id;
+              mine := k :: !mine
+            end
+          done
+        done;
+        if !mine = [] && not allow_empty_contacts then
+          invalid_arg (Printf.sprintf "Grid.create: contact %d too small for the grid (h = %g)" id h);
+        Array.of_list (List.rev !mine))
+      layout.Layout.contacts
+  in
+  let is_contact_node = Array.make (nx * ny * nz) false in
+  Array.iter (Array.iter (fun k -> is_contact_node.(k) <- true)) contact_nodes;
+  { nx; ny; nz; h; placement; sigma_plane; gz; g_backplane; g_contact; contact_nodes; is_contact_node; node_contact }
+
+(* Iterate the resistors incident to node (ix, iy, iz): calls
+   [f ~neighbor ~g] for every grid resistor, and returns the extra diagonal
+   conductance from eliminated boundary attachments (backplane, and the
+   Outside-placement contact resistor). *)
+let fold_neighbors t ~ix ~iy ~iz f =
+  let g_plane = t.sigma_plane.(iz) *. t.h in
+  if ix > 0 then f ~neighbor:(index t ~ix:(ix - 1) ~iy ~iz) ~g:g_plane;
+  if ix < t.nx - 1 then f ~neighbor:(index t ~ix:(ix + 1) ~iy ~iz) ~g:g_plane;
+  if iy > 0 then f ~neighbor:(index t ~ix ~iy:(iy - 1) ~iz) ~g:g_plane;
+  if iy < t.ny - 1 then f ~neighbor:(index t ~ix ~iy:(iy + 1) ~iz) ~g:g_plane;
+  if iz > 0 then f ~neighbor:(index t ~ix ~iy ~iz:(iz - 1)) ~g:t.gz.(iz - 1);
+  if iz < t.nz - 1 then f ~neighbor:(index t ~ix ~iy ~iz:(iz + 1)) ~g:t.gz.(iz);
+  let extra = if iz = t.nz - 1 then t.g_backplane else 0.0 in
+  let extra =
+    if iz = 0 && t.placement = Outside && t.is_contact_node.(index t ~ix ~iy ~iz:0) then
+      extra +. t.g_contact
+    else extra
+  in
+  extra
+
+(* Apply the full grid operator A (node voltages -> node net currents),
+   including the extra diagonal terms of eliminated attachments. *)
+let apply t (v : float array) : float array =
+  if Array.length v <> node_count t then invalid_arg "Grid.apply: dimension mismatch";
+  let out = Array.make (node_count t) 0.0 in
+  for iz = 0 to t.nz - 1 do
+    for iy = 0 to t.ny - 1 do
+      for ix = 0 to t.nx - 1 do
+        let i = index t ~ix ~iy ~iz in
+        let acc = ref 0.0 in
+        let extra = fold_neighbors t ~ix ~iy ~iz (fun ~neighbor ~g -> acc := !acc +. (g *. (v.(i) -. v.(neighbor)))) in
+        out.(i) <- !acc +. (extra *. v.(i))
+      done
+    done
+  done;
+  out
+
+(* Assemble the operator as a CSR matrix (for the IC(0) preconditioner and
+   for dense validation on small grids). Fixed rows are replaced by identity
+   when [reduce] marks them. *)
+let to_csr ?(reduce = fun _ -> false) t =
+  let n = node_count t in
+  let coo = Sparsemat.Coo.create n n in
+  for iz = 0 to t.nz - 1 do
+    for iy = 0 to t.ny - 1 do
+      for ix = 0 to t.nx - 1 do
+        let i = index t ~ix ~iy ~iz in
+        if reduce i then Sparsemat.Coo.add coo i i 1.0
+        else begin
+          let diag = ref 0.0 in
+          let extra =
+            fold_neighbors t ~ix ~iy ~iz (fun ~neighbor ~g ->
+                diag := !diag +. g;
+                if not (reduce neighbor) then Sparsemat.Coo.add coo i neighbor (-.g))
+          in
+          Sparsemat.Coo.add coo i i (!diag +. extra)
+        end
+      done
+    done
+  done;
+  Sparsemat.Csr.of_coo coo

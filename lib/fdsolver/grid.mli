@@ -1,0 +1,51 @@
+(** Grid-of-resistors finite-difference discretization of the substrate
+    (thesis §2.2.1). *)
+
+(** Placement of the contact Dirichlet nodes (thesis Fig 2-4): [Outside]
+    hangs eliminated nodes above the surface; [Inside] fixes the top-plane
+    nodes under each contact (the thesis's reported choice). *)
+type placement = Outside | Inside
+
+type t = {
+  nx : int;
+  ny : int;
+  nz : int;
+  h : float;
+  placement : placement;
+  sigma_plane : float array;
+  gz : float array;
+  g_backplane : float;
+  g_contact : float;
+  contact_nodes : int array array;
+  is_contact_node : bool array;
+  node_contact : int array;
+}
+
+(** [create profile layout ~nx ~nz] discretizes a square-surface substrate
+    into an nx * nx * nz cell-centered grid. [nz * (a / nx)] must equal the
+    substrate depth. Raises if a contact covers no grid node unless
+    [allow_empty_contacts] (used by multigrid coarse levels, where small
+    contacts may fall between nodes). *)
+val create :
+  ?placement:placement ->
+  ?allow_empty_contacts:bool ->
+  Substrate.Profile.t ->
+  Geometry.Layout.t ->
+  nx:int ->
+  nz:int ->
+  t
+
+val node_count : t -> int
+val index : t -> ix:int -> iy:int -> iz:int -> int
+
+(** Apply the grid operator: node voltages to node net currents. *)
+val apply : t -> float array -> float array
+
+(** Visit the resistors incident to a node; returns the extra diagonal
+    conductance from eliminated attachments (backplane, Outside-placement
+    contact resistors). *)
+val fold_neighbors : t -> ix:int -> iy:int -> iz:int -> (neighbor:int -> g:float -> unit) -> float
+
+(** Assemble as CSR; rows for which [reduce] holds become identity rows and
+    couplings into them are dropped (Dirichlet elimination). *)
+val to_csr : ?reduce:(int -> bool) -> t -> Sparsemat.Csr.t

@@ -1,0 +1,167 @@
+module Profile = Substrate.Profile
+module Layout = Geometry.Layout
+module Csr = Sparsemat.Csr
+module Coo = Sparsemat.Coo
+
+(* Geometric multigrid for the grid-of-resistors system (thesis §2.2.2,
+   "Multigrid": "iteration counts could possibly be reduced somewhat, and
+   each iteration would probably cost less than for PCG ... Dealing with
+   layer boundaries properly in the coarse-grid representation would be the
+   major issue").
+
+   A V-cycle with cell-centered 2x2x2 coarsening. Coarse operators are
+   Galerkin products with piecewise-constant prolongation — for a resistor
+   network this is exactly node aggregation: the conductance between two
+   coarse cells is the sum of the fine resistors crossing their interface
+   (scaled by the 1/8 restriction weight), which carries the layered
+   conductivities to every level without rediscretization — the thesis's
+   "major issue" handled by construction. Smoothing is symmetric
+   Gauss-Seidel (forward pre-sweep, backward post-sweep, so the V-cycle
+   stays a symmetric preconditioner); the coarsest level is solved by dense
+   Cholesky. *)
+
+type dims = { nx : int; ny : int; nz : int }
+
+type level = {
+  dims : dims;
+  op : Csr.t;  (* reduced operator: identity rows at fixed nodes *)
+  diag : float array;
+  fixed : bool array;
+}
+
+type t = {
+  levels : level array;  (* levels.(0) = finest *)
+  coarse_factor : La.Mat.t;
+  nsmooth : int;
+}
+
+let node_of d ~ix ~iy ~iz = ix + (d.nx * (iy + (d.ny * iz)))
+let node_count d = d.nx * d.ny * d.nz
+
+(* Coarse-cell index of a fine node. *)
+let parent_node fine coarse i =
+  let ix = i mod fine.nx and iy = i / fine.nx mod fine.ny and iz = i / (fine.nx * fine.ny) in
+  node_of coarse ~ix:(ix / 2) ~iy:(iy / 2) ~iz:(iz / 2)
+
+let diag_of op fixed =
+  let n = Csr.rows op in
+  let d = Array.make n 1.0 in
+  Csr.iter op (fun i j v -> if i = j then d.(i) <- v);
+  Array.iteri (fun i f -> if f then d.(i) <- 1.0) fixed;
+  (* Guard against singular rows (floating substrate, coarse levels). *)
+  Array.mapi (fun i x -> if x <= 0.0 then 1.0 else x +. (1e-12 *. Float.abs x) +. (if fixed.(i) then 0.0 else 0.0)) d
+
+(* Galerkin coarsening: A_c = (1/8) P' A P with piecewise-constant P, i.e.
+   aggregate fine entries by coarse cell. Fixed coarse cells are those all
+   of whose fine children are fixed (partially-fixed cells stay free; their
+   fine fixed entries were already eliminated from the fine operator). *)
+let coarsen (fine : level) =
+  let cd = { nx = fine.dims.nx / 2; ny = fine.dims.ny / 2; nz = fine.dims.nz / 2 } in
+  let nc = node_count cd in
+  let all_fixed = Array.make nc true in
+  Array.iteri
+    (fun i f -> if not f then all_fixed.(parent_node fine.dims cd i) <- false)
+    fine.fixed;
+  let coo = Coo.create nc nc in
+  Csr.iter fine.op (fun i j v ->
+      if not (fine.fixed.(i) || fine.fixed.(j)) then begin
+        let ii = parent_node fine.dims cd i and jj = parent_node fine.dims cd j in
+        if not (all_fixed.(ii) || all_fixed.(jj)) then Coo.add coo ii jj (0.125 *. v)
+      end);
+  (* Identity rows for fully-fixed coarse cells and a tiny shift to keep
+     the coarsest factorization defined on floating substrates. *)
+  for i = 0 to nc - 1 do
+    if all_fixed.(i) then Coo.add coo i i 1.0 else Coo.add coo i i 1e-12
+  done;
+  let op = Csr.of_coo coo in
+  { dims = cd; op; diag = diag_of op all_fixed; fixed = all_fixed }
+
+let create ?(placement = Grid.Inside) ?(max_levels = 10) ?(nsmooth = 2) profile layout ~nx ~nz =
+  let grid = Grid.create ~placement profile layout ~nx ~nz in
+  let fixed =
+    if placement = Grid.Inside then Array.copy grid.Grid.is_contact_node
+    else Array.make (Grid.node_count grid) false
+  in
+  let op = Grid.to_csr ~reduce:(fun i -> fixed.(i)) grid in
+  let finest = { dims = { nx; ny = nx; nz }; op; diag = diag_of op fixed; fixed } in
+  let rec build acc l =
+    let d = l.dims in
+    if List.length acc + 1 >= max_levels || d.nx < 8 || d.nz < 2 || d.nx mod 2 = 1 || d.nz mod 2 = 1
+    then List.rev (l :: acc)
+    else build (l :: acc) (coarsen l)
+  in
+  let levels = Array.of_list (build [] finest) in
+  let last = levels.(Array.length levels - 1) in
+  let dense = Csr.to_dense last.op in
+  let n = La.Mat.rows dense in
+  for i = 0 to n - 1 do
+    La.Mat.update dense i i (fun x -> x +. (1e-10 *. (Float.abs x +. 1.0)))
+  done;
+  { levels; coarse_factor = La.Cholesky.factor dense; nsmooth }
+
+let n_levels t = Array.length t.levels
+
+let zero_fixed (fixed : bool array) (v : float array) =
+  Array.iteri (fun i f -> if f then v.(i) <- 0.0) fixed;
+  v
+
+let apply_level (l : level) (v : float array) = zero_fixed l.fixed (Csr.gemv l.op v)
+
+(* Gauss-Seidel sweep over the CSR rows in ascending (or descending) order;
+   pre- and post-smoothing run in opposite directions so the V-cycle stays
+   symmetric. *)
+let gauss_seidel (l : level) ~b ~reverse (x : float array) =
+  let n = Array.length x in
+  let update i =
+    if not l.fixed.(i) then begin
+      (* x_i <- (b_i - sum_{j<>i} a_ij x_j) / a_ii, using current values. *)
+      let acc = ref b.(i) in
+      Csr.iter_row l.op i (fun j v -> if j <> i then acc := !acc -. (v *. x.(j)));
+      x.(i) <- !acc /. l.diag.(i)
+    end
+  in
+  if reverse then
+    for i = n - 1 downto 0 do
+      update i
+    done
+  else
+    for i = 0 to n - 1 do
+      update i
+    done
+
+let smooth t l ~b ~reverse x =
+  for _ = 1 to t.nsmooth do
+    gauss_seidel l ~b ~reverse x
+  done
+
+(* Cell-centered restriction (8-point average) and its piecewise-constant
+   transpose. *)
+let restrict (fine : level) (coarse : level) (v : float array) =
+  let out = Array.make (node_count coarse.dims) 0.0 in
+  for i = 0 to node_count fine.dims - 1 do
+    let c = parent_node fine.dims coarse.dims i in
+    out.(c) <- out.(c) +. (0.125 *. v.(i))
+  done;
+  out
+
+let prolong (fine : level) (coarse : level) (v : float array) =
+  Array.init (node_count fine.dims) (fun i -> v.(parent_node fine.dims coarse.dims i))
+
+let rec v_cycle_at t lev ~b =
+  let l = t.levels.(lev) in
+  if lev = Array.length t.levels - 1 then
+    zero_fixed l.fixed (La.Cholesky.solve_factored t.coarse_factor (Array.copy b |> zero_fixed l.fixed))
+  else begin
+    let x = Array.make (Array.length b) 0.0 in
+    smooth t l ~b ~reverse:false x;
+    let residual = La.Vec.sub b (apply_level l x) in
+    let coarse = t.levels.(lev + 1) in
+    let rc = zero_fixed coarse.fixed (restrict l coarse residual) in
+    let ec = v_cycle_at t (lev + 1) ~b:rc in
+    let correction = zero_fixed l.fixed (prolong l coarse ec) in
+    La.Vec.add_inplace x correction;
+    smooth t l ~b ~reverse:true x;
+    x
+  end
+
+let v_cycle t (b : float array) = v_cycle_at t 0 ~b:(Array.copy b |> zero_fixed t.levels.(0).fixed)

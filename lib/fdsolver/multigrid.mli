@@ -1,0 +1,25 @@
+(** Geometric multigrid V-cycle for the grid-of-resistors system
+    (thesis §2.2.2's suggested direction), used as a CG preconditioner.
+    Coarse operators are Galerkin node aggregations of the fine resistor
+    network, so the layered conductivities are carried to every level — the
+    coarse-grid "major issue" the thesis flags, handled by construction. *)
+
+type t
+
+(** [create profile layout ~nx ~nz] builds the aggregation hierarchy
+    (halving until the grid is small or odd) and factors the coarsest level
+    directly. *)
+val create :
+  ?placement:Grid.placement ->
+  ?max_levels:int ->
+  ?nsmooth:int ->
+  Substrate.Profile.t ->
+  Geometry.Layout.t ->
+  nx:int ->
+  nz:int ->
+  t
+
+val n_levels : t -> int
+
+(** One V-cycle: approximately solve the reduced fine-level system. *)
+val v_cycle : t -> float array -> float array

@@ -1,0 +1,5 @@
+(** Fill-reducing orderings for the grid system. *)
+
+(** Geometric nested dissection of an nx x ny x nz grid: a permutation from
+    elimination position to node index (halves first, separators last). *)
+val nested_dissection : nx:int -> ny:int -> nz:int -> int array

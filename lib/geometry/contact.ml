@@ -1,0 +1,27 @@
+(* Rectangular substrate contacts on the top surface.
+
+   Every contact is an axis-aligned rectangle, assumed perfectly conducting
+   (uniform voltage). Large or irregular shapes (long runs, guard rings) are
+   represented as collections of rectangles each small enough to fit inside a
+   finest-level quadtree square, exactly as the thesis does ("Right now they
+   need to be broken up into many small contacts so that each fits in a
+   finest-level square", §5.2). *)
+
+type t = { x0 : float; y0 : float; x1 : float; y1 : float }
+
+let make ~x0 ~y0 ~x1 ~y1 =
+  if x1 <= x0 || y1 <= y0 then invalid_arg "Contact.make: degenerate rectangle";
+  { x0; y0; x1; y1 }
+
+let width c = c.x1 -. c.x0
+let height c = c.y1 -. c.y0
+let area c = width c *. height c
+let centroid c = (0.5 *. (c.x0 +. c.x1), 0.5 *. (c.y0 +. c.y1))
+
+let contains c ~x ~y = x >= c.x0 && x <= c.x1 && y >= c.y0 && y <= c.y1
+
+(* Is the contact entirely inside the axis-aligned box? *)
+let inside c ~x0 ~y0 ~x1 ~y1 =
+  c.x0 >= x0 -. 1e-12 && c.x1 <= x1 +. 1e-12 && c.y0 >= y0 -. 1e-12 && c.y1 <= y1 +. 1e-12
+
+let pp ppf c = Fmt.pf ppf "[%.4f,%.4f]x[%.4f,%.4f]" c.x0 c.x1 c.y0 c.y1

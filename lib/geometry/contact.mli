@@ -1,0 +1,15 @@
+(** Rectangular substrate contacts (perfect conductors on the top surface). *)
+
+type t = { x0 : float; y0 : float; x1 : float; y1 : float }
+
+val make : x0:float -> y0:float -> x1:float -> y1:float -> t
+val width : t -> float
+val height : t -> float
+val area : t -> float
+val centroid : t -> float * float
+val contains : t -> x:float -> y:float -> bool
+
+(** Whether the contact lies entirely inside the given box. *)
+val inside : t -> x0:float -> y0:float -> x1:float -> y1:float -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,205 @@
+(* Contact layout generators for every example the thesis evaluates on.
+
+   All layouts live on a square surface [0, size] x [0, size] and are aligned
+   to a cell grid so that every contact fits inside a finest-level quadtree
+   square (the thesis's standing assumption, §3.2). *)
+
+type t = { size : float; contacts : Contact.t array; name : string }
+
+let n_contacts t = Array.length t.contacts
+
+(* A contact centered in grid cell (i, j) of a per_side x per_side division,
+   occupying [fill] of the cell's linear extent. *)
+let cell_contact ~size ~per_side ~fill i j =
+  let cell = size /. float_of_int per_side in
+  let margin = 0.5 *. (1.0 -. fill) *. cell in
+  Contact.make
+    ~x0:((float_of_int i *. cell) +. margin)
+    ~y0:((float_of_int j *. cell) +. margin)
+    ~x1:((float_of_int (i + 1) *. cell) -. margin)
+    ~y1:((float_of_int (j + 1) *. cell) -. margin)
+
+(* Thesis Fig 3-6 / Example 1: a regular per_side x per_side grid of
+   same-size square contacts. *)
+let regular_grid ?(size = 128.0) ?(fill = 0.5) ~per_side () =
+  let contacts =
+    Array.init (per_side * per_side) (fun k ->
+        cell_contact ~size ~per_side ~fill (k mod per_side) (k / per_side))
+  in
+  { size; contacts; name = Printf.sprintf "regular %dx%d" per_side per_side }
+
+(* Thesis Fig 3-7 / Example 2: same-size contacts, irregular placement with
+   many large gaps. The gaps are coherent rectangular blocks of removed
+   cells (as in the thesis's figure) and the remaining contacts are
+   jittered inside their cells, so the *local* contact density stays
+   uniform away from gap boundaries — the regime where geometric
+   moment-matching still works. Salt-and-pepper removal would instead vary
+   each contact's shielding by its grounded neighbors and defeat any
+   geometry-only basis (see DESIGN.md). *)
+let irregular ?(size = 128.0) ?(fill = 0.4) ?(gap_fraction = 0.3) ?(jitter = 0.25) ~per_side rng () =
+  let cell = size /. float_of_int per_side in
+  let side = fill *. cell in
+  let removed = Array.make_matrix per_side per_side false in
+  (* Carve rectangular gaps until roughly [gap_fraction] of cells are gone. *)
+  let target = int_of_float (gap_fraction *. float_of_int (per_side * per_side)) in
+  let count = ref 0 in
+  let attempts = ref 0 in
+  while !count < target && !attempts < 100 do
+    incr attempts;
+    let w = 2 + La.Rng.int rng (max 1 (per_side / 3)) in
+    let h = 2 + La.Rng.int rng (max 1 (per_side / 3)) in
+    let i0 = La.Rng.int rng (max 1 (per_side - w)) in
+    let j0 = La.Rng.int rng (max 1 (per_side - h)) in
+    for j = j0 to min (per_side - 1) (j0 + h - 1) do
+      for i = i0 to min (per_side - 1) (i0 + w - 1) do
+        if not removed.(i).(j) then begin
+          removed.(i).(j) <- true;
+          incr count
+        end
+      done
+    done
+  done;
+  let contacts = ref [] in
+  for j = 0 to per_side - 1 do
+    for i = 0 to per_side - 1 do
+      if not removed.(i).(j) then begin
+        let slack = (cell -. side) *. jitter in
+        let base = 0.5 *. (cell -. side -. slack) in
+        let ox = base +. (La.Rng.float rng *. slack) and oy = base +. (La.Rng.float rng *. slack) in
+        let x0 = (float_of_int i *. cell) +. ox and y0 = (float_of_int j *. cell) +. oy in
+        contacts := Contact.make ~x0 ~y0 ~x1:(x0 +. side) ~y1:(y0 +. side) :: !contacts
+      end
+    done
+  done;
+  let contacts = Array.of_list (List.rev !contacts) in
+  { size; contacts; name = Printf.sprintf "irregular %d cells, %d contacts" (per_side * per_side) (Array.length contacts) }
+
+(* Thesis Fig 3-8 / low-rank Example 2: contacts of alternating sizes
+   (rows alternate between large and small contacts). *)
+let alternating ?(size = 128.0) ?(large_fill = 0.75) ?(small_fill = 0.3) ~per_side () =
+  let contacts =
+    Array.init (per_side * per_side) (fun k ->
+        let i = k mod per_side and j = k / per_side in
+        let fill = if j mod 2 = 0 then large_fill else small_fill in
+        cell_contact ~size ~per_side ~fill i j)
+  in
+  { size; contacts; name = Printf.sprintf "alternating %dx%d" per_side per_side }
+
+(* Thesis Fig 4-8 / low-rank Example 3: very irregularly shaped contacts —
+   small squares, long thin runs, and guard rings — all built from cell-sized
+   rectangles so each piece fits in a finest-level square. *)
+let mixed_shapes ?(size = 128.0) ~per_side () =
+  if per_side < 16 then invalid_arg "Layout.mixed_shapes: per_side must be at least 16";
+  let cell = size /. float_of_int per_side in
+  let contacts = ref [] in
+  let add c = contacts := c :: !contacts in
+  let occupied = Array.make_matrix per_side per_side false in
+  let strip i j w h =
+    (* A thin strip inside cell (i, j): w, h are fractions of the cell. *)
+    occupied.(i).(j) <- true;
+    let cx = (float_of_int i +. 0.5) *. cell and cy = (float_of_int j +. 0.5) *. cell in
+    add
+      (Contact.make
+         ~x0:(cx -. (0.5 *. w *. cell))
+         ~y0:(cy -. (0.5 *. h *. cell))
+         ~x1:(cx +. (0.5 *. w *. cell))
+         ~y1:(cy +. (0.5 *. h *. cell)))
+  in
+  (* A ring: the border cells of a square block get thin strips. *)
+  let ring i0 j0 extent =
+    for d = 0 to extent - 1 do
+      strip (i0 + d) j0 0.9 0.3;
+      strip (i0 + d) (j0 + extent - 1) 0.9 0.3;
+      if d > 0 && d < extent - 1 then begin
+        strip i0 (j0 + d) 0.3 0.9;
+        strip (i0 + extent - 1) (j0 + d) 0.3 0.9
+      end
+    done
+  in
+  (* A long horizontal run of thin contacts. *)
+  let long_run i0 j len = for d = 0 to len - 1 do strip (i0 + d) j 0.95 0.25 done in
+  let q = per_side / 4 in
+  ring q q (q / 2 * 2);
+  ring (2 * q) (2 * q) (q / 2 * 2);
+  long_run (q / 2) (per_side - 1 - (q / 2)) (per_side / 2);
+  long_run (q / 2) (q / 2) (per_side / 3);
+  (* Fill part of the remaining cells with small squares. *)
+  for j = 0 to per_side - 1 do
+    for i = 0 to per_side - 1 do
+      if (not occupied.(i).(j)) && (i + (2 * j)) mod 4 = 0 then begin
+        occupied.(i).(j) <- true;
+        add (cell_contact ~size ~per_side ~fill:0.4 i j)
+      end
+    done
+  done;
+  let contacts = Array.of_list (List.rev !contacts) in
+  { size; contacts; name = Printf.sprintf "mixed shapes, %d pieces" (Array.length contacts) }
+
+(* Thesis Fig 4-10 / Example 5: a large population of big and small contacts
+   arranged in blocks, 10240 contacts at per_side = 128 with density tuned to
+   the figure; smaller values reproduce the same structure scaled down. *)
+let large_mixed ?(size = 128.0) ?(small_fill = 0.5) ?(large_fill = 0.9) ~per_side rng () =
+  let contacts = ref [] in
+  let block = 8 in
+  for j = 0 to per_side - 1 do
+    for i = 0 to per_side - 1 do
+      let bi = i / block and bj = j / block in
+      (* Alternate blocks of dense small contacts and sparse large contacts. *)
+      if (bi + bj) mod 2 = 0 then begin
+        if La.Rng.float rng < 0.8 then
+          contacts := cell_contact ~size ~per_side ~fill:small_fill i j :: !contacts
+      end
+      else if i mod 2 = 0 && j mod 2 = 0 && La.Rng.float rng < 0.9 then
+        contacts := cell_contact ~size ~per_side ~fill:large_fill i j :: !contacts
+    done
+  done;
+  let contacts = Array.of_list (List.rev !contacts) in
+  { size; contacts; name = Printf.sprintf "large mixed, %d contacts" (Array.length contacts) }
+
+(* The 6-contact layout of thesis Fig 4-1: two contacts of different sizes in
+   a source square, four equal contacts in a well-separated destination
+   square. Returns the layout plus the index sets (s, d). *)
+let two_square_example ?(size = 64.0) () =
+  let contacts =
+    [|
+      (* Source square s: small contact (1) and large contact (2), area ratio 2.25. *)
+      Contact.make ~x0:2.0 ~y0:10.0 ~x1:6.0 ~y1:14.0;
+      Contact.make ~x0:9.0 ~y0:9.0 ~x1:15.0 ~y1:15.0;
+      (* Destination square d: four equal contacts far to the right. *)
+      Contact.make ~x0:42.0 ~y0:10.0 ~x1:46.0 ~y1:14.0;
+      Contact.make ~x0:50.0 ~y0:10.0 ~x1:54.0 ~y1:14.0;
+      Contact.make ~x0:42.0 ~y0:2.0 ~x1:46.0 ~y1:6.0;
+      Contact.make ~x0:50.0 ~y0:2.0 ~x1:54.0 ~y1:6.0;
+    |]
+  in
+  ({ size; contacts; name = "fig 4-1 two-square example" }, [| 0; 1 |], [| 2; 3; 4; 5 |])
+
+(* ASCII rendering of a layout (the text analogue of Figs 3-6..3-8, 4-8,
+   4-10). *)
+let render ?(width = 64) t =
+  let h = width / 2 in
+  let grid = Array.make_matrix h width ' ' in
+  Array.iter
+    (fun c ->
+      let to_gx x = min (width - 1) (max 0 (int_of_float (x /. t.size *. float_of_int width))) in
+      let to_gy y = min (h - 1) (max 0 (int_of_float (y /. t.size *. float_of_int h))) in
+      for gy = to_gy c.Contact.y0 to to_gy (c.Contact.y1 -. 1e-9) do
+        for gx = to_gx c.Contact.x0 to to_gx (c.Contact.x1 -. 1e-9) do
+          grid.(gy).(gx) <- '#'
+        done
+      done)
+    t.contacts;
+  let buf = Buffer.create ((h + 2) * (width + 3)) in
+  Buffer.add_string buf (Printf.sprintf "%s (%d contacts)\n" t.name (Array.length t.contacts));
+  Buffer.add_char buf '+';
+  for _ = 1 to width do Buffer.add_char buf '-' done;
+  Buffer.add_string buf "+\n";
+  for gy = h - 1 downto 0 do
+    Buffer.add_char buf '|';
+    Array.iter (Buffer.add_char buf) grid.(gy);
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.add_char buf '+';
+  for _ = 1 to width do Buffer.add_char buf '-' done;
+  Buffer.add_string buf "+\n";
+  Buffer.contents buf

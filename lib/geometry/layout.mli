@@ -1,0 +1,37 @@
+(** Contact layout generators reproducing the thesis's example layouts. *)
+
+type t = { size : float; contacts : Contact.t array; name : string }
+
+val n_contacts : t -> int
+
+(** Fig 3-6 (Examples 1a/1b, low-rank Example 1): regular grid of same-size
+    contacts. [fill] is the fraction of each cell's linear extent covered. *)
+val regular_grid : ?size:float -> ?fill:float -> per_side:int -> unit -> t
+
+(** Fig 3-7 (Example 2): same-size contacts, irregular placement with many
+    large coherent gaps ([gap_fraction] of cells removed in rectangular
+    blocks) and per-cell jitter. *)
+val irregular :
+  ?size:float -> ?fill:float -> ?gap_fraction:float -> ?jitter:float -> per_side:int -> La.Rng.t -> unit -> t
+
+(** Fig 3-8 (wavelet Example 3 / low-rank Example 2 / Example 4): rows of
+    alternating large and small contacts. *)
+val alternating : ?size:float -> ?large_fill:float -> ?small_fill:float -> per_side:int -> unit -> t
+
+(** Fig 4-8 (low-rank Example 3): small squares, long thin runs, and guard
+    rings, each built from cell-sized rectangles. Requires [per_side >= 16]. *)
+val mixed_shapes : ?size:float -> per_side:int -> unit -> t
+
+(** Fig 4-10 (Example 5): blocks of dense small contacts alternating with
+    sparse large contacts; [per_side = 128] gives roughly the thesis's 10240
+    contacts. *)
+val large_mixed :
+  ?size:float -> ?small_fill:float -> ?large_fill:float -> per_side:int -> La.Rng.t -> unit -> t
+
+(** Fig 4-1: the 6-contact intuition example. Returns the layout and the
+    index sets of the source square (contacts 1-2) and destination square
+    (contacts 3-6). *)
+val two_square_example : ?size:float -> unit -> t * int array * int array
+
+(** ASCII rendering of the layout. *)
+val render : ?width:int -> t -> string

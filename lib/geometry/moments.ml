@@ -1,0 +1,64 @@
+(* Polynomial moments of contact-supported voltage functions
+   (thesis §3.2.1).
+
+   The (a, b) moment of a voltage function sigma over the contact area C_s in
+   a square s, about a center (cx, cy), is
+
+     mu_{a,b,s}(sigma) = integral over C_s of (x - cx)^a (y - cy)^b sigma dA.
+
+   For piecewise-constant sigma on rectangular contacts these integrals are
+   analytic (products of one-dimensional power integrals). The wavelet basis
+   requires all moments of order <= p to vanish; p = 2 gives the thesis's 6
+   constraints per square. *)
+
+(* Exponent pairs (a, b) with a + b <= p, in a fixed order. *)
+let exponents p =
+  let acc = ref [] in
+  for order = 0 to p do
+    for a = 0 to order do
+      acc := (a, order - a) :: !acc
+    done
+  done;
+  Array.of_list (List.rev !acc)
+
+let count p = (p + 1) * (p + 2) / 2
+
+(* integral of (t - c)^a dt over [t0, t1] *)
+let power_integral ~c ~a t0 t1 =
+  (((t1 -. c) ** float_of_int (a + 1)) -. ((t0 -. c) ** float_of_int (a + 1))) /. float_of_int (a + 1)
+
+(* The (a, b) moment of the characteristic function of one rectangular
+   contact about (cx, cy). *)
+let contact_moment ~cx ~cy (c : Contact.t) ~a ~b =
+  power_integral ~c:cx ~a c.Contact.x0 c.Contact.x1 *. power_integral ~c:cy ~a:b c.Contact.y0 c.Contact.y1
+
+(* Moments matrix M_s of thesis §3.4.1: row (a, b), column i holds the
+   (a, b) moment of the characteristic function of the i-th listed contact,
+   about the given center. *)
+let matrix ~p ~center (contacts : Contact.t array) =
+  let cx, cy = center in
+  let exps = exponents p in
+  La.Mat.init (Array.length exps) (Array.length contacts) (fun r i ->
+      let a, b = exps.(r) in
+      contact_moment ~cx ~cy contacts.(i) ~a ~b)
+
+let binomial n k =
+  let rec go acc i = if i > k then acc else go (acc * (n - i + 1) / i) (i + 1) in
+  if k < 0 || k > n then 0 else go 1 1
+
+(* Change-of-center matrix (thesis §3.4.2): if M_old holds moments about
+   center c1 and the new center is c2 = c1 - (dx, dy), i.e. (dx, dy) is the
+   offset of the old center relative to the new one, then
+   M_new = shift * M_old, since
+   (x - c2)^a = sum_k C(a,k) (x - c1)^k dx^(a-k). *)
+let shift_matrix ~p ~dx ~dy =
+  let exps = exponents p in
+  let d = Array.length exps in
+  La.Mat.init d d (fun r c ->
+      let a, b = exps.(r) and k, l = exps.(c) in
+      if k <= a && l <= b then
+        float_of_int (binomial a k * binomial b l) *. (dx ** float_of_int (a - k)) *. (dy ** float_of_int (b - l))
+      else 0.0)
+
+(* Moments of a voltage vector (one value per listed contact): M_s v. *)
+let of_vector ~p ~center contacts (v : La.Vec.t) = La.Mat.gemv (matrix ~p ~center contacts) v

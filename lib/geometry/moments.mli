@@ -1,0 +1,25 @@
+(** Polynomial moments of contact-supported voltage functions
+    (thesis §3.2.1). *)
+
+(** Exponent pairs (a, b) with a + b <= p, in the fixed row order used by
+    [matrix]. *)
+val exponents : int -> (int * int) array
+
+(** [(p+1)(p+2)/2], the number of moments of order <= p. *)
+val count : int -> int
+
+(** The (a, b) moment of one rectangular contact's characteristic function
+    about center (cx, cy) — analytic. *)
+val contact_moment : cx:float -> cy:float -> Contact.t -> a:int -> b:int -> float
+
+(** Moments matrix M_s: rows are exponent pairs, columns are contacts. *)
+val matrix : p:int -> center:float * float -> Contact.t array -> La.Mat.t
+
+val binomial : int -> int -> int
+
+(** Change-of-center matrix: [M_about_new_center = shift_matrix * M_old] when
+    the old center sits at offset (dx, dy) from the new one. *)
+val shift_matrix : p:int -> dx:float -> dy:float -> La.Mat.t
+
+(** Moments of the voltage function associated with a coefficient vector. *)
+val of_vector : p:int -> center:float * float -> Contact.t array -> La.Vec.t -> La.Vec.t

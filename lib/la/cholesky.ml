@@ -1,0 +1,67 @@
+(* Dense Cholesky factorization and triangular solves, for symmetric
+   positive-definite systems: small direct solves in tests and the exact
+   reference solutions the iterative solvers are checked against. *)
+
+exception Not_positive_definite of int
+
+(* Lower-triangular L with A = L L'. *)
+let factor a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Cholesky.factor: matrix not square";
+  let l = Mat.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (Mat.get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Mat.get l i k *. Mat.get l j k)
+      done;
+      if i = j then begin
+        if !acc <= 0.0 then raise (Not_positive_definite i);
+        Mat.set l i i (sqrt !acc)
+      end
+      else Mat.set l i j (!acc /. Mat.get l j j)
+    done
+  done;
+  l
+
+(* Solve L y = b by forward substitution. *)
+let solve_lower l (b : Vec.t) : Vec.t =
+  let n = Mat.rows l in
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let acc = ref b.(i) in
+    for k = 0 to i - 1 do
+      acc := !acc -. (Mat.get l i k *. y.(k))
+    done;
+    y.(i) <- !acc /. Mat.get l i i
+  done;
+  y
+
+(* Solve L' x = y by back substitution. *)
+let solve_upper_t l (y : Vec.t) : Vec.t =
+  let n = Mat.rows l in
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get l k i *. x.(k))
+    done;
+    x.(i) <- !acc /. Mat.get l i i
+  done;
+  x
+
+let solve_factored l b = solve_upper_t l (solve_lower l b)
+
+let solve a b = solve_factored (factor a) b
+
+(* Inverse via n solves; only for small matrices in tests. *)
+let inverse a =
+  let n = Mat.rows a in
+  let l = factor a in
+  let inv = Mat.create n n in
+  for j = 0 to n - 1 do
+    let e = Array.make n 0.0 in
+    e.(j) <- 1.0;
+    Mat.set_col inv j (solve_factored l e)
+  done;
+  inv

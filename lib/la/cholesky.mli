@@ -1,0 +1,19 @@
+(** Dense Cholesky factorization for symmetric positive-definite matrices. *)
+
+exception Not_positive_definite of int
+
+(** [factor a] returns lower-triangular [l] with [a = l * l']. Raises
+    [Not_positive_definite i] at the first non-positive pivot. *)
+val factor : Mat.t -> Mat.t
+
+val solve_lower : Mat.t -> Vec.t -> Vec.t
+val solve_upper_t : Mat.t -> Vec.t -> Vec.t
+
+(** Solve [a x = b] given the Cholesky factor of [a]. *)
+val solve_factored : Mat.t -> Vec.t -> Vec.t
+
+(** Solve [a x = b] for SPD [a]. *)
+val solve : Mat.t -> Vec.t -> Vec.t
+
+(** Dense inverse of an SPD matrix (small matrices / tests only). *)
+val inverse : Mat.t -> Mat.t

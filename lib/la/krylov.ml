@@ -1,0 +1,70 @@
+(* Preconditioned conjugate gradient.
+
+   Both substrate solvers are Krylov methods on a symmetric positive
+   (semi-)definite operator given as a black box (thesis §2.2.2): the
+   finite-difference grid Laplacian with a fast-Poisson or incomplete-Cholesky
+   preconditioner, and the eigenfunction solver's contact-panel operator.
+   The implementation is the standard PCG recurrence that only needs
+   applications of M^{-1}, not M^{-1/2} (Golub & Van Loan §11.5). *)
+
+type result = {
+  x : Vec.t;
+  iterations : int;
+  converged : bool;
+  residual_norm : float;
+}
+
+type stats = { mutable solves : int; mutable total_iterations : int }
+
+let make_stats () = { solves = 0; total_iterations = 0 }
+
+let average_iterations s =
+  if s.solves = 0 then 0.0 else float_of_int s.total_iterations /. float_of_int s.solves
+
+(* Solve A x = b for SPD A given [apply : v -> A v].
+   [precond] applies M^{-1}; default is the identity.
+   Convergence: ||r|| <= tol * ||b|| (or absolute 1e-300 floor for b = 0). *)
+let cg ?precond ?(tol = 1e-9) ?(max_iter = 10_000) ?x0 ?stats ~apply b =
+  let n = Array.length b in
+  let precond = match precond with Some p -> p | None -> Vec.copy in
+  let x = match x0 with Some x -> Vec.copy x | None -> Vec.create n in
+  let r = Vec.sub b (apply x) in
+  let bnorm = Vec.norm2 b in
+  let threshold = if bnorm > 0.0 then tol *. bnorm else 1e-300 in
+  let z = precond r in
+  let p = Vec.copy z in
+  let rz = ref (Vec.dot r z) in
+  let iterations = ref 0 in
+  let rnorm = ref (Vec.norm2 r) in
+  let converged = ref (!rnorm <= threshold) in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    let ap = apply p in
+    let pap = Vec.dot p ap in
+    if pap <= 0.0 then
+      (* Operator not positive definite along p (or exact convergence in
+         exact arithmetic); stop rather than divide by ~0. *)
+      converged := !rnorm <= threshold *. 10.0
+    else begin
+      let alpha = !rz /. pap in
+      Vec.axpy ~alpha p x;
+      Vec.axpy ~alpha:(-.alpha) ap r;
+      rnorm := Vec.norm2 r;
+      if !rnorm <= threshold then converged := true
+      else begin
+        let z = precond r in
+        let rz' = Vec.dot r z in
+        let beta = rz' /. !rz in
+        rz := rz';
+        for i = 0 to n - 1 do
+          p.(i) <- z.(i) +. (beta *. p.(i))
+        done
+      end
+    end
+  done;
+  (match stats with
+  | Some s ->
+    s.solves <- s.solves + 1;
+    s.total_iterations <- s.total_iterations + !iterations
+  | None -> ());
+  { x; iterations = !iterations; converged = !converged; residual_norm = !rnorm }

@@ -1,0 +1,28 @@
+(** Preconditioned conjugate gradient for SPD operators given as black boxes. *)
+
+type result = {
+  x : Vec.t;
+  iterations : int;
+  converged : bool;
+  residual_norm : float;
+}
+
+(** Accumulates per-solve iteration counts across many solves, for the
+    preconditioner-effectiveness experiments (thesis Table 2.1). *)
+type stats = { mutable solves : int; mutable total_iterations : int }
+
+val make_stats : unit -> stats
+val average_iterations : stats -> float
+
+(** [cg ~apply b] solves [A x = b] where [apply v = A v].
+    [precond] applies an SPD preconditioner inverse M^{-1}.
+    Converges when the 2-norm residual falls below [tol * ||b||]. *)
+val cg :
+  ?precond:(Vec.t -> Vec.t) ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:Vec.t ->
+  ?stats:stats ->
+  apply:(Vec.t -> Vec.t) ->
+  Vec.t ->
+  result

@@ -1,0 +1,129 @@
+(* Householder QR factorization with optional column pivoting.
+
+   The wavelet basis construction (thesis eq. (3.14)-(3.16)) needs, for a
+   moments matrix M, an orthonormal basis of the row space of M and of its
+   orthogonal complement. The thesis obtains these from an SVD; a
+   rank-revealing QR of M' yields the same split: if M' P = Q R with rank r,
+   the first r columns of the full Q span range(M') and the rest span its
+   complement, i.e. the null space of M. *)
+
+type t = { q : Mat.t; r : Mat.t; perm : int array; rank : int }
+
+(* Apply the Householder reflector defined by [v] (of length m - k, acting on
+   rows k..m-1) to column j of [a]. *)
+let apply_reflector a v k j =
+  let m = Mat.rows a in
+  let dot = ref 0.0 in
+  for i = k to m - 1 do
+    dot := !dot +. (v.(i - k) *. Mat.get a i j)
+  done;
+  let s = 2.0 *. !dot in
+  for i = k to m - 1 do
+    Mat.update a i j (fun x -> x -. (s *. v.(i - k)))
+  done
+
+let col_norm2_from a j k =
+  let m = Mat.rows a in
+  let acc = ref 0.0 in
+  for i = k to m - 1 do
+    let x = Mat.get a i j in
+    acc := !acc +. (x *. x)
+  done;
+  !acc
+
+let swap_cols a j1 j2 =
+  if j1 <> j2 then
+    for i = 0 to Mat.rows a - 1 do
+      let t = Mat.get a i j1 in
+      Mat.set a i j1 (Mat.get a i j2);
+      Mat.set a i j2 t
+    done
+
+(* Full decomposition: A P = Q R with Q an m x m orthogonal matrix.
+   [pivot] enables greedy column pivoting (largest remaining column norm
+   first), which makes the diagonal of R rank-revealing. [tol] is the
+   relative threshold on |R_kk| below which columns count as dependent. *)
+let decomp ?(pivot = false) ?(tol = 1e-12) a0 =
+  let m = Mat.rows a0 and n = Mat.cols a0 in
+  let a = Mat.copy a0 in
+  let q = Mat.identity m in
+  let perm = Array.init n (fun j -> j) in
+  let steps = min m n in
+  let reflectors = ref [] in
+  let rank = ref 0 in
+  let r00 = ref 0.0 in
+  (try
+     for k = 0 to steps - 1 do
+       if pivot then begin
+         (* Greedy pivot: move the column with the largest trailing norm to k. *)
+         let best = ref k and best_norm = ref (col_norm2_from a k k) in
+         for j = k + 1 to n - 1 do
+           let nj = col_norm2_from a j k in
+           if nj > !best_norm then begin
+             best := j;
+             best_norm := nj
+           end
+         done;
+         swap_cols a k !best;
+         let t = perm.(k) in
+         perm.(k) <- perm.(!best);
+         perm.(!best) <- t
+       end;
+       let alpha = sqrt (col_norm2_from a k k) in
+       if k = 0 then r00 := alpha;
+       if alpha <= tol *. Float.max !r00 1e-300 then raise Exit;
+       let x0 = Mat.get a k k in
+       let sign = if x0 >= 0.0 then 1.0 else -1.0 in
+       let v = Array.init (m - k) (fun i -> Mat.get a (k + i) k) in
+       v.(0) <- v.(0) +. (sign *. alpha);
+       let vnorm = Vec.norm2 v in
+       if vnorm > 0.0 then begin
+         Vec.scale_inplace (1.0 /. vnorm) v;
+         for j = k to n - 1 do
+           apply_reflector a v k j
+         done;
+         reflectors := (k, v) :: !reflectors
+       end;
+       (* Clean the annihilated subdiagonal entries exactly. *)
+       for i = k + 1 to m - 1 do
+         Mat.set a i k 0.0
+       done;
+       incr rank
+     done
+   with Exit -> ());
+  (* Accumulate Q = H_0 H_1 ... H_{s-1} by applying reflectors to I in
+     reverse order. *)
+  List.iter
+    (fun (k, v) ->
+      for j = 0 to m - 1 do
+        apply_reflector q v k j
+      done)
+    !reflectors;
+  (* q currently holds (H_{s-1} ... H_0)' applied column-wise; since each H is
+     symmetric, applying them in the recorded (reverse) order to I builds
+     H_0 ... H_{s-1} = Q directly. *)
+  { q; r = a; perm; rank = !rank }
+
+let reconstruct { q; r; perm; _ } =
+  let qr = Mat.mul q r in
+  (* Undo the column permutation: column perm.(j) of the result is column j of QR. *)
+  let n = Mat.cols r in
+  let out = Mat.create (Mat.rows qr) n in
+  for j = 0 to n - 1 do
+    Mat.set_col out perm.(j) (Mat.col qr j)
+  done;
+  out
+
+(* Split R^m into an orthonormal basis of range(A) and of its orthogonal
+   complement, where A is m x n. Returns (range_basis, complement_basis). *)
+let range_split ?(tol = 1e-10) a =
+  let { q; rank; _ } = decomp ~pivot:true ~tol a in
+  let m = Mat.rows a in
+  let range = if rank = 0 then Mat.create m 0 else Mat.sub_matrix q ~row:0 ~col:0 ~rows:m ~cols:rank in
+  let compl =
+    if rank = m then Mat.create m 0 else Mat.sub_matrix q ~row:0 ~col:rank ~rows:m ~cols:(m - rank)
+  in
+  (range, compl)
+
+(* Orthonormal basis for the orthogonal complement of the column span of A. *)
+let complement ?tol a = snd (range_split ?tol a)

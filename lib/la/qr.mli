@@ -1,0 +1,25 @@
+(** Householder QR factorization with optional rank-revealing column pivoting. *)
+
+type t = {
+  q : Mat.t;  (** Full m x m orthogonal factor. *)
+  r : Mat.t;  (** m x n upper-triangular (trapezoidal) factor. *)
+  perm : int array;  (** Column permutation: [a perm = q r]. Identity if unpivoted. *)
+  rank : int;  (** Numerical rank detected from the diagonal of [r]. *)
+}
+
+(** [decomp ?pivot ?tol a] factors [a] (with column pivoting when [pivot]).
+    [tol] is the relative threshold on diagonal entries of R used for rank
+    detection. *)
+val decomp : ?pivot:bool -> ?tol:float -> Mat.t -> t
+
+(** Rebuild the original matrix from a factorization (for testing). *)
+val reconstruct : t -> Mat.t
+
+(** [range_split a] returns orthonormal bases [(range, complement)] of the
+    column space of [a] and of its orthogonal complement in R^m. This is the
+    V/W split of thesis eq. (3.14) when applied to the transposed moments
+    matrix. *)
+val range_split : ?tol:float -> Mat.t -> Mat.t * Mat.t
+
+(** Orthonormal basis of the orthogonal complement of the columns of [a]. *)
+val complement : ?tol:float -> Mat.t -> Mat.t

@@ -1,0 +1,46 @@
+(* Deterministic splitmix64 RNG with Gaussian sampling.
+
+   All random choices in the library (sample vectors for the low-rank method,
+   randomized layouts, test inputs) go through this module so that every run
+   is reproducible from a seed. *)
+
+type t = { mutable state : int64; mutable cached_gaussian : float option }
+
+let create seed = { state = Int64.of_int seed; cached_gaussian = None }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, 1): use the top 53 bits. *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  int_of_float (float t *. float_of_int bound)
+
+(* Standard normal via Box-Muller; one draw is cached. *)
+let gaussian t =
+  match t.cached_gaussian with
+  | Some g ->
+    t.cached_gaussian <- None;
+    g
+  | None ->
+    let rec draw () =
+      let u1 = float t in
+      if u1 <= 1e-300 then draw () else u1
+    in
+    let u1 = draw () and u2 = float t in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    t.cached_gaussian <- Some (r *. sin theta);
+    r *. cos theta
+
+let gaussian_array t n = Array.init n (fun _ -> gaussian t)

@@ -1,0 +1,22 @@
+(** Deterministic splitmix64 random number generator.
+
+    Used for the low-rank method's random sample vectors (thesis §4.3.3,
+    "We actually choose the sample vector ... randomly") and for randomized
+    tests, with reproducibility from a fixed seed. *)
+
+type t
+
+(** [create seed] makes a fresh generator. Equal seeds yield equal streams. *)
+val create : int -> t
+
+(** Uniform draw in [0, 1). *)
+val float : t -> float
+
+(** [int t bound] draws uniformly from [0, bound). *)
+val int : t -> int -> int
+
+(** Standard normal draw (Box-Muller). *)
+val gaussian : t -> float
+
+(** [gaussian_array t n] is an array of [n] independent standard normals. *)
+val gaussian_array : t -> int -> float array

@@ -1,0 +1,116 @@
+(* Singular value decomposition by one-sided Jacobi rotations.
+
+   The sparsification algorithms need thin SVDs of small or tall-thin
+   matrices: sampled interaction blocks (n_s x <= 27), moment products
+   (6 x <= 24) and the fine-to-coarse recombination matrices
+   G(I_p, p) X_p (tall x <= 24). One-sided Jacobi (Hestenes) orthogonalizes
+   the columns of a working copy B of A by plane rotations, accumulating them
+   into V, so that at convergence B = U Sigma and A = U Sigma V'. It is slow
+   for large square matrices but backward-stable and exact enough here, and
+   it delivers the full right factor V including the directions of (near-)zero
+   singular values, which the algorithms rely on. *)
+
+type t = { u : Mat.t; s : float array; v : Mat.t }
+
+let max_sweeps = 60
+
+(* Core: A is m x n with m >= n assumed beneficial but not required.
+   Returns (u : m x n with zero columns where sigma ~ 0, s : n, v : n x n). *)
+let decomp_tall a =
+  let m = Mat.rows a and n = Mat.cols a in
+  let b = Mat.copy a in
+  let v = Mat.identity n in
+  let eps = 1e-15 in
+  let off_threshold norm = eps *. norm in
+  let fro = Mat.frobenius a in
+  let converged = ref false in
+  let sweep = ref 0 in
+  while (not !converged) && !sweep < max_sweeps do
+    incr sweep;
+    converged := true;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        (* Gram entries of the column pair (p, q). *)
+        let app = ref 0.0 and aqq = ref 0.0 and apq = ref 0.0 in
+        for i = 0 to m - 1 do
+          let bip = Mat.get b i p and biq = Mat.get b i q in
+          app := !app +. (bip *. bip);
+          aqq := !aqq +. (biq *. biq);
+          apq := !apq +. (bip *. biq)
+        done;
+        if Float.abs !apq > off_threshold (sqrt (!app *. !aqq)) && Float.abs !apq > eps *. fro *. fro
+        then begin
+          converged := false;
+          (* Jacobi rotation zeroing the (p,q) Gram entry. *)
+          let tau = (!aqq -. !app) /. (2.0 *. !apq) in
+          let t =
+            if tau >= 0.0 then 1.0 /. (tau +. sqrt (1.0 +. (tau *. tau)))
+            else 1.0 /. (tau -. sqrt (1.0 +. (tau *. tau)))
+          in
+          let c = 1.0 /. sqrt (1.0 +. (t *. t)) in
+          let s = c *. t in
+          for i = 0 to m - 1 do
+            let bip = Mat.get b i p and biq = Mat.get b i q in
+            Mat.set b i p ((c *. bip) -. (s *. biq));
+            Mat.set b i q ((s *. bip) +. (c *. biq))
+          done;
+          for i = 0 to n - 1 do
+            let vip = Mat.get v i p and viq = Mat.get v i q in
+            Mat.set v i p ((c *. vip) -. (s *. viq));
+            Mat.set v i q ((s *. vip) +. (c *. viq))
+          done
+        end
+      done
+    done
+  done;
+  (* Column norms of B are the singular values. *)
+  let s = Array.init n (fun j -> Vec.norm2 (Mat.col b j)) in
+  (* Sort singular values descending, permuting the columns of B and V. *)
+  let order = Array.init n (fun j -> j) in
+  Array.sort (fun i j -> compare s.(j) s.(i)) order;
+  let s_sorted = Array.map (fun j -> s.(j)) order in
+  let u = Mat.create m n in
+  let v_sorted = Mat.create n n in
+  let smax = if n = 0 then 0.0 else s_sorted.(0) in
+  Array.iteri
+    (fun jnew jold ->
+      Mat.set_col v_sorted jnew (Mat.col v jold);
+      let sigma = s.(jold) in
+      if sigma > 1e-14 *. Float.max smax 1e-300 && sigma > 0.0 then
+        Mat.set_col u jnew (Vec.scale (1.0 /. sigma) (Mat.col b jold)))
+    order;
+  { u; s = s_sorted; v = v_sorted }
+
+(* For wide matrices, factor the transpose and swap factors. Note the
+   returned [u] then has full row dimension m x m and [v] is n x m (thin). *)
+let decomp a =
+  if Mat.rows a >= Mat.cols a then decomp_tall a
+  else begin
+    let { u; s; v } = decomp_tall (Mat.transpose a) in
+    { u = v; s; v = u }
+  end
+
+let rank ?(tol = 1e-10) { s; _ } =
+  if Array.length s = 0 then 0
+  else begin
+    let smax = s.(0) in
+    let r = ref 0 in
+    Array.iter (fun sigma -> if sigma > tol *. Float.max smax 1e-300 then incr r) s;
+    !r
+  end
+
+let reconstruct { u; s; v } =
+  let k = Array.length s in
+  let us = Mat.init (Mat.rows u) k (fun i j -> Mat.get u i j *. s.(j)) in
+  Mat.mul us (Mat.transpose (Mat.sub_matrix v ~row:0 ~col:0 ~rows:(Mat.rows v) ~cols:k))
+
+(* Truncate to the leading singular values passing [keep]. *)
+let truncate { u; s; v } ~keep =
+  let k = ref 0 in
+  Array.iteri (fun i sigma -> if keep i sigma then incr k else ()) s;
+  let k = !k in
+  {
+    u = Mat.sub_matrix u ~row:0 ~col:0 ~rows:(Mat.rows u) ~cols:k;
+    s = Array.sub s 0 k;
+    v = Mat.sub_matrix v ~row:0 ~col:0 ~rows:(Mat.rows v) ~cols:k;
+  }

@@ -1,0 +1,26 @@
+(** Singular value decomposition by one-sided Jacobi rotations.
+
+    For a matrix [a] of size m x n, [decomp a = { u; s; v }] satisfies
+    [a = u * diag s * v'] with singular values sorted descending. When
+    [m >= n], [u] is m x n and [v] is the *full* n x n right factor,
+    including the directions of (near-)zero singular values — the
+    sparsification algorithms split those columns into "slow-decaying" and
+    "fast-decaying" bases (thesis eqs. (3.15), (4.19), (4.27)). Columns of [u]
+    whose singular value is numerically zero are left as zero vectors. When
+    [m < n] the transpose is factored, so [u] is the full m x m factor and
+    [v] is n x m. *)
+
+type t = { u : Mat.t; s : float array; v : Mat.t }
+
+val decomp : Mat.t -> t
+
+(** Number of singular values above [tol] relative to the largest. *)
+val rank : ?tol:float -> t -> int
+
+(** Rebuild [u * diag s * v'] (for testing). *)
+val reconstruct : t -> Mat.t
+
+(** Keep only the singular triplets for which [keep index sigma] holds; the
+    predicate is applied to the descending-sorted values, and the kept set
+    must be a prefix for the result to be meaningful. *)
+val truncate : t -> keep:(int -> float -> bool) -> t

@@ -1,0 +1,9 @@
+(** Tridiagonal solver (Thomas algorithm), used per Fourier mode by the fast
+    Poisson preconditioner. *)
+
+(** [solve ~lower ~diag ~upper ~rhs] solves the tridiagonal system. All four
+    arrays have length n; [lower.(0)] and [upper.(n-1)] are ignored. *)
+val solve : lower:float array -> diag:float array -> upper:float array -> rhs:float array -> float array
+
+(** Multiply the tridiagonal matrix by a vector (for testing). *)
+val apply : lower:float array -> diag:float array -> upper:float array -> Vec.t -> Vec.t

@@ -1,0 +1,69 @@
+(* Dense vectors as bare float arrays, with the handful of BLAS-1 style
+   operations the solvers and sparsification algorithms need. *)
+
+type t = float array
+
+let create n = Array.make n 0.0
+let copy = Array.copy
+let init = Array.init
+let dim (v : t) = Array.length v
+
+let check_same_dim a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name (Array.length a) (Array.length b))
+
+let dot a b =
+  check_same_dim a b "dot";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+(* y <- y + alpha * x, in place. *)
+let axpy ~alpha x y =
+  check_same_dim x y "axpy";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let scale alpha v = Array.map (fun x -> alpha *. x) v
+
+let scale_inplace alpha v =
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- alpha *. v.(i)
+  done
+
+let add a b =
+  check_same_dim a b "add";
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let sub a b =
+  check_same_dim a b "sub";
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let add_inplace a b =
+  check_same_dim a b "add_inplace";
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- a.(i) +. b.(i)
+  done
+
+let fill v x = Array.fill v 0 (Array.length v) x
+let norm2 v = sqrt (dot v v)
+
+let norm_inf v = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 v
+
+let sum v = Array.fold_left ( +. ) 0.0 v
+
+let normalize v =
+  let n = norm2 v in
+  if n = 0.0 then copy v else scale (1.0 /. n) v
+
+let approx_equal ?(tol = 1e-10) a b =
+  dim a = dim b
+  &&
+  let rec loop i = i >= dim a || (Float.abs (a.(i) -. b.(i)) <= tol && loop (i + 1)) in
+  loop 0
+
+let pp ppf v =
+  Fmt.pf ppf "[@[%a@]]" Fmt.(array ~sep:(any ";@ ") (float_dfrac 6)) v

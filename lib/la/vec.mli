@@ -1,0 +1,28 @@
+(** Dense vectors (plain [float array]) with BLAS-1 style operations. *)
+
+type t = float array
+
+val create : int -> t
+val copy : t -> t
+val init : int -> (int -> float) -> t
+val dim : t -> int
+val dot : t -> t -> float
+
+(** [axpy ~alpha x y] performs [y <- y + alpha * x] in place. *)
+val axpy : alpha:float -> t -> t -> unit
+
+val scale : float -> t -> t
+val scale_inplace : float -> t -> unit
+val add : t -> t -> t
+val sub : t -> t -> t
+val add_inplace : t -> t -> unit
+val fill : t -> float -> unit
+val norm2 : t -> float
+val norm_inf : t -> float
+val sum : t -> float
+
+(** Unit 2-norm copy; the zero vector is returned unchanged. *)
+val normalize : t -> t
+
+val approx_equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

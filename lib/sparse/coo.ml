@@ -1,0 +1,53 @@
+(* Coordinate-format sparse matrix builder.
+
+   Entries are accumulated in insertion order (duplicates summed on
+   conversion); the finished matrix is converted to CSR for arithmetic.
+   This is how the sparsified representations Q and G_w are assembled: the
+   algorithms emit (row, col, value) triples square by square. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  mutable entries : (int * int * float) list;
+  mutable count : int;
+}
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Coo.create: negative dimension";
+  { rows; cols; entries = []; count = 0 }
+
+let rows t = t.rows
+let cols t = t.cols
+let entry_count t = t.count
+
+let add t i j v =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg (Printf.sprintf "Coo.add: index (%d, %d) out of bounds for %dx%d" i j t.rows t.cols);
+  if v <> 0.0 then begin
+    t.entries <- (i, j, v) :: t.entries;
+    t.count <- t.count + 1
+  end
+
+(* Add a dense block with top-left corner (i0, j0). *)
+let add_block t ~i0 ~j0 m =
+  for i = 0 to La.Mat.rows m - 1 do
+    for j = 0 to La.Mat.cols m - 1 do
+      add t (i0 + i) (j0 + j) (La.Mat.get m i j)
+    done
+  done
+
+(* Add a dense block at scattered row/column indices. *)
+let add_block_scattered t ~row_idx ~col_idx m =
+  if Array.length row_idx <> La.Mat.rows m || Array.length col_idx <> La.Mat.cols m then
+    invalid_arg "Coo.add_block_scattered: index length mismatch";
+  for i = 0 to La.Mat.rows m - 1 do
+    for j = 0 to La.Mat.cols m - 1 do
+      add t row_idx.(i) col_idx.(j) (La.Mat.get m i j)
+    done
+  done
+
+let add_column t ~j ~row_idx (v : La.Vec.t) =
+  if Array.length row_idx <> Array.length v then invalid_arg "Coo.add_column: length mismatch";
+  Array.iteri (fun k i -> add t i j v.(k)) row_idx
+
+let iter t f = List.iter (fun (i, j, v) -> f i j v) t.entries

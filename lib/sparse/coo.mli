@@ -1,0 +1,25 @@
+(** Coordinate-format sparse matrix builder; duplicates are summed when
+    converted to CSR. *)
+
+type t
+
+val create : int -> int -> t
+val rows : t -> int
+val cols : t -> int
+
+(** Number of raw (pre-deduplication) entries added so far. *)
+val entry_count : t -> int
+
+(** Add one entry; zeros are skipped. *)
+val add : t -> int -> int -> float -> unit
+
+(** Add a dense block with top-left corner [(i0, j0)]. *)
+val add_block : t -> i0:int -> j0:int -> La.Mat.t -> unit
+
+(** Add a dense block at scattered global row/column indices. *)
+val add_block_scattered : t -> row_idx:int array -> col_idx:int array -> La.Mat.t -> unit
+
+(** Add a column vector at scattered row indices into column [j]. *)
+val add_column : t -> j:int -> row_idx:int array -> La.Vec.t -> unit
+
+val iter : t -> (int -> int -> float -> unit) -> unit

@@ -1,0 +1,169 @@
+(* Compressed sparse row matrices.
+
+   The sparsified conductance representation G ~ Q G_w Q' is applied with
+   three CSR matrix-vector products; the sparsity statistics the thesis
+   reports (Tables 3.1, 4.1-4.3) are nnz counts of these matrices. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array;  (* length rows + 1 *)
+  col_idx : int array;  (* length nnz *)
+  values : float array;  (* length nnz *)
+}
+
+let rows t = t.rows
+let cols t = t.cols
+let nnz t = Array.length t.values
+
+(* Ratio of total entries to nonzeros; "sparsity" in the thesis's tables. *)
+let sparsity_factor t =
+  let n = nnz t in
+  if n = 0 then infinity else float_of_int t.rows *. float_of_int t.cols /. float_of_int n
+
+let of_coo coo =
+  let rows = Coo.rows coo and cols = Coo.cols coo in
+  (* Accumulate duplicates in per-row hash tables. *)
+  let row_tables = Array.init rows (fun _ -> Hashtbl.create 8) in
+  Coo.iter coo (fun i j v ->
+      let tbl = row_tables.(i) in
+      match Hashtbl.find_opt tbl j with
+      | Some old -> Hashtbl.replace tbl j (old +. v)
+      | None -> Hashtbl.add tbl j v);
+  let row_ptr = Array.make (rows + 1) 0 in
+  for i = 0 to rows - 1 do
+    let live = Hashtbl.fold (fun _ v acc -> if v <> 0.0 then acc + 1 else acc) row_tables.(i) 0 in
+    row_ptr.(i + 1) <- row_ptr.(i) + live
+  done;
+  let total = row_ptr.(rows) in
+  let col_idx = Array.make total 0 and values = Array.make total 0.0 in
+  for i = 0 to rows - 1 do
+    let cols_of_row =
+      Hashtbl.fold (fun j v acc -> if v <> 0.0 then (j, v) :: acc else acc) row_tables.(i) []
+    in
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) cols_of_row in
+    List.iteri
+      (fun k (j, v) ->
+        col_idx.(row_ptr.(i) + k) <- j;
+        values.(row_ptr.(i) + k) <- v)
+      sorted
+  done;
+  { rows; cols; row_ptr; col_idx; values }
+
+let of_dense ?(threshold = 0.0) m =
+  let coo = Coo.create (La.Mat.rows m) (La.Mat.cols m) in
+  for i = 0 to La.Mat.rows m - 1 do
+    for j = 0 to La.Mat.cols m - 1 do
+      let v = La.Mat.get m i j in
+      if Float.abs v > threshold then Coo.add coo i j v
+    done
+  done;
+  of_coo coo
+
+let to_dense t =
+  let m = La.Mat.create t.rows t.cols in
+  for i = 0 to t.rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      La.Mat.set m i t.col_idx.(k) t.values.(k)
+    done
+  done;
+  m
+
+let gemv t (x : La.Vec.t) : La.Vec.t =
+  if Array.length x <> t.cols then invalid_arg "Csr.gemv: dimension mismatch";
+  let y = Array.make t.rows 0.0 in
+  for i = 0 to t.rows - 1 do
+    let acc = ref 0.0 in
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let gemv_t t (x : La.Vec.t) : La.Vec.t =
+  if Array.length x <> t.rows then invalid_arg "Csr.gemv_t: dimension mismatch";
+  let y = Array.make t.cols 0.0 in
+  for i = 0 to t.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        y.(t.col_idx.(k)) <- y.(t.col_idx.(k)) +. (t.values.(k) *. xi)
+      done
+  done;
+  y
+
+let transpose t =
+  let coo = Coo.create t.cols t.rows in
+  for i = 0 to t.rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      Coo.add coo t.col_idx.(k) i t.values.(k)
+    done
+  done;
+  of_coo coo
+
+(* Drop entries with |v| <= threshold. *)
+let drop_below t threshold =
+  let coo = Coo.create t.rows t.cols in
+  for i = 0 to t.rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      if Float.abs t.values.(k) > threshold then Coo.add coo i t.col_idx.(k) t.values.(k)
+    done
+  done;
+  of_coo coo
+
+let max_abs t = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 t.values
+
+let iter t f =
+  for i = 0 to t.rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      f i t.col_idx.(k) t.values.(k)
+    done
+  done
+
+(* Binary search on a threshold so that dropping entries below it leaves the
+   matrix approximately [target] times sparser than the input (thesis §3.7:
+   "choosing a threshold t so that the sparsity will be approximately 6 times
+   greater"). *)
+let threshold_for_sparsity t ~target =
+  if target <= 1.0 then 0.0
+  else begin
+    let goal = int_of_float (float_of_int (nnz t) /. target) in
+    let lo = ref 0.0 and hi = ref (max_abs t) in
+    for _ = 1 to 60 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      let kept = ref 0 in
+      Array.iter (fun v -> if Float.abs v > mid then incr kept) t.values;
+      if !kept > goal then lo := mid else hi := mid
+    done;
+    !hi
+  end
+
+(* Matrix Market coordinate-format export, for interoperability with
+   external circuit/EDA tooling. *)
+let to_matrix_market ?(comment = "") t oc =
+  output_string oc "%%MatrixMarket matrix coordinate real general\n";
+  if comment <> "" then Printf.fprintf oc "%% %s\n" comment;
+  Printf.fprintf oc "%d %d %d\n" t.rows t.cols (nnz t);
+  iter t (fun i j v -> Printf.fprintf oc "%d %d %.17g\n" (i + 1) (j + 1) v)
+
+let of_matrix_market ic =
+  let rec header () =
+    let line = input_line ic in
+    if String.length line > 0 && line.[0] = '%' then header () else line
+  in
+  let dims = header () in
+  let rows, cols, count = Scanf.sscanf dims " %d %d %d" (fun a b c -> (a, b, c)) in
+  let coo = Coo.create rows cols in
+  for _ = 1 to count do
+    let line = input_line ic in
+    let i, j, v = Scanf.sscanf line " %d %d %f" (fun a b c -> (a, b, c)) in
+    Coo.add coo (i - 1) (j - 1) v
+  done;
+  of_coo coo
+
+(* Visit the entries of one row. *)
+let iter_row t i f =
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    f t.col_idx.(k) t.values.(k)
+  done

@@ -1,0 +1,41 @@
+(** Compressed sparse row matrices. *)
+
+type t
+
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+
+(** Total entries divided by nonzeros — the "sparsity" reported in the
+    thesis's tables (a dense matrix has sparsity 1). *)
+val sparsity_factor : t -> float
+
+val of_coo : Coo.t -> t
+
+(** Convert a dense matrix, keeping entries with magnitude above [threshold]
+    (default 0: keep exact nonzeros). *)
+val of_dense : ?threshold:float -> La.Mat.t -> t
+
+val to_dense : t -> La.Mat.t
+val gemv : t -> La.Vec.t -> La.Vec.t
+val gemv_t : t -> La.Vec.t -> La.Vec.t
+val transpose : t -> t
+
+(** Drop entries with magnitude at most the given threshold. *)
+val drop_below : t -> float -> t
+
+val max_abs : t -> float
+val iter : t -> (int -> int -> float -> unit) -> unit
+
+(** Find a magnitude threshold such that [drop_below] leaves roughly
+    [target] times fewer nonzeros. *)
+val threshold_for_sparsity : t -> target:float -> float
+
+(** Write in Matrix Market coordinate format (1-based indices). *)
+val to_matrix_market : ?comment:string -> t -> out_channel -> unit
+
+(** Read a Matrix Market coordinate-format matrix. *)
+val of_matrix_market : in_channel -> t
+
+(** Visit the entries of row [i]. *)
+val iter_row : t -> int -> (int -> float -> unit) -> unit

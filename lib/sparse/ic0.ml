@@ -1,0 +1,112 @@
+(* Incomplete Cholesky factorization with zero fill-in, IC(0)
+   (thesis §2.2.2, "ICCG"): A ~ L L' where L is restricted to the sparsity
+   pattern of the lower triangle of A. Applying the preconditioner
+   M^{-1} = (L L')^{-1} costs one forward and one backward sparse
+   substitution. *)
+
+exception Breakdown of int
+
+type t = {
+  n : int;
+  (* Lower-triangular factor stored by rows: column indices ascending, the
+     diagonal entry last in each row. *)
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+let factor a =
+  let n = Csr.rows a in
+  if Csr.cols a <> n then invalid_arg "Ic0.factor: matrix not square";
+  (* Collect the lower-triangular pattern (including diagonal) per row. *)
+  let rows : (int * float) list array = Array.make n [] in
+  Csr.iter a (fun i j v -> if j <= i then rows.(i) <- (j, v) :: rows.(i));
+  let rows = Array.map (fun l -> Array.of_list (List.sort compare l)) rows in
+  (* l_rows.(i) mirrors rows.(i) with computed factor values. *)
+  let l_rows = Array.map (fun r -> Array.map (fun (j, _) -> (j, 0.0)) r) rows in
+  let find_in_row i j =
+    (* Binary search for column j in the (sorted) factored row i. *)
+    let r = l_rows.(i) in
+    let lo = ref 0 and hi = ref (Array.length r - 1) and found = ref None in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c, v = r.(mid) in
+      if c = j then begin
+        found := Some v;
+        lo := !hi + 1
+      end
+      else if c < j then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  in
+  for i = 0 to n - 1 do
+    let pattern = rows.(i) in
+    Array.iteri
+      (fun idx (j, aij) ->
+        (* sum over k < j present in both row i and row j of L *)
+        let s = ref 0.0 in
+        Array.iteri
+          (fun idx' (k, lik) ->
+            if idx' < idx && k < j then
+              match find_in_row j k with Some ljk -> s := !s +. (lik *. ljk) | None -> ())
+          l_rows.(i);
+        if j < i then begin
+          let ljj =
+            match find_in_row j j with
+            | Some v -> v
+            | None -> raise (Breakdown j)
+          in
+          l_rows.(i).(idx) <- (j, (aij -. !s) /. ljj)
+        end
+        else begin
+          (* diagonal *)
+          let d = aij -. !s in
+          if d <= 0.0 then raise (Breakdown i);
+          l_rows.(i).(idx) <- (i, sqrt d)
+        end)
+      pattern
+  done;
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + Array.length l_rows.(i)
+  done;
+  let total = row_ptr.(n) in
+  let col_idx = Array.make total 0 and values = Array.make total 0.0 in
+  for i = 0 to n - 1 do
+    Array.iteri
+      (fun k (j, v) ->
+        col_idx.(row_ptr.(i) + k) <- j;
+        values.(row_ptr.(i) + k) <- v)
+      l_rows.(i)
+  done;
+  { n; row_ptr; col_idx; values }
+
+(* Solve L y = b (forward substitution; diagonal is the last entry per row). *)
+let solve_lower t (b : La.Vec.t) : La.Vec.t =
+  let y = Array.make t.n 0.0 in
+  for i = 0 to t.n - 1 do
+    let acc = ref b.(i) in
+    let last = t.row_ptr.(i + 1) - 1 in
+    for k = t.row_ptr.(i) to last - 1 do
+      acc := !acc -. (t.values.(k) *. y.(t.col_idx.(k)))
+    done;
+    y.(i) <- !acc /. t.values.(last)
+  done;
+  y
+
+(* Solve L' x = y (backward substitution using the row-stored L). *)
+let solve_upper_t t (y : La.Vec.t) : La.Vec.t =
+  let x = Array.copy y in
+  for i = t.n - 1 downto 0 do
+    let last = t.row_ptr.(i + 1) - 1 in
+    x.(i) <- x.(i) /. t.values.(last);
+    let xi = x.(i) in
+    for k = t.row_ptr.(i) to last - 1 do
+      x.(t.col_idx.(k)) <- x.(t.col_idx.(k)) -. (t.values.(k) *. xi)
+    done
+  done;
+  x
+
+(* Apply M^{-1} = (L L')^{-1}. *)
+let apply t b = solve_upper_t t (solve_lower t b)

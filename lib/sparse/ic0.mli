@@ -1,0 +1,14 @@
+(** Incomplete Cholesky IC(0) preconditioner for SPD CSR matrices. *)
+
+type t
+
+exception Breakdown of int
+
+(** Factor with zero fill-in; raises [Breakdown i] on a non-positive pivot. *)
+val factor : Csr.t -> t
+
+val solve_lower : t -> La.Vec.t -> La.Vec.t
+val solve_upper_t : t -> La.Vec.t -> La.Vec.t
+
+(** Apply the preconditioner inverse [(L L')^{-1}]. *)
+val apply : t -> La.Vec.t -> La.Vec.t

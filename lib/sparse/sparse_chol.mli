@@ -1,0 +1,17 @@
+(** Sparse Cholesky factorization with fill-in (up-looking rows), under an
+    optional fill-reducing permutation — the direct-solve alternative the
+    thesis weighs for the finite-difference system (§2.2.2). *)
+
+type t
+
+exception Not_positive_definite of int
+
+(** [factor ?perm a] factors the SPD matrix [a] with rows eliminated in
+    [perm] order (identity by default). *)
+val factor : ?perm:int array -> Csr.t -> t
+
+(** Nonzeros in the factor L (fill-in measurement). *)
+val nnz_l : t -> int
+
+(** Solve [a x = b]. *)
+val solve : t -> La.Vec.t -> La.Vec.t

@@ -1,0 +1,50 @@
+(* ASCII "spy" plots of sparsity patterns, standing in for the MATLAB spy
+   plots of thesis Figures 3-9/3-10 and 4-9/4-11. The matrix is binned onto a
+   character grid; each cell's glyph encodes the fraction of its entries that
+   are nonzero. *)
+
+let shades = [| ' '; '.'; ':'; '+'; '*'; '#' |]
+
+let render ?(width = 64) m =
+  let rows = Csr.rows m and cols = Csr.cols m in
+  if rows = 0 || cols = 0 then "(empty)\n"
+  else begin
+    let w = min width cols in
+    (* Keep cells roughly square in character-aspect terms (chars are about
+       twice as tall as wide). *)
+    let h = max 1 (min (width / 2) rows) in
+    let counts = Array.make_matrix h w 0 in
+    Csr.iter m (fun i j _ ->
+        let bi = min (h - 1) (i * h / rows) and bj = min (w - 1) (j * w / cols) in
+        counts.(bi).(bj) <- counts.(bi).(bj) + 1);
+    let cell_entries =
+      float_of_int rows /. float_of_int h *. (float_of_int cols /. float_of_int w)
+    in
+    let buf = Buffer.create ((h + 2) * (w + 3)) in
+    Buffer.add_char buf '+';
+    for _ = 1 to w do
+      Buffer.add_char buf '-'
+    done;
+    Buffer.add_string buf "+\n";
+    for i = 0 to h - 1 do
+      Buffer.add_char buf '|';
+      for j = 0 to w - 1 do
+        let frac = float_of_int counts.(i).(j) /. cell_entries in
+        let level =
+          if counts.(i).(j) = 0 then 0
+          else max 1 (min (Array.length shades - 1) (int_of_float (frac *. float_of_int (Array.length shades - 1)) + 1))
+        in
+        Buffer.add_char buf shades.(min level (Array.length shades - 1))
+      done;
+      Buffer.add_string buf "|\n"
+    done;
+    Buffer.add_char buf '+';
+    for _ = 1 to w do
+      Buffer.add_char buf '-'
+    done;
+    Buffer.add_string buf "+\n";
+    Buffer.add_string buf (Printf.sprintf "nz = %d (%dx%d, sparsity %.1f)\n" (Csr.nnz m) rows cols (Csr.sparsity_factor m));
+    Buffer.contents buf
+  end
+
+let print ?width m = print_string (render ?width m)

@@ -1,0 +1,8 @@
+(** ASCII sparsity-pattern ("spy") plots, the text analogue of the MATLAB
+    spy figures in the thesis. *)
+
+(** Render the pattern onto a character grid of at most [width] columns.
+    Darker glyphs mean denser bins; the trailing line reports nnz. *)
+val render : ?width:int -> Csr.t -> string
+
+val print : ?width:int -> Csr.t -> unit

@@ -1,0 +1,61 @@
+(* The black-box substrate solver interface (thesis §1.2, §2.1).
+
+   A solver is nothing but a map from the vector of n contact voltages to the
+   vector of n contact currents — the application of the dense conductance
+   matrix G. The sparsification algorithms interact with the substrate only
+   through this interface, which is the thesis's central constraint: no
+   access to individual entries of G, no analytic kernel. Every application
+   is counted so the solve-reduction factors of Tables 4.1 and 4.3 can be
+   reported. *)
+
+type t = {
+  n : int;  (* number of contacts *)
+  solve : La.Vec.t -> La.Vec.t;
+  counter : int ref;
+}
+
+let make ~n solve =
+  let counter = ref 0 in
+  let counted v =
+    if Array.length v <> n then
+      invalid_arg (Printf.sprintf "Blackbox: expected %d contact voltages, got %d" n (Array.length v));
+    incr counter;
+    solve v
+  in
+  { n; solve = counted; counter }
+
+let n t = t.n
+let apply t v = t.solve v
+let solve_count t = !(t.counter)
+let reset_count t = t.counter := 0
+
+(* Wrap an explicitly known conductance matrix. Used to test the
+   sparsification algorithms against exact arithmetic, and to re-serve an
+   extracted G cheaply. *)
+let of_dense g =
+  if La.Mat.rows g <> La.Mat.cols g then invalid_arg "Blackbox.of_dense: G must be square";
+  make ~n:(La.Mat.rows g) (La.Mat.gemv g)
+
+(* The naive extraction the thesis improves on: one solve per contact,
+   G(:, i) = G e_i (thesis §1.2). *)
+let extract_dense t =
+  let g = La.Mat.create t.n t.n in
+  let e = Array.make t.n 0.0 in
+  for i = 0 to t.n - 1 do
+    e.(i) <- 1.0;
+    La.Mat.set_col g i (apply t e);
+    e.(i) <- 0.0
+  done;
+  g
+
+(* Extract a sample of columns (for error estimation on large examples,
+   thesis Table 4.3: "a 10% sample of the columns of the actual G"). *)
+let extract_columns t indices =
+  let e = Array.make t.n 0.0 in
+  Array.map
+    (fun i ->
+      e.(i) <- 1.0;
+      let col = apply t e in
+      e.(i) <- 0.0;
+      col)
+    indices

@@ -1,0 +1,24 @@
+(** Black-box substrate solver: contact voltages to contact currents, with
+    solve counting. The sparsification algorithms touch G only through this
+    interface. *)
+
+type t
+
+(** [make ~n solve] wraps a solver for [n] contacts. Applications are counted
+    and argument length is validated. *)
+val make : n:int -> (La.Vec.t -> La.Vec.t) -> t
+
+val n : t -> int
+val apply : t -> La.Vec.t -> La.Vec.t
+val solve_count : t -> int
+val reset_count : t -> unit
+
+(** Wrap a dense conductance matrix as a black box. *)
+val of_dense : La.Mat.t -> t
+
+(** Naive extraction: n solves, one per contact (thesis §1.2). *)
+val extract_dense : t -> La.Mat.t
+
+(** Extract the given columns of G (for sampled error estimates on large
+    examples). *)
+val extract_columns : t -> int array -> La.Vec.t array

@@ -1,0 +1,68 @@
+(* Compound electrical contacts (thesis §5.2: "is it possible to handle
+   extremely large or long contacts efficiently? Right now they need to be
+   broken up into many small contacts so that each fits in a finest-level
+   square").
+
+   The geometric pieces stay small — the sparsification algorithms operate
+   on them unchanged — but a grouping ties pieces into electrical nodes:
+   with S the 0/1 piece-to-group incidence matrix, the electrical
+   conductance matrix is G_elec = S' G_pieces S (same voltage on every
+   piece of a group; group current is the sum over its pieces). Both the
+   exact black box and a sparsified representation lift through the same
+   two maps, so a guard ring of twelve strips becomes one circuit node at
+   zero extra extraction cost. *)
+
+type t = {
+  n_pieces : int;
+  n_groups : int;
+  group_of : int array;  (* piece -> group *)
+  members : int array array;  (* group -> pieces *)
+}
+
+let of_group_ids group_of =
+  let n_pieces = Array.length group_of in
+  if n_pieces = 0 then invalid_arg "Grouping.of_group_ids: empty";
+  let n_groups = 1 + Array.fold_left max (-1) group_of in
+  let counts = Array.make n_groups 0 in
+  Array.iter
+    (fun g ->
+      if g < 0 then invalid_arg "Grouping.of_group_ids: negative group id";
+      counts.(g) <- counts.(g) + 1)
+    group_of;
+  Array.iteri
+    (fun g c -> if c = 0 then invalid_arg (Printf.sprintf "Grouping.of_group_ids: empty group %d" g))
+    counts;
+  let members = Array.map (fun c -> Array.make c 0) counts in
+  let next = Array.make n_groups 0 in
+  Array.iteri
+    (fun piece g ->
+      members.(g).(next.(g)) <- piece;
+      next.(g) <- next.(g) + 1)
+    group_of;
+  { n_pieces; n_groups; group_of; members }
+
+let identity n = of_group_ids (Array.init n Fun.id)
+
+let n_pieces t = t.n_pieces
+let n_groups t = t.n_groups
+let members t g = t.members.(g)
+
+(* S v: group voltages to piece voltages. *)
+let expand t (v : La.Vec.t) : La.Vec.t =
+  if Array.length v <> t.n_groups then invalid_arg "Grouping.expand: group count mismatch";
+  Array.map (fun g -> v.(g)) t.group_of
+
+(* S' i: piece currents summed per group. *)
+let reduce t (i : La.Vec.t) : La.Vec.t =
+  if Array.length i <> t.n_pieces then invalid_arg "Grouping.reduce: piece count mismatch";
+  let out = Array.make t.n_groups 0.0 in
+  Array.iteri (fun piece g -> out.(g) <- out.(g) +. i.(piece)) t.group_of;
+  out
+
+(* Lift any piece-level application of G to the electrical level. *)
+let lift t apply (v : La.Vec.t) : La.Vec.t = reduce t (apply (expand t v))
+
+(* The electrical-level black box S' G S. *)
+let wrap_blackbox t bb =
+  if Blackbox.n bb <> t.n_pieces then invalid_arg "Grouping.wrap_blackbox: piece count mismatch";
+  Blackbox.make ~n:t.n_groups (lift t (Blackbox.apply bb))

@@ -1,0 +1,29 @@
+(** Compound electrical contacts: geometric pieces tied into electrical
+    nodes, addressing thesis §5.2's "extremely large or long contacts".
+    With S the piece-to-group incidence, the electrical conductance is
+    [G_elec = S' G_pieces S]. *)
+
+type t
+
+(** [of_group_ids a] where [a.(piece) = group]; group ids must be dense
+    0..n_groups-1 with no empty group. *)
+val of_group_ids : int array -> t
+
+(** Each piece its own group. *)
+val identity : int -> t
+
+val n_pieces : t -> int
+val n_groups : t -> int
+val members : t -> int -> int array
+
+(** Group voltages to piece voltages (apply S). *)
+val expand : t -> La.Vec.t -> La.Vec.t
+
+(** Piece currents summed per group (apply S'). *)
+val reduce : t -> La.Vec.t -> La.Vec.t
+
+(** Lift a piece-level application of G to the electrical level. *)
+val lift : t -> (La.Vec.t -> La.Vec.t) -> La.Vec.t -> La.Vec.t
+
+(** The electrical-level black box S' G S. *)
+val wrap_blackbox : t -> Blackbox.t -> Blackbox.t

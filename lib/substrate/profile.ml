@@ -1,0 +1,80 @@
+(* Layered substrate profiles (thesis Fig 1-1).
+
+   The substrate is a block [0,a] x [0,b] x [-d, 0] of Ohmic material made of
+   horizontal layers, each with its own conductivity, contacts on the top
+   surface z = 0 and optionally a grounded backplane contact covering the
+   bottom. *)
+
+type layer = { thickness : float; conductivity : float }
+
+type backplane = Grounded | Floating
+
+type t = {
+  a : float;  (* x extent of the surface *)
+  b : float;  (* y extent of the surface *)
+  layers : layer list;  (* top layer first *)
+  backplane : backplane;
+}
+
+let make ~a ~b ~layers ~backplane =
+  if a <= 0.0 || b <= 0.0 then invalid_arg "Profile.make: nonpositive surface extent";
+  if layers = [] then invalid_arg "Profile.make: no layers";
+  List.iter
+    (fun l ->
+      if l.thickness <= 0.0 || l.conductivity <= 0.0 then
+        invalid_arg "Profile.make: layers need positive thickness and conductivity")
+    layers;
+  { a; b; layers; backplane }
+
+let depth t = List.fold_left (fun acc l -> acc +. l.thickness) 0.0 t.layers
+
+(* Conductivity at depth [z] below the surface (z in [0, depth]). *)
+let conductivity_at t ~z =
+  let rec go z = function
+    | [] -> (List.nth t.layers (List.length t.layers - 1)).conductivity
+    | l :: rest -> if z <= l.thickness then l.conductivity else go (z -. l.thickness) rest
+  in
+  go (Float.max 0.0 z) t.layers
+
+(* Average resistivity over a depth interval, for vertical grid resistors
+   that may straddle layer boundaries: 1 / conductance is the integral of
+   1 / sigma over the interval. *)
+let integrated_resistivity t ~z0 ~z1 =
+  if z1 <= z0 then invalid_arg "Profile.integrated_resistivity: empty interval";
+  let rec go acc depth_done = function
+    | [] -> acc +. (Float.max 0.0 (z1 -. Float.max z0 depth_done) /. (List.nth t.layers (List.length t.layers - 1)).conductivity)
+    | l :: rest ->
+      let top = depth_done and bottom = depth_done +. l.thickness in
+      let overlap = Float.max 0.0 (Float.min z1 bottom -. Float.max z0 top) in
+      let acc = acc +. (overlap /. l.conductivity) in
+      if bottom >= z1 then acc else go acc bottom rest
+  in
+  go 0.0 0.0 t.layers
+
+(* The standard two-layer test substrate of thesis §3.7: 128 x 128 surface,
+   depth 40, top layer of thickness 0.5 with conductivity 1, bulk at 100x
+   that, plus a thin resistive layer (conductivity 0.1) adjacent to a
+   grounded backplane to emulate the floating-backplane case with an
+   integral-equation solver that requires a groundplane. *)
+let thesis_default ?(size = 128.0) () =
+  make ~a:size ~b:size
+    ~layers:
+      [
+        { thickness = 0.5; conductivity = 1.0 };
+        { thickness = 38.5; conductivity = 100.0 };
+        { thickness = 1.0; conductivity = 0.1 };
+      ]
+    ~backplane:Grounded
+
+(* A grid-friendly variant for the finite-difference solver: the same
+   high-conductivity-bulk structure but with layer boundaries representable
+   on a coarse vertical grid. *)
+let fd_friendly ?(size = 128.0) ?(depth_units = 40.0) () =
+  make ~a:size ~b:size
+    ~layers:
+      [
+        { thickness = depth_units *. 0.05; conductivity = 1.0 };
+        { thickness = depth_units *. 0.85; conductivity = 100.0 };
+        { thickness = depth_units *. 0.10; conductivity = 0.1 };
+      ]
+    ~backplane:Grounded

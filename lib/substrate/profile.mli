@@ -1,0 +1,33 @@
+(** Layered substrate profiles (thesis Fig 1-1). *)
+
+type layer = { thickness : float; conductivity : float }
+type backplane = Grounded | Floating
+
+type t = {
+  a : float;
+  b : float;
+  layers : layer list;  (** top layer first *)
+  backplane : backplane;
+}
+
+val make : a:float -> b:float -> layers:layer list -> backplane:backplane -> t
+
+(** Total substrate thickness. *)
+val depth : t -> float
+
+(** Conductivity at depth [z] below the top surface. *)
+val conductivity_at : t -> z:float -> float
+
+(** Integral of 1/sigma over the depth interval [z0, z1]; the reciprocal
+    (scaled by area/length) is the conductance of a vertical resistor that may
+    straddle layer boundaries. *)
+val integrated_resistivity : t -> z0:float -> z1:float -> float
+
+(** The thesis §3.7 test substrate: 128 x 128 x 40, conductivities
+    1 / 100 / 0.1 with interfaces at depths 0.5 and 39, grounded backplane
+    (the resistive bottom layer emulates a floating backplane). *)
+val thesis_default : ?size:float -> unit -> t
+
+(** Same structure with layer boundaries representable on a coarse vertical
+    finite-difference grid. *)
+val fd_friendly : ?size:float -> ?depth_units:float -> unit -> t

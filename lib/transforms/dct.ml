@@ -1,0 +1,160 @@
+(* Orthonormal discrete cosine transforms (DCT-II and its inverse DCT-III).
+
+   The DCT-II basis vectors cos(pi (n + 1/2) k / N) are the eigenvectors of
+   the 1-D cell-centered Neumann Laplacian, which is what makes the fast
+   Poisson solver (thesis §2.2.2) and the eigenfunction substrate solver
+   (§2.3.1, Fig 2-6) work: both conjugate their operators by the 2-D DCT.
+
+   The orthonormal scaling s_0 = sqrt(1/N), s_k = sqrt(2/N) makes the
+   transform matrix orthogonal, so DCT-III = inverse = transpose — keeping
+   operators of the form C' Lambda C exactly symmetric in floating point
+   structure. Power-of-two lengths run through cached FFT plans
+   (O(n log n), precomputed twiddles); other lengths fall back to the
+   direct O(n^2) sum. *)
+
+(* Unnormalized DCT-II: c_k = sum_n x_n cos(pi (2n+1) k / (2N)). *)
+let dct2_raw_naive x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let acc = ref 0.0 in
+      for j = 0 to n - 1 do
+        acc :=
+          !acc
+          +. (x.(j) *. cos (Float.pi *. float_of_int ((2 * j) + 1) *. float_of_int k /. float_of_int (2 * n)))
+      done;
+      !acc)
+
+let dct2_raw x =
+  let n = Array.length x in
+  if Fft.is_power_of_two n then begin
+    let plan = Plan.get n in
+    let re = Array.make n 0.0 and im = Array.make n 0.0 and out = Array.make n 0.0 in
+    Plan.dct2_raw plan x re im out;
+    out
+  end
+  else dct2_raw_naive x
+
+(* Exact inverse of [dct2_raw]:
+   x_n = (1/N) c_0 + (2/N) sum_{k>=1} c_k cos(pi (2n+1) k / (2N)). *)
+let idct2_raw_naive c =
+  let n = Array.length c in
+  Array.init n (fun j ->
+      let acc = ref (c.(0) /. float_of_int n) in
+      for k = 1 to n - 1 do
+        acc :=
+          !acc
+          +. (2.0 /. float_of_int n *. c.(k)
+             *. cos (Float.pi *. float_of_int ((2 * j) + 1) *. float_of_int k /. float_of_int (2 * n)))
+      done;
+      !acc)
+
+let idct2_raw c =
+  let n = Array.length c in
+  if Fft.is_power_of_two n then begin
+    let plan = Plan.get n in
+    let re = Array.make n 0.0 and im = Array.make n 0.0 and out = Array.make n 0.0 in
+    Plan.idct2_raw plan c re im out;
+    out
+  end
+  else idct2_raw_naive c
+
+let ortho_scale n k = if k = 0 then sqrt (1.0 /. float_of_int n) else sqrt (2.0 /. float_of_int n)
+
+(* Orthonormal DCT-II. *)
+let dct_ii x =
+  let n = Array.length x in
+  let c = dct2_raw x in
+  Array.mapi (fun k v -> ortho_scale n k *. v) c
+
+(* Orthonormal DCT-III (inverse and transpose of [dct_ii]). *)
+let dct_iii y =
+  let n = Array.length y in
+  let c = Array.mapi (fun k v -> v /. ortho_scale n k) y in
+  idct2_raw c
+
+(* ------------------------------------------------------------------ *)
+(* 2-D transforms on flat row-major arrays with x fastest:
+   index = ix + nx * iy. Scratch buffers are allocated once per call and
+   reused across all rows and columns. *)
+
+let check_2d ~nx ~ny a name =
+  if Array.length a <> nx * ny then
+    invalid_arg (Printf.sprintf "Dct.%s: expected %d*%d elements, got %d" name nx ny (Array.length a))
+
+type direction = Forward | Inverse
+
+let transform_2d_fast dir ~nx ~ny a =
+  let plan_x = Plan.get nx and plan_y = Plan.get ny in
+  let out = Array.copy a in
+  let nmax = max nx ny in
+  let re = Array.make nmax 0.0 and im = Array.make nmax 0.0 in
+  let buf = Array.make nmax 0.0 and res = Array.make nmax 0.0 in
+  let run plan len =
+    match dir with
+    | Forward ->
+      Plan.dct2_raw plan buf re im res;
+      let s0 = sqrt (1.0 /. float_of_int len) and s = sqrt (2.0 /. float_of_int len) in
+      res.(0) <- res.(0) *. s0;
+      for k = 1 to len - 1 do
+        res.(k) <- res.(k) *. s
+      done
+    | Inverse ->
+      let s0 = sqrt (float_of_int len) and s = sqrt (float_of_int len /. 2.0) in
+      buf.(0) <- buf.(0) *. s0;
+      for k = 1 to len - 1 do
+        buf.(k) <- buf.(k) *. s
+      done;
+      Plan.idct2_raw plan buf re im res
+  in
+  (* Along x: contiguous rows. *)
+  for iy = 0 to ny - 1 do
+    Array.blit out (iy * nx) buf 0 nx;
+    run plan_x nx;
+    Array.blit res 0 out (iy * nx) nx
+  done;
+  (* Along y: strided columns. *)
+  for ix = 0 to nx - 1 do
+    for iy = 0 to ny - 1 do
+      buf.(iy) <- out.((iy * nx) + ix)
+    done;
+    run plan_y ny;
+    for iy = 0 to ny - 1 do
+      out.((iy * nx) + ix) <- res.(iy)
+    done
+  done;
+  out
+
+let transform_2d_slow f1d ~nx ~ny a =
+  let out = Array.copy a in
+  let rowbuf = Array.make nx 0.0 in
+  for iy = 0 to ny - 1 do
+    Array.blit out (iy * nx) rowbuf 0 nx;
+    let t = f1d rowbuf in
+    Array.blit t 0 out (iy * nx) nx
+  done;
+  let colbuf = Array.make ny 0.0 in
+  for ix = 0 to nx - 1 do
+    for iy = 0 to ny - 1 do
+      colbuf.(iy) <- out.((iy * nx) + ix)
+    done;
+    let t = f1d colbuf in
+    for iy = 0 to ny - 1 do
+      out.((iy * nx) + ix) <- t.(iy)
+    done
+  done;
+  out
+
+let dct_ii_2d ~nx ~ny a =
+  check_2d ~nx ~ny a "dct_ii_2d";
+  if Fft.is_power_of_two nx && Fft.is_power_of_two ny then transform_2d_fast Forward ~nx ~ny a
+  else transform_2d_slow dct_ii ~nx ~ny a
+
+let dct_iii_2d ~nx ~ny a =
+  check_2d ~nx ~ny a "dct_iii_2d";
+  if Fft.is_power_of_two nx && Fft.is_power_of_two ny then transform_2d_fast Inverse ~nx ~ny a
+  else transform_2d_slow dct_iii ~nx ~ny a
+
+(* Eigenvalue of the 1-D cell-centered Neumann Laplacian
+   (stencil [1,-1] / [-1,2,-1] / [-1,1]) for DCT-II mode k of n. *)
+let neumann_laplacian_eigenvalue ~n ~k =
+  2.0 -. (2.0 *. cos (Float.pi *. float_of_int k /. float_of_int n))

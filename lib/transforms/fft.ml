@@ -1,0 +1,85 @@
+(* Iterative radix-2 complex FFT (decimation in time).
+
+   Complex data is carried as separate re/im arrays to avoid boxing. Only
+   power-of-two lengths are supported; the DCT module falls back to a direct
+   O(n^2) transform for other lengths. *)
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* Bit-reversal permutation applied in place. *)
+let bit_reverse re im =
+  let n = Array.length re in
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) and ti = im.(i) in
+      re.(i) <- re.(!j);
+      im.(i) <- im.(!j);
+      re.(!j) <- tr;
+      im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done
+
+(* In-place FFT; [sign] is -1 for the forward transform (exp(-2 pi i k n / N))
+   and +1 for the inverse (without the 1/N scaling). *)
+let transform ~sign re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft.transform: re/im length mismatch";
+  if not (is_power_of_two n) then invalid_arg "Fft.transform: length must be a power of two";
+  if n > 1 then begin
+    bit_reverse re im;
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let theta = float_of_int sign *. 2.0 *. Float.pi /. float_of_int !len in
+      let wr0 = cos theta and wi0 = sin theta in
+      let i = ref 0 in
+      while !i < n do
+        let wr = ref 1.0 and wi = ref 0.0 in
+        for k = 0 to half - 1 do
+          let a = !i + k and b = !i + k + half in
+          let tr = (!wr *. re.(b)) -. (!wi *. im.(b)) in
+          let ti = (!wr *. im.(b)) +. (!wi *. re.(b)) in
+          re.(b) <- re.(a) -. tr;
+          im.(b) <- im.(a) -. ti;
+          re.(a) <- re.(a) +. tr;
+          im.(a) <- im.(a) +. ti;
+          let wr' = (!wr *. wr0) -. (!wi *. wi0) in
+          wi := (!wr *. wi0) +. (!wi *. wr0);
+          wr := wr'
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done
+  end
+
+let forward re im = transform ~sign:(-1) re im
+
+let inverse re im =
+  transform ~sign:1 re im;
+  let n = float_of_int (Array.length re) in
+  for i = 0 to Array.length re - 1 do
+    re.(i) <- re.(i) /. n;
+    im.(i) <- im.(i) /. n
+  done
+
+(* Direct O(n^2) DFT for testing the FFT against. *)
+let dft_naive ~sign re im =
+  let n = Array.length re in
+  let out_re = Array.make n 0.0 and out_im = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let theta = float_of_int sign *. 2.0 *. Float.pi *. float_of_int (k * j) /. float_of_int n in
+      let c = cos theta and s = sin theta in
+      out_re.(k) <- out_re.(k) +. (re.(j) *. c) -. (im.(j) *. s);
+      out_im.(k) <- out_im.(k) +. (re.(j) *. s) +. (im.(j) *. c)
+    done
+  done;
+  (out_re, out_im)

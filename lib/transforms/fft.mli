@@ -1,0 +1,13 @@
+(** Iterative radix-2 complex FFT on separate re/im arrays. *)
+
+val is_power_of_two : int -> bool
+
+(** In-place forward DFT, kernel exp(-2 pi i k n / N). Length must be a power
+    of two. *)
+val forward : float array -> float array -> unit
+
+(** In-place inverse DFT including the 1/N scaling. *)
+val inverse : float array -> float array -> unit
+
+(** Direct O(n^2) DFT for testing; [sign = -1] matches [forward]. *)
+val dft_naive : sign:int -> float array -> float array -> float array * float array

@@ -1,0 +1,299 @@
+(* Tests for contacts, layouts, the quadtree and moment matrices. *)
+
+open La
+open Geometry
+
+let rng = Rng.create 2718
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Contact *)
+
+let test_contact_basics () =
+  let c = Contact.make ~x0:1.0 ~y0:2.0 ~x1:3.0 ~y1:6.0 in
+  Alcotest.(check (float 1e-12)) "area" 8.0 (Contact.area c);
+  let cx, cy = Contact.centroid c in
+  Alcotest.(check (float 1e-12)) "cx" 2.0 cx;
+  Alcotest.(check (float 1e-12)) "cy" 4.0 cy;
+  Alcotest.(check bool) "contains center" true (Contact.contains c ~x:2.0 ~y:4.0);
+  Alcotest.(check bool) "outside" false (Contact.contains c ~x:0.0 ~y:0.0)
+
+let test_contact_degenerate () =
+  Alcotest.check_raises "degenerate" (Invalid_argument "Contact.make: degenerate rectangle")
+    (fun () -> ignore (Contact.make ~x0:1.0 ~y0:1.0 ~x1:1.0 ~y1:2.0))
+
+(* ------------------------------------------------------------------ *)
+(* Layout *)
+
+let test_regular_grid () =
+  let l = Layout.regular_grid ~per_side:4 () in
+  Alcotest.(check int) "count" 16 (Layout.n_contacts l);
+  (* All contacts equal area, all inside the surface. *)
+  let a0 = Contact.area l.Layout.contacts.(0) in
+  Array.iter
+    (fun c ->
+      Alcotest.(check (float 1e-9)) "equal areas" a0 (Contact.area c);
+      Alcotest.(check bool) "inside surface" true
+        (Contact.inside c ~x0:0.0 ~y0:0.0 ~x1:l.Layout.size ~y1:l.Layout.size))
+    l.Layout.contacts
+
+let test_alternating_sizes () =
+  let l = Layout.alternating ~per_side:4 () in
+  let areas = Array.map Contact.area l.Layout.contacts in
+  (* Two distinct sizes present. *)
+  let mn = Array.fold_left Float.min infinity areas in
+  let mx = Array.fold_left Float.max 0.0 areas in
+  Alcotest.(check bool) "two sizes" true (mx > 2.0 *. mn)
+
+let test_irregular_density () =
+  let l = Layout.irregular ~per_side:8 ~gap_fraction:0.4 rng () in
+  let n = Layout.n_contacts l in
+  Alcotest.(check bool) "gaps carved" true (n > 24 && n < 64)
+
+let test_mixed_shapes_fit () =
+  let l = Layout.mixed_shapes ~per_side:16 () in
+  Alcotest.(check bool) "nonempty" true (Layout.n_contacts l > 50);
+  (* Every piece fits in a finest-level square at per_side subdivision. *)
+  let t = Quadtree.create ~max_level:4 l in
+  ignore t
+
+let test_large_mixed_scales () =
+  let l = Layout.large_mixed ~per_side:32 rng () in
+  Alcotest.(check bool) "hundreds of contacts" true (Layout.n_contacts l > 300)
+
+let test_two_square_example () =
+  let l, s, d = Layout.two_square_example () in
+  Alcotest.(check int) "six contacts" 6 (Layout.n_contacts l);
+  Alcotest.(check int) "two source" 2 (Array.length s);
+  Alcotest.(check int) "four destination" 4 (Array.length d);
+  (* Source contact 2 is 2.25x the area of contact 1 (thesis Fig 4-1). *)
+  let a1 = Contact.area l.Layout.contacts.(s.(0)) and a2 = Contact.area l.Layout.contacts.(s.(1)) in
+  Alcotest.(check (float 1e-9)) "area ratio" 2.25 (a2 /. a1)
+
+let test_render_layout () =
+  let l = Layout.regular_grid ~per_side:4 () in
+  let s = Layout.render ~width:32 l in
+  Alcotest.(check bool) "has contacts drawn" true (String.contains s '#')
+
+(* ------------------------------------------------------------------ *)
+(* Quadtree *)
+
+let tree_of per_side max_level = Quadtree.create ~max_level (Layout.regular_grid ~per_side ())
+
+let test_quadtree_counts () =
+  let t = tree_of 8 3 in
+  Alcotest.(check int) "level 3 squares" 64 (Array.length (Quadtree.squares_at_level t 3));
+  Alcotest.(check int) "level 0 squares" 1 (Array.length (Quadtree.squares_at_level t 0));
+  (* Root holds all contacts. *)
+  Alcotest.(check int) "root contacts" 64 (Array.length (Quadtree.contacts_of t ~level:0 ~ix:0 ~iy:0));
+  (* 8x8 contacts over 8x8 finest squares: one each. *)
+  Array.iter
+    (fun sq -> Alcotest.(check int) "one contact per finest square" 1 (Array.length sq.Quadtree.contacts))
+    (Quadtree.squares_at_level t 3)
+
+let test_quadtree_levels_partition () =
+  let t = tree_of 8 3 in
+  (* At each level the squares partition the contact set. *)
+  for l = 0 to 3 do
+    let total =
+      Array.fold_left (fun acc sq -> acc + Array.length sq.Quadtree.contacts) 0 (Quadtree.squares_at_level t l)
+    in
+    Alcotest.(check int) (Printf.sprintf "level %d total" l) 64 total
+  done
+
+let test_quadtree_crossing_raises () =
+  (* One big contact covering the whole surface cannot fit at level 1. *)
+  let l =
+    { Layout.size = 16.0; contacts = [| Contact.make ~x0:1.0 ~y0:1.0 ~x1:15.0 ~y1:15.0 |]; name = "big" }
+  in
+  Alcotest.check_raises "crossing" (Quadtree.Contact_crosses_boundary 0) (fun () ->
+      ignore (Quadtree.create ~max_level:1 l))
+
+let test_local_squares () =
+  (* Interior square: 9 local; corner: 4 local. *)
+  Alcotest.(check int) "interior" 9 (List.length (Quadtree.local_squares ~level:3 ~ix:4 ~iy:4));
+  Alcotest.(check int) "corner" 4 (List.length (Quadtree.local_squares ~level:3 ~ix:0 ~iy:0));
+  Alcotest.(check int) "edge" 6 (List.length (Quadtree.local_squares ~level:3 ~ix:0 ~iy:4))
+
+let test_interactive_squares_properties () =
+  (* At level 2 of a 4x4 division, every non-local square is interactive
+     (all parents are neighbors at level 1). *)
+  let inter = Quadtree.interactive_squares ~level:2 ~ix:1 ~iy:1 in
+  let local = Quadtree.local_squares ~level:2 ~ix:1 ~iy:1 in
+  Alcotest.(check int) "level 2 covers everything" 16 (List.length inter + List.length local);
+  (* Below level 2, no interactive squares. *)
+  Alcotest.(check int) "level 1 empty" 0 (List.length (Quadtree.interactive_squares ~level:1 ~ix:0 ~iy:0));
+  (* Interactive squares are separated by at least one square. *)
+  List.iter
+    (fun (jx, jy) ->
+      Alcotest.(check bool) "separated" true (max (abs (jx - 1)) (abs (jy - 1)) >= 2))
+    inter
+
+let test_interactive_symmetry () =
+  (* d in I_s iff s in I_d (thesis: "interactive and local are symmetric
+     definitions"). *)
+  let level = 3 in
+  let n = Quadtree.side_count level in
+  for ix = 0 to n - 1 do
+    for iy = 0 to n - 1 do
+      List.iter
+        (fun (jx, jy) ->
+          let back = Quadtree.interactive_squares ~level ~ix:jx ~iy:jy in
+          Alcotest.(check bool) "symmetric" true (List.mem (ix, iy) back))
+        (Quadtree.interactive_squares ~level ~ix ~iy)
+    done
+  done
+
+let test_interactive_plus_local_is_parent_neighborhood () =
+  (* P_s = I_s + L_s refines the local region of the parent square. *)
+  let level = 3 and ix = 2 and iy = 5 in
+  let px, py = Quadtree.parent_coords ~ix ~iy in
+  let parent_local = Quadtree.local_squares ~level:(level - 1) ~ix:px ~iy:py in
+  let refined =
+    List.concat_map (fun (qx, qy) -> Quadtree.children_coords ~ix:qx ~iy:qy) parent_local
+  in
+  let p_s = Quadtree.interactive_squares ~level ~ix ~iy @ Quadtree.local_squares ~level ~ix ~iy in
+  Alcotest.(check int) "same cardinality" (List.length refined) (List.length p_s);
+  List.iter
+    (fun sq -> Alcotest.(check bool) "covered" true (List.mem sq refined))
+    p_s
+
+let test_region_contacts_sorted_unique () =
+  let t = tree_of 8 3 in
+  let region = Quadtree.region_contacts t ~level:3 (Quadtree.local_squares ~level:3 ~ix:3 ~iy:3) in
+  Alcotest.(check int) "9 contacts" 9 (Array.length region);
+  let sorted = Array.copy region in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "sorted" true (region = sorted)
+
+let test_suggest_max_level () =
+  let l = Layout.regular_grid ~per_side:16 () in
+  let ml = Quadtree.suggest_max_level ~target:4 l in
+  let t = Quadtree.create ~max_level:ml l in
+  let max_count =
+    Array.fold_left (fun acc sq -> max acc (Array.length sq.Quadtree.contacts)) 0
+      (Quadtree.squares_at_level t ml)
+  in
+  Alcotest.(check bool) "small squares" true (max_count <= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Moments *)
+
+let test_exponent_count () =
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "count p=%d" p)
+        (Moments.count p)
+        (Array.length (Moments.exponents p)))
+    [ 0; 1; 2; 3 ];
+  Alcotest.(check int) "p=2 has 6" 6 (Moments.count 2)
+
+let test_zeroth_moment_is_area () =
+  let c = Contact.make ~x0:1.0 ~y0:2.0 ~x1:4.0 ~y1:3.0 in
+  Alcotest.(check (float 1e-12)) "area" (Contact.area c)
+    (Moments.contact_moment ~cx:0.0 ~cy:0.0 c ~a:0 ~b:0)
+
+let test_first_moment_centered () =
+  (* About its own centroid, a contact's first moments vanish. *)
+  let c = Contact.make ~x0:1.0 ~y0:2.0 ~x1:4.0 ~y1:3.0 in
+  let cx, cy = Contact.centroid c in
+  Alcotest.(check (float 1e-12)) "mx" 0.0 (Moments.contact_moment ~cx ~cy c ~a:1 ~b:0);
+  Alcotest.(check (float 1e-12)) "my" 0.0 (Moments.contact_moment ~cx ~cy c ~a:0 ~b:1)
+
+let numeric_moment ~cx ~cy (c : Contact.t) ~a ~b =
+  (* Midpoint quadrature reference. *)
+  let n = 200 in
+  let dx = Contact.width c /. float_of_int n and dy = Contact.height c /. float_of_int n in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let x = c.Contact.x0 +. ((float_of_int i +. 0.5) *. dx) in
+      let y = c.Contact.y0 +. ((float_of_int j +. 0.5) *. dy) in
+      acc := !acc +. (((x -. cx) ** float_of_int a) *. ((y -. cy) ** float_of_int b) *. dx *. dy)
+    done
+  done;
+  !acc
+
+let prop_moment_matches_quadrature =
+  let gen =
+    QCheck2.Gen.(
+      let* x0 = float_range (-2.0) 2.0 in
+      let* y0 = float_range (-2.0) 2.0 in
+      let* w = float_range 0.1 2.0 in
+      let* h = float_range 0.1 2.0 in
+      let* a = int_range 0 2 in
+      let* b = int_range 0 2 in
+      return (x0, y0, w, h, a, b))
+  in
+  qtest ~count:30 "analytic moments match quadrature" gen (fun (x0, y0, w, h, a, b) ->
+      let c = Contact.make ~x0 ~y0 ~x1:(x0 +. w) ~y1:(y0 +. h) in
+      let exact = Moments.contact_moment ~cx:0.5 ~cy:(-0.5) c ~a ~b in
+      let approx = numeric_moment ~cx:0.5 ~cy:(-0.5) c ~a ~b in
+      Float.abs (exact -. approx) < 1e-3 *. (1.0 +. Float.abs exact))
+
+let test_moments_matrix_shape () =
+  let l = Layout.regular_grid ~per_side:2 () in
+  let m = Moments.matrix ~p:2 ~center:(64.0, 64.0) l.Layout.contacts in
+  Alcotest.(check int) "rows" 6 (Mat.rows m);
+  Alcotest.(check int) "cols" 4 (Mat.cols m)
+
+let test_shift_matrix () =
+  (* Shifting moments to a new center agrees with direct computation. *)
+  let contacts = [| Contact.make ~x0:0.5 ~y0:1.0 ~x1:2.0 ~y1:2.5 |] in
+  let p = 2 in
+  let m_old = Moments.matrix ~p ~center:(1.0, 1.0) contacts in
+  let m_new = Moments.matrix ~p ~center:(3.0, -2.0) contacts in
+  (* Old center offset relative to the new center. *)
+  let s = Moments.shift_matrix ~p ~dx:(1.0 -. 3.0) ~dy:(1.0 -. -2.0) in
+  Alcotest.(check bool) "shift" true (Mat.approx_equal ~tol:1e-9 (Mat.mul s m_old) m_new)
+
+let test_binomial () =
+  Alcotest.(check int) "C(5,2)" 10 (Moments.binomial 5 2);
+  Alcotest.(check int) "C(4,0)" 1 (Moments.binomial 4 0);
+  Alcotest.(check int) "C(3,5)" 0 (Moments.binomial 3 5)
+
+let () =
+  Alcotest.run "geometry"
+    [
+      ( "contact",
+        [
+          Alcotest.test_case "basics" `Quick test_contact_basics;
+          Alcotest.test_case "degenerate" `Quick test_contact_degenerate;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "regular grid" `Quick test_regular_grid;
+          Alcotest.test_case "alternating sizes" `Quick test_alternating_sizes;
+          Alcotest.test_case "irregular density" `Quick test_irregular_density;
+          Alcotest.test_case "mixed shapes fit quadtree" `Quick test_mixed_shapes_fit;
+          Alcotest.test_case "large mixed scales" `Quick test_large_mixed_scales;
+          Alcotest.test_case "fig 4-1 example" `Quick test_two_square_example;
+          Alcotest.test_case "render" `Quick test_render_layout;
+        ] );
+      ( "quadtree",
+        [
+          Alcotest.test_case "counts" `Quick test_quadtree_counts;
+          Alcotest.test_case "levels partition contacts" `Quick test_quadtree_levels_partition;
+          Alcotest.test_case "crossing raises" `Quick test_quadtree_crossing_raises;
+          Alcotest.test_case "local squares" `Quick test_local_squares;
+          Alcotest.test_case "interactive squares" `Quick test_interactive_squares_properties;
+          Alcotest.test_case "interactive symmetric" `Quick test_interactive_symmetry;
+          Alcotest.test_case "P_s refines parent neighborhood" `Quick
+            test_interactive_plus_local_is_parent_neighborhood;
+          Alcotest.test_case "region contacts" `Quick test_region_contacts_sorted_unique;
+          Alcotest.test_case "suggest_max_level" `Quick test_suggest_max_level;
+        ] );
+      ( "moments",
+        [
+          Alcotest.test_case "exponent count" `Quick test_exponent_count;
+          Alcotest.test_case "zeroth = area" `Quick test_zeroth_moment_is_area;
+          Alcotest.test_case "first vanish at centroid" `Quick test_first_moment_centered;
+          prop_moment_matches_quadrature;
+          Alcotest.test_case "matrix shape" `Quick test_moments_matrix_shape;
+          Alcotest.test_case "shift matrix" `Quick test_shift_matrix;
+          Alcotest.test_case "binomial" `Quick test_binomial;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+(* Property-based tests of the sparsification pipeline on randomized
+   layouts and operators.
+
+   Accuracy properties need a physical conductance matrix, but the
+   *structural* invariants — orthogonality of Q, vanishing moments, basis
+   dimension telescoping, representation consistency — must hold for any
+   aligned layout and any SPD operator. Randomizing over both is what
+   catches geometry corner cases (empty squares, single-contact squares,
+   clusters) that hand-picked examples miss. *)
+
+open La
+module Blackbox = Substrate.Blackbox
+module Quadtree = Geometry.Quadtree
+module Layout = Geometry.Layout
+module Contact = Geometry.Contact
+open Sparsify
+
+let qtest ?(count = 25) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Random aligned layout: a random nonempty subset of the cells of an
+   8 x 8 grid over a 128-unit surface, each holding one centered contact of
+   random (aligned-safe) size. Always fits the quadtree to level 3. *)
+let layout_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* density = float_range 0.15 0.9 in
+    return
+      (let rng = Rng.create seed in
+       let cell = 16.0 in
+       let contacts = ref [] in
+       for j = 0 to 7 do
+         for i = 0 to 7 do
+           if Rng.float rng < density then begin
+             let fill = 0.25 +. (0.5 *. Rng.float rng) in
+             let side = fill *. cell in
+             let cx = (float_of_int i +. 0.5) *. cell and cy = (float_of_int j +. 0.5) *. cell in
+             contacts :=
+               Contact.make
+                 ~x0:(cx -. (side /. 2.0))
+                 ~y0:(cy -. (side /. 2.0))
+                 ~x1:(cx +. (side /. 2.0))
+                 ~y1:(cy +. (side /. 2.0))
+               :: !contacts
+           end
+         done
+       done;
+       (* Guarantee nonempty. *)
+       if !contacts = [] then
+         contacts := [ Contact.make ~x0:60.0 ~y0:60.0 ~x1:68.0 ~y1:68.0 ];
+       { Layout.size = 128.0; contacts = Array.of_list !contacts; name = "random" }))
+
+(* A synthetic SPD "conductance-like" matrix over a layout: smooth distance
+   kernel plus diagonal dominance. Structural invariants must hold for it
+   even though it is not a real substrate. *)
+let synthetic_g (layout : Layout.t) =
+  let n = Layout.n_contacts layout in
+  let centers = Array.map Contact.centroid layout.Layout.contacts in
+  Mat.init n n (fun i j ->
+      if i = j then 10.0 +. Contact.area layout.Layout.contacts.(i)
+      else begin
+        let xi, yi = centers.(i) and xj, yj = centers.(j) in
+        let d = sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0)) in
+        -1.0 /. (1.0 +. (0.5 *. d))
+      end)
+
+let orthogonal ?(tol = 1e-8) q =
+  let qd = Sparsemat.Csr.to_dense q in
+  Mat.max_abs (Mat.sub (Mat.mul (Mat.transpose qd) qd) (Mat.identity (Mat.cols qd))) < tol
+
+let prop_wavelet_q_orthogonal =
+  qtest "wavelet Q orthogonal on random layouts" layout_gen (fun layout ->
+      let basis = Wavelet.create ~p:2 ~max_level:3 layout in
+      orthogonal (Wavelet.q_matrix basis))
+
+let prop_wavelet_moments_vanish =
+  qtest "wavelet moments vanish on random layouts" layout_gen (fun layout ->
+      let basis = Wavelet.create ~p:2 ~max_level:3 layout in
+      let tree = Wavelet.tree basis in
+      let ok = ref true in
+      for level = 0 to 3 do
+        let nsq = Quadtree.side_count level in
+        for iy = 0 to nsq - 1 do
+          for ix = 0 to nsq - 1 do
+            match Wavelet.find basis ~level ~ix ~iy with
+            | None -> ()
+            | Some b ->
+              let center = Quadtree.square_center tree ~level ~ix ~iy in
+              let contacts = Array.map (fun id -> layout.Layout.contacts.(id)) b.Wavelet.contacts in
+              for j = 0 to Mat.cols b.Wavelet.w - 1 do
+                let m = Geometry.Moments.of_vector ~p:2 ~center contacts (Mat.col b.Wavelet.w j) in
+                if Vec.norm_inf m > 1e-7 then ok := false
+              done
+          done
+        done
+      done;
+      !ok)
+
+let prop_wavelet_factored_matches =
+  qtest ~count:15 "factored transform on random layouts" layout_gen (fun layout ->
+      let basis = Wavelet.create ~p:2 ~max_level:3 layout in
+      let n = Layout.n_contacts layout in
+      let q = Sparsemat.Csr.to_dense (Wavelet.q_matrix basis) in
+      let x = Rng.gaussian_array (Rng.create 77) n in
+      Vec.approx_equal ~tol:1e-8 (Wavelet.apply_qt_factored basis x) (Mat.gemv_t q x)
+      && Vec.approx_equal ~tol:1e-8 (Wavelet.apply_q_factored basis x) (Mat.gemv q x))
+
+let prop_lowrank_structural =
+  qtest ~count:15 "low-rank structure on random layouts + synthetic G" layout_gen (fun layout ->
+      let g = synthetic_g layout in
+      let repr = Lowrank.extract ~max_level:3 layout (Blackbox.of_dense g) in
+      let n = Layout.n_contacts layout in
+      repr.Repr.n = n && orthogonal repr.Repr.q
+      &&
+      (* The represented operator is symmetric (G_w symmetric by
+         construction). *)
+      Mat.is_symmetric ~tol:1e-6 (Sparsemat.Csr.to_dense repr.Repr.gw))
+
+let prop_wavelet_extraction_consistent =
+  qtest ~count:10 "wavelet extraction consistent on synthetic G" layout_gen (fun layout ->
+      (* Extraction through combine-solves must agree with the exact Q'GQ on
+         the kept pattern, whatever the (symmetric) operator. *)
+      let g = synthetic_g layout in
+      let basis = Wavelet.create ~p:2 ~max_level:3 layout in
+      let repr = Wavelet.extract basis (Blackbox.of_dense g) in
+      let gw_exact = Wavelet.change_basis_dense basis g in
+      let ok = ref true in
+      Sparsemat.Csr.iter repr.Repr.gw (fun i j v ->
+          (* Combine-solves contamination is bounded by the dropped-entry
+             magnitudes; on the synthetic kernel these are small but not
+             zero, so compare loosely. *)
+          if Float.abs (v -. Mat.get gw_exact i j) > 0.05 *. (1.0 +. Float.abs (Mat.get gw_exact i j))
+          then ok := false);
+      !ok)
+
+let prop_grouping_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 2 30 in
+      let* groups = int_range 1 (max 1 (n / 2)) in
+      let* ids = list_repeat n (int_range 0 (groups - 1)) in
+      return (n, Array.of_list ids))
+  in
+  qtest "grouping reduce/expand adjoint" gen (fun (n, ids) ->
+      (* Make ids dense: remap to 0..k-1. *)
+      let seen = Hashtbl.create 8 in
+      let next = ref 0 in
+      let dense =
+        Array.map
+          (fun g ->
+            match Hashtbl.find_opt seen g with
+            | Some d -> d
+            | None ->
+              let d = !next in
+              incr next;
+              Hashtbl.add seen g d;
+              d)
+          ids
+      in
+      let grouping = Substrate.Grouping.of_group_ids dense in
+      let rng = Rng.create (n * 31) in
+      let v = Rng.gaussian_array rng (Substrate.Grouping.n_groups grouping) in
+      let i = Rng.gaussian_array rng n in
+      Float.abs
+        (Vec.dot (Substrate.Grouping.expand grouping v) i
+        -. Vec.dot v (Substrate.Grouping.reduce grouping i))
+      < 1e-9)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "randomized",
+        [
+          prop_wavelet_q_orthogonal;
+          prop_wavelet_moments_vanish;
+          prop_wavelet_factored_matches;
+          prop_lowrank_structural;
+          prop_wavelet_extraction_consistent;
+          prop_grouping_roundtrip;
+        ] );
+    ]

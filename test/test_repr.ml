@@ -1,0 +1,224 @@
+(* Tests for the Q G_w Q' representation container, the metrics module, and
+   regression cases for sparse/awkward layouts. *)
+
+open La
+module Blackbox = Substrate.Blackbox
+module Profile = Substrate.Profile
+module Layout = Geometry.Layout
+module Contact = Geometry.Contact
+module Csr = Sparsemat.Csr
+open Sparsify
+
+let rng = Rng.create 1618
+
+(* A small synthetic representation: random orthogonal Q (from QR) and a
+   random symmetric G_w. *)
+let synthetic n =
+  let q = (Qr.decomp (Mat.random rng n n)).Qr.q in
+  let m = Mat.random rng n n in
+  let gw = Mat.add m (Mat.transpose m) in
+  Repr.make ~q:(Csr.of_dense q) ~gw:(Csr.of_dense gw) ~solves:5
+
+let test_make_validates () =
+  Alcotest.(check bool) "rejects mismatched" true
+    (try
+       ignore
+         (Repr.make ~q:(Csr.of_dense (Mat.identity 3)) ~gw:(Csr.of_dense (Mat.identity 4)) ~solves:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_apply_equals_dense () =
+  let r = synthetic 12 in
+  let v = Rng.gaussian_array rng 12 in
+  let dense = Repr.to_dense r in
+  Alcotest.(check bool) "apply = densified" true
+    (Vec.approx_equal ~tol:1e-9 (Repr.apply r v) (Mat.gemv dense v))
+
+let test_columns_match_dense () =
+  let r = synthetic 10 in
+  let dense = Repr.to_dense r in
+  let cols = Repr.columns r [| 2; 7 |] in
+  Alcotest.(check bool) "col 2" true (Vec.approx_equal ~tol:1e-10 cols.(0) (Mat.col dense 2));
+  Alcotest.(check bool) "col 7" true (Vec.approx_equal ~tol:1e-10 cols.(1) (Mat.col dense 7))
+
+let test_orthogonality_defect () =
+  let r = synthetic 8 in
+  Alcotest.(check bool) "orthogonal Q" true (Repr.orthogonality_defect r < 1e-9);
+  (* A deliberately non-orthogonal Q is detected. *)
+  let bad =
+    Repr.make ~q:(Csr.of_dense (Mat.scale 2.0 (Mat.identity 8))) ~gw:(Csr.of_dense (Mat.identity 8)) ~solves:0
+  in
+  Alcotest.(check bool) "detects scaling" true (Repr.orthogonality_defect bad > 1.0)
+
+let test_threshold_monotone () =
+  let r = synthetic 16 in
+  let t2 = Repr.threshold r ~target:2.0 in
+  let t8 = Repr.threshold r ~target:8.0 in
+  Alcotest.(check bool) "monotone nnz" true
+    (Repr.nnz_gw t8 <= Repr.nnz_gw t2 && Repr.nnz_gw t2 <= Repr.nnz_gw r);
+  (* target 1 leaves the matrix unchanged *)
+  Alcotest.(check int) "target 1 no-op" (Repr.nnz_gw r) (Repr.nnz_gw (Repr.threshold r ~target:1.0))
+
+let test_threshold_hits_target () =
+  let r = synthetic 24 in
+  let t = Repr.threshold r ~target:6.0 in
+  let achieved = float_of_int (Repr.nnz_gw r) /. float_of_int (Repr.nnz_gw t) in
+  Alcotest.(check bool) (Printf.sprintf "achieved %.1f" achieved) true (achieved > 4.0 && achieved < 9.0)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_error_dense_exactness () =
+  let a = Mat.random rng 5 5 in
+  let e = Metrics.error_dense ~exact:a ~approx:a in
+  Alcotest.(check (float 1e-12)) "zero error" 0.0 e.Metrics.max_rel_error;
+  Alcotest.(check (float 1e-12)) "zero frac" 0.0 e.Metrics.frac_above_10pct
+
+let test_error_dense_known () =
+  let exact = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 4.0; 5.0 |] |] in
+  let approx = Mat.of_arrays [| [| 1.05; 2.0 |]; [| 4.0; 2.5 |] |] in
+  let e = Metrics.error_dense ~exact ~approx in
+  Alcotest.(check (float 1e-9)) "max" 0.5 e.Metrics.max_rel_error;
+  (* entries off by > 10%: only (1,1) at 50%. *)
+  Alcotest.(check (float 1e-9)) "frac" 0.25 e.Metrics.frac_above_10pct;
+  Alcotest.(check int) "entries" 4 e.Metrics.entries
+
+let test_error_skips_zero_exact () =
+  let exact = Mat.of_arrays [| [| 0.0; 1.0 |] |] in
+  let approx = Mat.of_arrays [| [| 5.0; 1.0 |] |] in
+  let e = Metrics.error_dense ~exact ~approx in
+  (* The zero-denominator entry is skipped, not infinite. *)
+  Alcotest.(check int) "entries" 1 e.Metrics.entries;
+  Alcotest.(check (float 1e-12)) "max" 0.0 e.Metrics.max_rel_error
+
+let test_sample_indices () =
+  let s = Metrics.sample_indices ~n:100 ~count:10 in
+  Alcotest.(check int) "count" 10 (Array.length s);
+  Array.iter (fun i -> Alcotest.(check bool) "in range" true (i >= 0 && i < 100)) s;
+  let s1 = Metrics.sample_indices ~n:5 ~count:50 in
+  Alcotest.(check int) "clamped" 5 (Array.length s1)
+
+let test_solve_reduction () =
+  Alcotest.(check (float 1e-12)) "reduction" 4.0 (Metrics.solve_reduction ~n:100 ~solves:25)
+
+let test_probe_estimate () =
+  (* The probe estimate reflects the true relative operator error. *)
+  let n = 20 in
+  let m = Mat.random rng n n in
+  let g = Mat.add m (Mat.transpose m) in
+  let bb = Blackbox.of_dense g in
+  (* Exact model: estimate ~ 0. *)
+  let exact = Metrics.estimate_apply_error ~probes:3 ~blackbox:bb ~apply:(Mat.gemv g) () in
+  Alcotest.(check bool) "exact model" true (exact.Metrics.max_rel_residual < 1e-12);
+  Alcotest.(check int) "counts solves" 3 exact.Metrics.extra_solves;
+  (* Perturbed model: estimate near the spectral perturbation size. *)
+  let perturbed = Mat.add g (Mat.scale (0.01 *. Mat.max_abs g) (Mat.identity n)) in
+  let est = Metrics.estimate_apply_error ~probes:5 ~blackbox:bb ~apply:(Mat.gemv perturbed) () in
+  Alcotest.(check bool)
+    (Printf.sprintf "nonzero estimate %.2e" est.Metrics.mean_rel_residual)
+    true
+    (est.Metrics.mean_rel_residual > 1e-4 && est.Metrics.mean_rel_residual < 0.2)
+
+(* ------------------------------------------------------------------ *)
+(* Regression: sparse and awkward layouts through the whole pipeline *)
+
+(* The thesis's near-floating substrate keeps all couplings above ~max/500,
+   so the entrywise relative error measure is meaningful (§3.7). *)
+let exact_for layout =
+  let solver =
+    Eigsolver.Eig_solver.create ~tol:1e-9 (Profile.thesis_default ()) layout ~panels_per_side:64
+  in
+  Blackbox.extract_dense (Eigsolver.Eig_solver.blackbox solver)
+
+let test_lowrank_sparse_clustered_layout () =
+  (* Two distant clusters with lots of empty squares between them: some
+     squares have empty interactive regions (zero-column row bases), the
+     case that once crashed split_responses. *)
+  let contacts = ref [] in
+  let add x0 y0 = contacts := Contact.make ~x0 ~y0 ~x1:(x0 +. 4.0) ~y1:(y0 +. 4.0) :: !contacts in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      add (2.0 +. (8.0 *. float_of_int i)) (2.0 +. (8.0 *. float_of_int j));
+      add (98.0 +. (8.0 *. float_of_int i)) (98.0 +. (8.0 *. float_of_int j))
+    done
+  done;
+  let layout = { Layout.size = 128.0; contacts = Array.of_list (List.rev !contacts); name = "two clusters" } in
+  let g = exact_for layout in
+  let repr = Lowrank.extract ~max_level:3 layout (Blackbox.of_dense g) in
+  let err = Metrics.error_dense ~exact:g ~approx:(Repr.to_dense repr) in
+  Alcotest.(check bool)
+    (Printf.sprintf "max rel err %.3f" err.Metrics.max_rel_error)
+    true
+    (err.Metrics.max_rel_error < 0.15)
+
+let test_lowrank_single_contact_squares () =
+  (* One contact per finest square: row bases of width <= 1, complements
+     empty. *)
+  let layout = Layout.regular_grid ~size:128.0 ~per_side:8 ~fill:0.4 () in
+  let g = exact_for layout in
+  let repr = Lowrank.extract ~max_level:3 layout (Blackbox.of_dense g) in
+  let err = Metrics.error_dense ~exact:g ~approx:(Repr.to_dense repr) in
+  Alcotest.(check bool)
+    (Printf.sprintf "max rel err %.3f" err.Metrics.max_rel_error)
+    true
+    (err.Metrics.max_rel_error < 0.1)
+
+let test_wavelet_sparse_clustered_layout () =
+  let contacts = ref [] in
+  let add x0 y0 = contacts := Contact.make ~x0 ~y0 ~x1:(x0 +. 4.0) ~y1:(y0 +. 4.0) :: !contacts in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      add (2.0 +. (8.0 *. float_of_int i)) (2.0 +. (8.0 *. float_of_int j));
+      add (98.0 +. (8.0 *. float_of_int i)) (98.0 +. (8.0 *. float_of_int j))
+    done
+  done;
+  let layout = { Layout.size = 128.0; contacts = Array.of_list (List.rev !contacts); name = "two clusters" } in
+  let g = exact_for layout in
+  let repr = Wavelet.extract (Wavelet.create ~p:2 ~max_level:2 layout) (Blackbox.of_dense g) in
+  let err = Metrics.error_dense ~exact:g ~approx:(Repr.to_dense repr) in
+  Alcotest.(check bool)
+    (Printf.sprintf "max rel err %.3f" err.Metrics.max_rel_error)
+    true
+    (err.Metrics.max_rel_error < 0.1)
+
+let test_tiny_layout_extraction () =
+  (* 4x4 contacts, one per coarsest-level square: the shallowest tree the
+     method supports. *)
+  let layout = Layout.regular_grid ~size:128.0 ~per_side:4 ~fill:0.5 () in
+  let g = exact_for layout in
+  let repr = Lowrank.extract ~max_level:2 layout (Blackbox.of_dense g) in
+  let err = Metrics.error_dense ~exact:g ~approx:(Repr.to_dense repr) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tiny max err %.4f" err.Metrics.max_rel_error)
+    true
+    (err.Metrics.max_rel_error < 0.01)
+
+let () =
+  Alcotest.run "repr"
+    [
+      ( "repr",
+        [
+          Alcotest.test_case "make validates" `Quick test_make_validates;
+          Alcotest.test_case "apply = dense" `Quick test_apply_equals_dense;
+          Alcotest.test_case "columns" `Quick test_columns_match_dense;
+          Alcotest.test_case "orthogonality defect" `Quick test_orthogonality_defect;
+          Alcotest.test_case "threshold monotone" `Quick test_threshold_monotone;
+          Alcotest.test_case "threshold hits target" `Quick test_threshold_hits_target;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "exactness" `Quick test_error_dense_exactness;
+          Alcotest.test_case "known values" `Quick test_error_dense_known;
+          Alcotest.test_case "skips zero denominators" `Quick test_error_skips_zero_exact;
+          Alcotest.test_case "sample indices" `Quick test_sample_indices;
+          Alcotest.test_case "solve reduction" `Quick test_solve_reduction;
+          Alcotest.test_case "probe estimate" `Quick test_probe_estimate;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "low-rank: clustered layout" `Slow test_lowrank_sparse_clustered_layout;
+          Alcotest.test_case "low-rank: single-contact squares" `Slow test_lowrank_single_contact_squares;
+          Alcotest.test_case "wavelet: clustered layout" `Slow test_wavelet_sparse_clustered_layout;
+          Alcotest.test_case "tiny layout" `Slow test_tiny_layout_extraction;
+        ] );
+    ]
