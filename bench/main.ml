@@ -42,15 +42,22 @@ let eig_blackbox ?(panels = 64) ?(tol = 1e-8) layout =
 let g_cache : (string, Mat.t) Hashtbl.t = Hashtbl.create 8
 
 let exact_g ?(panels = 64) layout =
-  (* Key on name, panel count and a geometric digest, so same-named layouts
-     with different contact positions (e.g. jitter sweeps) don't collide. *)
+  (* Key on name, panel count and a digest of the full coordinate list, so
+     same-named layouts with different contact positions (e.g. jitter
+     sweeps) don't collide. An MD5 over the printed coordinates is
+     collision-free in practice, unlike the old float-accumulator hash,
+     which could alias distinct geometries through rounding. *)
   let digest =
-    Array.fold_left
-      (fun acc (c : Geometry.Contact.t) ->
-        Float.rem (acc +. (17.3 *. c.Geometry.Contact.x0) +. (31.7 *. c.Geometry.Contact.y1)) 1e9)
-      0.0 layout.Layout.contacts
+    Digest.to_hex
+      (Digest.string
+         (String.concat ";"
+            (List.map
+               (fun (c : Geometry.Contact.t) ->
+                 Printf.sprintf "%.17g,%.17g,%.17g,%.17g" c.Geometry.Contact.x0 c.Geometry.Contact.y0
+                   c.Geometry.Contact.x1 c.Geometry.Contact.y1)
+               (Array.to_list layout.Layout.contacts))))
   in
-  let key = Printf.sprintf "%s/%d/%.6f" layout.Layout.name panels digest in
+  let key = Printf.sprintf "%s/%d/%s" layout.Layout.name panels digest in
   match Hashtbl.find_opt g_cache key with
   | Some g -> g
   | None ->
@@ -651,6 +658,117 @@ let bench_apply_cost ~full:_ () =
     (t_dense /. t_sparse)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel extraction: sequential vs domain-pool batched solves *)
+
+(* Set from --jobs before the experiments run; 0 means auto. *)
+let bench_jobs = ref 0
+
+let effective_jobs () = if !bench_jobs <= 0 then max 2 (Parallel.Pool.default_jobs ()) else !bench_jobs
+
+type par_record = {
+  par_layout : string;
+  par_n : int;
+  par_jobs : int;
+  par_seq_s : float;
+  par_par_s : float;
+  par_identical : bool;
+}
+
+let par_records : par_record list ref = ref []
+
+let bitwise_equal a b =
+  Mat.rows a = Mat.rows b
+  && Mat.cols a = Mat.cols b
+  &&
+  let ok = ref true in
+  for i = 0 to Mat.rows a - 1 do
+    for j = 0 to Mat.cols a - 1 do
+      if not (Int64.equal (Int64.bits_of_float (Mat.get a i j)) (Int64.bits_of_float (Mat.get b i j)))
+      then ok := false
+    done
+  done;
+  !ok
+
+let bench_parallel ~full () =
+  section "Parallel extraction — sequential vs batched solves on a domain pool";
+  let jobs = effective_jobs () in
+  let per_side = if full then 24 else 16 in
+  let layout = Layout.regular_grid ~size:128.0 ~per_side ~fill:0.5 () in
+  let n = Layout.n_contacts layout in
+  let bb = eig_blackbox ~panels:64 layout in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "  layout %s, n = %d, jobs = %d (host recommends %d domains)\n%!" layout.Layout.name n
+    jobs
+    (Domain.recommended_domain_count ());
+  let g_seq, t_seq = time (fun () -> Blackbox.extract_dense ~jobs:1 bb) in
+  let g_par, t_par = time (fun () -> Blackbox.extract_dense ~jobs bb) in
+  let identical = bitwise_equal g_seq g_par in
+  Printf.printf "  naive dense extraction (%d solves each):\n" n;
+  Printf.printf "    sequential      %8.3f s\n" t_seq;
+  Printf.printf "    jobs = %-2d       %8.3f s   (%.2fx)\n" jobs t_par (t_seq /. t_par);
+  Printf.printf "    bit-identical:  %b\n" identical;
+  if not identical then failwith "parallel extraction is not bit-identical to sequential";
+  if Domain.recommended_domain_count () <= 1 then
+    Printf.printf "  (single-core host: expect ~1x; the pool pays off on multicore machines)\n";
+  par_records :=
+    { par_layout = layout.Layout.name; par_n = n; par_jobs = jobs; par_seq_s = t_seq;
+      par_par_s = t_par; par_identical = identical }
+    :: !par_records
+
+(* ------------------------------------------------------------------ *)
+(* JSON results (--json FILE): hand-rolled writer, no JSON dependency *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path ~full records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"full\": %b,\n" full;
+      Printf.fprintf oc "  \"jobs\": %d,\n" (effective_jobs ());
+      Printf.fprintf oc "  \"experiments\": [\n";
+      List.iteri
+        (fun i (id, desc, wall, solves) ->
+          Printf.fprintf oc "    {\"id\": \"%s\", \"description\": \"%s\", \"wall_s\": %.6f, \"solves\": %d}%s\n"
+            (json_escape id) (json_escape desc) wall solves
+            (if i = List.length records - 1 then "" else ","))
+        records;
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc "  \"parallel_extraction\": [\n";
+      let pars = List.rev !par_records in
+      List.iteri
+        (fun i p ->
+          Printf.fprintf oc
+            "    {\"layout\": \"%s\", \"n\": %d, \"jobs\": %d, \"seq_s\": %.6f, \"par_s\": %.6f, \
+             \"speedup\": %.4f, \"bitwise_identical\": %b}%s\n"
+            (json_escape p.par_layout) p.par_n p.par_jobs p.par_seq_s p.par_par_s
+            (p.par_seq_s /. p.par_par_s) p.par_identical
+            (if i = List.length pars - 1 then "" else ","))
+        pars;
+      Printf.fprintf oc "  ]\n";
+      Printf.fprintf oc "}\n");
+  Printf.printf "\nwrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let experiments =
@@ -672,9 +790,11 @@ let experiments =
     ("ies3", "Comparison: pairwise SVD baseline (§4.5)", bench_pairwise_baseline);
     ("direct", "Direct sparse Cholesky: fill and amortization (§2.2.2)", bench_direct_solver);
     ("apply", "Apply cost: sparse vs dense", bench_apply_cost);
+    ("par", "Parallel extraction: sequential vs domain-pool batch", bench_parallel);
   ]
 
-let run only full list_only =
+let run only full list_only json jobs =
+  bench_jobs := jobs;
   if list_only then begin
     List.iter (fun (id, desc, _) -> Printf.printf "%-10s %s\n" id desc) experiments;
     0
@@ -690,9 +810,28 @@ let run only full list_only =
       1
     end
     else begin
+      (* Fail on an unwritable --json path now, not after the (possibly
+         hour-long) experiments have already run. *)
+      (match json with
+      | None -> ()
+      | Some path -> (
+        try close_out (open_out path)
+        with Sys_error msg ->
+          Printf.eprintf "cannot write --json file: %s\n" msg;
+          exit 1));
       Printf.printf "Substrate coupling sparsification — reproduction harness%s\n"
         (if full then " (paper-scale sizes)" else " (reduced sizes; use --full for paper scale)");
-      List.iter (fun (_, _, f) -> f ~full ()) to_run;
+      let records =
+        List.map
+          (fun (id, desc, f) ->
+            let s0 = Blackbox.total_solve_count () in
+            let t0 = Unix.gettimeofday () in
+            f ~full ();
+            let wall = Unix.gettimeofday () -. t0 in
+            (id, desc, wall, Blackbox.total_solve_count () - s0))
+          to_run
+      in
+      (match json with None -> () | Some path -> write_json path ~full records);
       0
     end
   end
@@ -704,6 +843,19 @@ let () =
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Use paper-scale problem sizes.") in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids.") in
-  let term = Term.(const run $ only $ full $ list_only) in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write per-experiment wall-clock and solve counts (and parallel speedups) as JSON.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Domains for the parallel-extraction experiment (0 = auto, at least 2).")
+  in
+  let term = Term.(const run $ only $ full $ list_only $ json $ jobs) in
   let info = Cmd.info "bench" ~doc:"Reproduce the thesis's tables and figures." in
   exit (Cmd.eval' (Cmd.v info term))

@@ -43,6 +43,16 @@ let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Rando
 let panels_arg =
   Arg.(value & opt int 64 & info [ "panels" ] ~docv:"P" ~doc:"Surface panels per side for the eigenfunction solver.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains for batched black-box solves (1 = sequential, 0 = auto: one less than the \
+           recommended domain count). Results are bit-identical for every value.")
+
+let resolve_jobs jobs = if jobs <= 0 then Parallel.Pool.default_jobs () else jobs
+
 let solver_arg =
   Arg.(
     value
@@ -97,15 +107,17 @@ let layouts_cmd =
 (* ------------------------------------------------------------------ *)
 (* extract *)
 
-let run_extract layout_name per_side seed solver panels method_ threshold verify estimate spy output =
+let run_extract layout_name per_side seed solver panels jobs method_ threshold verify estimate spy output =
   let layout = make_layout layout_name per_side seed in
   let n = Layout.n_contacts layout in
+  let jobs = resolve_jobs jobs in
   Printf.printf "layout: %s (%d contacts)\n%!" layout.Layout.name n;
+  if jobs > 1 then Printf.printf "jobs: %d (batched solves run on a domain pool)\n%!" jobs;
   let bb = blackbox_of ~solver ~panels layout in
   let repr =
     match method_ with
-    | `Lowrank -> Lowrank.extract layout bb
-    | `Wavelet -> Wavelet.extract (Wavelet.create ~p:2 layout) bb
+    | `Lowrank -> Lowrank.extract ~jobs layout bb
+    | `Wavelet -> Wavelet.extract ~jobs (Wavelet.create ~p:2 layout) bb
   in
   let repr = if threshold > 1.0 then Repr.threshold repr ~target:threshold else repr in
   Printf.printf "solves: %d (%.1fx reduction over naive)\n" repr.Repr.solves
@@ -122,7 +134,7 @@ let run_extract layout_name per_side seed solver panels method_ threshold verify
   if verify then begin
     Printf.printf "verifying against exact G (%d naive solves)...\n%!" n;
     let exact_bb = blackbox_of ~solver ~panels layout in
-    let g = Blackbox.extract_dense exact_bb in
+    let g = Blackbox.extract_dense ~jobs exact_bb in
     let err = Metrics.error_dense ~exact:g ~approx:(Repr.to_dense repr) in
     Printf.printf "entrywise error: %s\n" (Fmt.str "%a" Metrics.pp_error err)
   end;
@@ -169,8 +181,8 @@ let extract_cmd =
   Cmd.v
     (Cmd.info "extract" ~doc:"Extract a sparsified conductance representation G ~ Q G_w Q'.")
     Term.(
-      const run_extract $ layout_arg $ per_side_arg $ seed_arg $ solver_arg $ panels_arg $ method_arg
-      $ threshold_arg $ verify_arg $ estimate_arg $ spy_arg $ output_arg)
+      const run_extract $ layout_arg $ per_side_arg $ seed_arg $ solver_arg $ panels_arg $ jobs_arg
+      $ method_arg $ threshold_arg $ verify_arg $ estimate_arg $ spy_arg $ output_arg)
 
 (* ------------------------------------------------------------------ *)
 (* solve *)

@@ -44,12 +44,19 @@ let well_separated ~gap coords =
   in
   check coords
 
-(* Run one combined solve: sum the given (global, zero-extended) vectors and
-   apply the black box once. Empty input performs no solve. *)
-let solve_sum blackbox (vectors : La.Vec.t list) : La.Vec.t option =
+(* Sum the (global, zero-extended) vectors of one combined solve; [None]
+   for empty input. Split out from [solve_sum] so extraction loops can
+   first collect the summed right-hand sides of many groups and then solve
+   them as one (possibly parallel) batch. *)
+let sum_vectors (vectors : La.Vec.t list) : La.Vec.t option =
   match vectors with
   | [] -> None
   | v :: rest ->
     let sum = La.Vec.copy v in
     List.iter (fun w -> La.Vec.add_inplace sum w) rest;
-    Some (Substrate.Blackbox.apply blackbox sum)
+    Some sum
+
+(* Run one combined solve: sum the given vectors and apply the black box
+   once. Empty input performs no solve. *)
+let solve_sum blackbox (vectors : La.Vec.t list) : La.Vec.t option =
+  Option.map (Substrate.Blackbox.apply blackbox) (sum_vectors vectors)

@@ -14,5 +14,10 @@ val groups_of_children : (int * int) list -> (int * int) list array
 (** All pairs separated by at least [gap] in x or y. *)
 val well_separated : gap:int -> (int * int) list -> bool
 
+(** Sum the vectors of one combined solve; [None] for empty input. Used by
+    extraction loops that collect the right-hand sides of many groups and
+    solve them as one (possibly parallel) batch. *)
+val sum_vectors : La.Vec.t list -> La.Vec.t option
+
 (** Sum the vectors and apply the black box once; [None] for empty input. *)
 val solve_sum : Substrate.Blackbox.t -> La.Vec.t list -> La.Vec.t option

@@ -329,8 +329,8 @@ let representation t =
 (* ------------------------------------------------------------------ *)
 (* Whole pipeline: phase 1 + phase 2 from a layout and a black box. *)
 
-let extract ?max_level ?sigma_rel_tol ?max_rank ?seed ?symmetric_refinement ?samples_per_square layout
-    blackbox =
+let extract ?max_level ?sigma_rel_tol ?max_rank ?seed ?symmetric_refinement ?samples_per_square ?jobs
+    layout blackbox =
   let max_level =
     match max_level with
     | Some l -> l
@@ -338,8 +338,8 @@ let extract ?max_level ?sigma_rel_tol ?max_rank ?seed ?symmetric_refinement ?sam
   in
   let tree = Quadtree.create ~max_level layout in
   let rb =
-    Rowbasis.build ?sigma_rel_tol ?max_rank ?seed ?symmetric_refinement ?samples_per_square tree layout
-      blackbox
+    Rowbasis.build ?sigma_rel_tol ?max_rank ?seed ?symmetric_refinement ?samples_per_square ?jobs tree
+      layout blackbox
   in
   let t = build ?sigma_rel_tol ?max_rank rb in
   representation t

@@ -30,7 +30,8 @@ val representation : t -> Repr.t
 
 (** Whole pipeline: build the quadtree (default depth
     [suggest_max_level ~target:8]), run both phases, return the sparsified
-    representation. *)
+    representation. [jobs] (default 1) batches phase 1's independent
+    black-box solves; the result is bit-identical for any [jobs]. *)
 val extract :
   ?max_level:int ->
   ?sigma_rel_tol:float ->
@@ -38,6 +39,7 @@ val extract :
   ?seed:int ->
   ?symmetric_refinement:bool ->
   ?samples_per_square:int ->
+  ?jobs:int ->
   Geometry.Layout.t ->
   Substrate.Blackbox.t ->
   Repr.t

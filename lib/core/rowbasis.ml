@@ -76,6 +76,7 @@ type ctx = {
   c_refine : bool;
   c_sigma_rel_tol : float;
   c_max_rank : int;
+  c_jobs : int;  (* parallelism for batched black-box solves *)
 }
 
 let get ctx ~level ~ix ~iy = Hashtbl.find_opt ctx.c_data (level, ix, iy)
@@ -139,6 +140,10 @@ let split_responses ctx ~level ~(vectors : (int * int) -> Mat.t option) =
       ignore region;
       Hashtbl.replace out (ix, iy) (Mat.create (Array.length region) (Mat.cols o)))
     prepared;
+  (* Every (column index, group) pair is one independent combined solve:
+     collect the summed right-hand sides in loop order, solve them as one
+     batch, then unpack each response in the same order. *)
+  let tasks = ref [] in
   for m = 0 to max_cols - 1 do
     Array.iter
       (fun group ->
@@ -157,10 +162,17 @@ let split_responses ctx ~level ~(vectors : (int * int) -> Mat.t option) =
             (fun (_, _, p, _, _, o) -> Regions.scatter ~n:ctx.c_n p.contacts (Mat.col o m))
             members
         in
-        match Combine.solve_sum ctx.c_bb summed with
+        match Combine.sum_vectors summed with
         | None -> ()
-        | Some y ->
-          List.iter
+        | Some sum -> tasks := (m, members, sum) :: !tasks)
+      groups
+  done;
+  let tasks = Array.of_list (List.rev !tasks) in
+  let ys = Blackbox.apply_batch ~jobs:ctx.c_jobs ctx.c_bb (Array.map (fun (_, _, sum) -> sum) tasks) in
+  Array.iteri
+    (fun k (m, members, _) ->
+      let y = ys.(k) in
+      List.iter
             (fun ((ix, iy), _, p, emb, alpha, o) ->
               ignore emb;
               let region = p_region_of ctx ~level ~ix ~iy in
@@ -200,16 +212,15 @@ let split_responses ctx ~level ~(vectors : (int * int) -> Mat.t option) =
                 (Quadtree.local_squares ~level:(level - 1) ~ix:px ~iy:py);
               let matrix = Hashtbl.find out (ix, iy) in
               Mat.set_col matrix m resp)
-            members)
-      groups
-  done;
+        members)
+    tasks;
   out
 
 (* --------------------------------------------------------------------- *)
 (* Build the representation. *)
 
 let build ?(sigma_rel_tol = 0.01) ?(max_rank = 6) ?(seed = 20020524) ?(symmetric_refinement = true)
-    ?(samples_per_square = 1) tree layout blackbox =
+    ?(samples_per_square = 1) ?(jobs = 1) tree layout blackbox =
   if samples_per_square < 1 then invalid_arg "Rowbasis.build: samples_per_square must be positive";
   let max_level = Quadtree.max_level tree in
   if max_level < 2 then invalid_arg "Rowbasis.build: max_level must be at least 2";
@@ -224,6 +235,7 @@ let build ?(sigma_rel_tol = 0.01) ?(max_rank = 6) ?(seed = 20020524) ?(symmetric
       c_refine = symmetric_refinement;
       c_sigma_rel_tol = sigma_rel_tol;
       c_max_rank = max_rank;
+      c_jobs = max 1 jobs;
     }
   in
   (* Build the row basis of one square from the sample responses of its
@@ -251,38 +263,64 @@ let build ?(sigma_rel_tol = 0.01) ?(max_rank = 6) ?(seed = 20020524) ?(symmetric
       let k = keep_rule ~sigma_rel_tol:ctx.c_sigma_rel_tol ~max_rank:ctx.c_max_rank f.La.Svd.s in
       Mat.sub_matrix f.La.Svd.u ~row:0 ~col:0 ~rows:(Array.length contacts) ~cols:k
   in
-  (* ---- Level 2: direct solves. ---- *)
+  (* ---- Level 2: direct solves, batched. The random sample vectors are
+     drawn sequentially (preserving the rng stream) before the solves are
+     issued as one batch. ---- *)
   let level2 = nonempty_squares tree 2 in
   let samples2 : (int * int, Mat.t) Hashtbl.t = Hashtbl.create 16 in
+  let sample_rhs =
+    List.concat_map
+      (fun (ix, iy) ->
+        let contacts = Quadtree.contacts_of tree ~level:2 ~ix ~iy in
+        let k = min samples_per_square (Array.length contacts) in
+        List.init k (fun _ ->
+            let m_s = La.Rng.gaussian_array rng (Array.length contacts) in
+            Regions.scatter ~n contacts m_s))
+      level2
+  in
+  let sample_ys = Blackbox.apply_batch ~jobs:ctx.c_jobs blackbox (Array.of_list sample_rhs) in
+  (* [sample_rhs] holds each square's vectors consecutively, in square
+     order; regroup the responses the same way. *)
+  let idx = ref 0 in
   List.iter
     (fun (ix, iy) ->
       let contacts = Quadtree.contacts_of tree ~level:2 ~ix ~iy in
       let k = min samples_per_square (Array.length contacts) in
-      let ys =
-        List.init k (fun _ ->
-            let m_s = La.Rng.gaussian_array rng (Array.length contacts) in
-            Blackbox.apply blackbox (Regions.scatter ~n contacts m_s))
-      in
+      let ys = List.init k (fun j -> sample_ys.(!idx + j)) in
+      idx := !idx + k;
       Hashtbl.replace samples2 (ix, iy) (Mat.of_cols ys))
     level2;
+  let gpv_tasks = ref [] in
+  let level2_entries =
+    List.map
+      (fun (ix, iy) ->
+        let contacts = Quadtree.contacts_of tree ~level:2 ~ix ~iy in
+        let v =
+          basis_from_samples ~level:2 ~ix ~iy ~contacts (fun c ->
+              match Hashtbl.find_opt samples2 c with
+              | None -> None
+              | Some y -> Some (y, Array.init n Fun.id))
+        in
+        let p_region = p_region_of ctx ~level:2 ~ix ~iy in
+        let gpv = Mat.create (Array.length p_region) (Mat.cols v) in
+        for j = 0 to Mat.cols v - 1 do
+          gpv_tasks := (gpv, j, p_region, Regions.scatter ~n contacts (Mat.col v j)) :: !gpv_tasks
+        done;
+        ((ix, iy), contacts, v, gpv, p_region))
+      level2
+  in
+  let gpv_tasks = Array.of_list (List.rev !gpv_tasks) in
+  let gpv_ys =
+    Blackbox.apply_batch ~jobs:ctx.c_jobs blackbox (Array.map (fun (_, _, _, rhs) -> rhs) gpv_tasks)
+  in
+  Array.iteri
+    (fun k (gpv, j, p_region, _) -> Mat.set_col gpv j (Regions.gather p_region gpv_ys.(k)))
+    gpv_tasks;
   List.iter
-    (fun (ix, iy) ->
-      let contacts = Quadtree.contacts_of tree ~level:2 ~ix ~iy in
-      let v =
-        basis_from_samples ~level:2 ~ix ~iy ~contacts (fun c ->
-            match Hashtbl.find_opt samples2 c with
-            | None -> None
-            | Some y -> Some (y, Array.init n Fun.id))
-      in
-      let p_region = p_region_of ctx ~level:2 ~ix ~iy in
-      let gpv = Mat.create (Array.length p_region) (Mat.cols v) in
-      for j = 0 to Mat.cols v - 1 do
-        let y = Blackbox.apply blackbox (Regions.scatter ~n contacts (Mat.col v j)) in
-        Mat.set_col gpv j (Regions.gather p_region y)
-      done;
+    (fun ((ix, iy), contacts, v, gpv, p_region) ->
       Hashtbl.replace ctx.c_data (2, ix, iy)
         { coords = (ix, iy); level = 2; contacts; v; gpv; p_region; w = None; g_local = None; l_region = [||] })
-    level2;
+    level2_entries;
   (* ---- Levels 3..max: sampling and responses via the splitting method. ---- *)
   for level = 3 to max_level do
     let squares = nonempty_squares tree level in
@@ -345,18 +383,26 @@ let build ?(sigma_rel_tol = 0.01) ?(max_rank = 6) ?(seed = 20020524) ?(symmetric
   (* Responses to the complements: splitting method on deep trees, direct
      solves when the finest level is level 2 itself. *)
   let w_resps : (int * int, Mat.t * int array) Hashtbl.t = Hashtbl.create 64 in
-  if max_level = 2 then
+  if max_level = 2 then begin
+    let w_tasks = ref [] in
     List.iter
       (fun (ix, iy) ->
         let d = Hashtbl.find ctx.c_data (2, ix, iy) in
         let w = Hashtbl.find complements (ix, iy) in
         let resp = Mat.create (Array.length d.p_region) (Mat.cols w) in
         for j = 0 to Mat.cols w - 1 do
-          let y = Blackbox.apply blackbox (Regions.scatter ~n d.contacts (Mat.col w j)) in
-          Mat.set_col resp j (Regions.gather d.p_region y)
+          w_tasks := (resp, j, d.p_region, Regions.scatter ~n d.contacts (Mat.col w j)) :: !w_tasks
         done;
         Hashtbl.replace w_resps (ix, iy) (resp, d.p_region))
-      finest
+      finest;
+    let w_tasks = Array.of_list (List.rev !w_tasks) in
+    let w_ys =
+      Blackbox.apply_batch ~jobs:ctx.c_jobs blackbox (Array.map (fun (_, _, _, rhs) -> rhs) w_tasks)
+    in
+    Array.iteri
+      (fun k (resp, j, p_region, _) -> Mat.set_col resp j (Regions.gather p_region w_ys.(k)))
+      w_tasks
+  end
   else begin
     let resps = split_responses ctx ~level:max_level ~vectors:(Hashtbl.find_opt complements) in
     List.iter

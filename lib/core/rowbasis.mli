@@ -23,7 +23,10 @@ type t
     (4.16)/(4.24) refinements — the "stronger assumption" ablation of
     §4.3.1. [samples_per_square] uses more than one random sample vector
     per square (the thesis's own mitigation for layouts whose interactive
-    regions hold few contacts, §4.3.3). The quadtree must have
+    regions hold few contacts, §4.3.3). [jobs] (default 1) batches each
+    stage's independent black-box solves through
+    {!Substrate.Blackbox.apply_batch}; random draws stay sequential, so the
+    representation is bit-identical for any [jobs]. The quadtree must have
     [max_level >= 2]. *)
 val build :
   ?sigma_rel_tol:float ->
@@ -31,6 +34,7 @@ val build :
   ?seed:int ->
   ?symmetric_refinement:bool ->
   ?samples_per_square:int ->
+  ?jobs:int ->
   Geometry.Quadtree.t ->
   Geometry.Layout.t ->
   Substrate.Blackbox.t ->

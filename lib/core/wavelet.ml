@@ -207,8 +207,12 @@ let kept_targets t ~level ~ix ~iy ~level' =
 
 (* Extract G_ws = Q' G Q restricted to the kept interaction pattern, using
    combine-solves (§3.5). [combine] can be disabled to measure the solve
-   reduction it buys. *)
-let extract ?(combine = true) t blackbox =
+   reduction it buys. [jobs] batches the independent solves of each stage
+   through [Blackbox.apply_batch]; right-hand sides are assembled
+   sequentially and projections run sequentially in the same order as the
+   one-solve-at-a-time loop, so the result is bit-identical for any
+   [jobs]. *)
+let extract ?(combine = true) ?(jobs = 1) t blackbox =
   let entries : (int * int, float) Hashtbl.t = Hashtbl.create (t.n * 8) in
   let set i j v =
     Hashtbl.replace entries (i, j) v;
@@ -223,14 +227,18 @@ let extract ?(combine = true) t blackbox =
   (* Step 1: responses to the root's V columns give every entry involving a
      non-vanishing basis vector (eqs. (3.21)-(3.23)). *)
   let root_cols = Mat.cols t.root.v in
-  for j = 0 to root_cols - 1 do
-    let y = Blackbox.apply blackbox (Regions.scatter ~n:t.n t.root.contacts (Mat.col t.root.v j)) in
-    for j' = 0 to root_cols - 1 do
-      let v = Vec.dot (Regions.gather t.root.contacts y) (Mat.col t.root.v j') in
-      set j' j v
-    done;
-    Hashtbl.iter (fun _ b -> if Mat.cols b.w > 0 then project_w b y ~col:j) t.bases
-  done;
+  let root_ys =
+    Blackbox.apply_batch ~jobs blackbox
+      (Array.init root_cols (fun j -> Regions.scatter ~n:t.n t.root.contacts (Mat.col t.root.v j)))
+  in
+  Array.iteri
+    (fun j y ->
+      for j' = 0 to root_cols - 1 do
+        let v = Vec.dot (Regions.gather t.root.contacts y) (Mat.col t.root.v j') in
+        set j' j v
+      done;
+      Hashtbl.iter (fun _ b -> if Mat.cols b.w > 0 then project_w b y ~col:j) t.bases)
+    root_ys;
   (* Step 2: per level, combine same-level W vectors from squares >= 3
      apart into shared solves and extract their kept interactions. *)
   let max_level = Quadtree.max_level t.tree in
@@ -252,6 +260,10 @@ let extract ?(combine = true) t blackbox =
           |> List.filter (fun g -> g <> [])
         else List.map (fun b -> [ b.coords ]) squares
       in
+      (* Every (column index, group) pair is an independent combined solve:
+         collect their summed right-hand sides in loop order, solve as one
+         batch, then project each response in the same order. *)
+      let tasks = ref [] in
       for m = 0 to max_m - 1 do
         List.iter
           (fun group ->
@@ -266,21 +278,25 @@ let extract ?(combine = true) t blackbox =
             let vectors =
               List.map (fun b -> Regions.scatter ~n:t.n b.contacts (Mat.col b.w m)) members
             in
-            match Combine.solve_sum blackbox vectors with
+            match Combine.sum_vectors vectors with
             | None -> ()
-            | Some y ->
-              List.iter
-                (fun (b : square_basis) ->
-                  let ix, iy = b.coords in
-                  let col = b.w_offset + m in
-                  for level' = level to max_level do
-                    List.iter
-                      (fun target -> project_w target y ~col)
-                      (kept_targets t ~level ~ix ~iy ~level')
-                  done)
-                members)
+            | Some sum -> tasks := (m, members, sum) :: !tasks)
           groups
-      done
+      done;
+      let tasks = Array.of_list (List.rev !tasks) in
+      let ys = Blackbox.apply_batch ~jobs blackbox (Array.map (fun (_, _, sum) -> sum) tasks) in
+      Array.iteri
+        (fun k (m, members, _) ->
+          let y = ys.(k) in
+          List.iter
+            (fun (b : square_basis) ->
+              let ix, iy = b.coords in
+              let col = b.w_offset + m in
+              for level' = level to max_level do
+                List.iter (fun target -> project_w target y ~col) (kept_targets t ~level ~ix ~iy ~level')
+              done)
+            members)
+        tasks
     end
   done;
   let coo = Coo.create t.n t.n in

@@ -36,8 +36,10 @@ val q_matrix : t -> Sparsemat.Csr.t
 
 (** Extract the sparsified representation G ~ Q G_ws Q' with combine-solves
     (§3.5); set [combine:false] to spend one solve per basis vector
-    instead. *)
-val extract : ?combine:bool -> t -> Substrate.Blackbox.t -> Repr.t
+    instead. [jobs] (default 1) batches each stage's independent solves
+    through {!Substrate.Blackbox.apply_batch}; the result is bit-identical
+    for any [jobs]. *)
+val extract : ?combine:bool -> ?jobs:int -> t -> Substrate.Blackbox.t -> Repr.t
 
 (** Exact Q' G Q from a known dense G (validation). *)
 val change_basis_dense : t -> La.Mat.t -> La.Mat.t

@@ -87,8 +87,11 @@ let apply_inverse_restricted t (r : La.Vec.t) : La.Vec.t =
   let scaled = Array.mapi (fun k v -> v /. t.lambdas.(k)) hat in
   Panel.gather t.panel (Transforms.Dct.dct_iii_2d ~nx:p ~ny:p scaled)
 
-(* One black-box solve: contact voltages to contact currents. *)
-let solve t (v : La.Vec.t) : La.Vec.t =
+(* One black-box solve: contact voltages to contact currents. [stats]
+   designates the iteration-stats record to update — the solver's own by
+   default; batched solves pass a private record per right-hand side so
+   concurrent CG runs never share mutable state. *)
+let solve_into ~stats t (v : La.Vec.t) : La.Vec.t =
   let rhs = Panel.expand_contacts t.panel v in
   let precond =
     match t.precond with
@@ -96,7 +99,7 @@ let solve t (v : La.Vec.t) : La.Vec.t =
     | Fast_inverse -> Some (apply_inverse_restricted t)
   in
   let result =
-    La.Krylov.cg ?precond ~apply:(apply_restricted t) ~tol:t.tol ~max_iter:t.max_iter ~stats:t.stats rhs
+    La.Krylov.cg ?precond ~apply:(apply_restricted t) ~tol:t.tol ~max_iter:t.max_iter ~stats rhs
   in
   if not result.La.Krylov.converged then
     Logs.warn (fun m ->
@@ -104,4 +107,33 @@ let solve t (v : La.Vec.t) : La.Vec.t =
           result.La.Krylov.residual_norm result.La.Krylov.iterations);
   La.Vec.scale (Panel.panel_area t.panel) (Panel.sum_per_contact t.panel result.La.Krylov.x)
 
-let blackbox t = Blackbox.make ~n:(Panel.n_contacts t.panel) (solve t)
+let solve t v = solve_into ~stats:t.stats t v
+
+(* Batched solves across a domain pool. Everything a CG run touches is
+   either immutable after [create] (panel tables, eigenvalue table, cached
+   DCT plans — pre-built below so no domain hits the plan cache's write
+   path) or cloned per right-hand side (CG work vectors are allocated inside
+   [Krylov.cg]; iteration stats get a private record each, merged into
+   [t.stats] once the batch completes). Responses land in input order, so
+   the result is bit-identical to the sequential loop. *)
+let solve_batch ?(jobs = Parallel.Pool.default_jobs ()) t (vs : La.Vec.t array) : La.Vec.t array =
+  if jobs <= 1 || Array.length vs <= 1 then Array.map (solve t) vs
+  else begin
+    let p = int_of_float (sqrt (float_of_int (Array.length t.lambdas))) in
+    ignore (Transforms.Plan.get p);
+    let stats = Array.init (Array.length vs) (fun _ -> La.Krylov.make_stats ()) in
+    let out =
+      Parallel.Pool.with_pool ~jobs (fun pool ->
+          Parallel.Pool.map_chunks pool
+            (fun i -> solve_into ~stats:stats.(i) t vs.(i))
+            (Array.init (Array.length vs) Fun.id))
+    in
+    Array.iter (fun s -> La.Krylov.merge_stats ~into:t.stats s) stats;
+    out
+  end
+
+let blackbox t =
+  Blackbox.make_batch
+    ~n:(Panel.n_contacts t.panel)
+    ~batch:(fun ~jobs vs -> solve_batch ~jobs t vs)
+    (solve t)

@@ -21,6 +21,13 @@ let make_stats () = { solves = 0; total_iterations = 0 }
 let average_iterations s =
   if s.solves = 0 then 0.0 else float_of_int s.total_iterations /. float_of_int s.solves
 
+(* Fold one stats record into another. Parallel batched solves give each
+   concurrent solve its own stats record (the fields are plain mutable ints)
+   and merge them back on the caller once the batch completes. *)
+let merge_stats ~into s =
+  into.solves <- into.solves + s.solves;
+  into.total_iterations <- into.total_iterations + s.total_iterations
+
 (* Solve A x = b for SPD A given [apply : v -> A v].
    [precond] applies M^{-1}; default is the identity.
    Convergence: ||r|| <= tol * ||b|| (or absolute 1e-300 floor for b = 0). *)

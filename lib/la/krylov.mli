@@ -14,6 +14,11 @@ type stats = { mutable solves : int; mutable total_iterations : int }
 val make_stats : unit -> stats
 val average_iterations : stats -> float
 
+(** [merge_stats ~into s] folds [s] into [into]. Parallel batched solves
+    give each concurrent solve its own stats record and merge afterwards,
+    so no two domains ever share one. *)
+val merge_stats : into:stats -> stats -> unit
+
 (** [cg ~apply b] solves [A x = b] where [apply v = A v].
     [precond] applies an SPD preconditioner inverse M^{-1}.
     Converges when the 2-norm residual falls below [tol * ||b||]. *)

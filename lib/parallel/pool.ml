@@ -1,0 +1,175 @@
+(* A fixed-size domain worker pool over the OCaml 5 stdlib (Domain + Mutex +
+   Condition only; no domainslib).
+
+   The substrate extraction pipelines issue many independent
+   one-right-hand-side solves (one per contact, per basis vector, per random
+   sample); the pool runs them on [jobs] domains while keeping results
+   bit-for-bit deterministic: every work item writes into a pre-assigned
+   slot, so the schedule never influences the output.
+
+   The pool holds [jobs - 1] persistent worker domains; the caller of
+   [parallel_for] / [map_chunks] drains the same queue, so [jobs] domains in
+   total make progress. With [jobs <= 1] no domains are spawned and every
+   operation degrades to a plain sequential loop on the calling domain. *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;  (* signalled when tasks are enqueued or on shutdown *)
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let jobs t = t.jobs
+
+let worker_loop pool () =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.work_available pool.mutex
+    done;
+    if Queue.is_empty pool.queue && pool.stop then Mutex.unlock pool.mutex
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [||];
+    }
+  in
+  if jobs > 1 then pool.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let shutdown t =
+  if Array.length t.workers > 0 then begin
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers
+  end
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* One parallel_for / map_chunks invocation: a batch of chunk tasks plus a
+   completion count and the first exception raised by any chunk. The caller
+   both enqueues and drains, then re-raises the recorded exception (with its
+   backtrace) once every chunk has finished, so no chunk is lost and the
+   pool stays usable after a failure. *)
+type batch_state = {
+  b_mutex : Mutex.t;
+  b_done : Condition.t;
+  mutable remaining : int;
+  mutable error : (exn * Printexc.raw_backtrace) option;
+}
+
+let run_chunks pool (chunks : task array) =
+  let nchunks = Array.length chunks in
+  if nchunks = 0 then ()
+  else if Array.length pool.workers = 0 || nchunks = 1 then Array.iter (fun c -> c ()) chunks
+  else begin
+    let state =
+      { b_mutex = Mutex.create (); b_done = Condition.create (); remaining = nchunks; error = None }
+    in
+    let guarded chunk () =
+      (try chunk ()
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock state.b_mutex;
+         if state.error = None then state.error <- Some (e, bt);
+         Mutex.unlock state.b_mutex);
+      Mutex.lock state.b_mutex;
+      state.remaining <- state.remaining - 1;
+      if state.remaining = 0 then Condition.broadcast state.b_done;
+      Mutex.unlock state.b_mutex
+    in
+    Mutex.lock pool.mutex;
+    Array.iter (fun chunk -> Queue.add (guarded chunk) pool.queue) chunks;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.mutex;
+    (* The caller helps drain the shared queue (its tasks may belong to this
+       batch or, under nesting, to another); once the queue is empty it
+       waits for the last worker to finish this batch. *)
+    let rec drain () =
+      Mutex.lock pool.mutex;
+      match Queue.take_opt pool.queue with
+      | Some task ->
+        Mutex.unlock pool.mutex;
+        task ();
+        drain ()
+      | None ->
+        Mutex.unlock pool.mutex;
+        Mutex.lock state.b_mutex;
+        while state.remaining > 0 do
+          Condition.wait state.b_done state.b_mutex
+        done;
+        Mutex.unlock state.b_mutex
+    in
+    drain ();
+    match state.error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+(* Split [0, n) into contiguous chunks. The default aims at a few chunks per
+   domain for load balance; chunk boundaries never affect results because
+   every index writes only its own slot. *)
+let chunk_ranges ?chunk ~jobs n =
+  if n <= 0 then []
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 ((n + (4 * jobs) - 1) / (4 * jobs))
+    in
+    let rec go lo acc = if lo >= n then List.rev acc else go (lo + chunk) ((lo, min n (lo + chunk)) :: acc) in
+    go 0 []
+  end
+
+let parallel_for ?chunk t n body =
+  if n <= 0 then ()
+  else if t.jobs <= 1 then
+    for i = 0 to n - 1 do
+      body i
+    done
+  else begin
+    let ranges = chunk_ranges ?chunk ~jobs:t.jobs n in
+    let chunks =
+      List.map
+        (fun (lo, hi) () ->
+          for i = lo to hi - 1 do
+            body i
+          done)
+        ranges
+    in
+    run_chunks t (Array.of_list chunks)
+  end
+
+let map_chunks ?chunk t f (input : 'a array) : 'b array =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for ?chunk t n (fun i -> out.(i) <- Some (f input.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end

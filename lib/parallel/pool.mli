@@ -1,0 +1,44 @@
+(** A fixed-size domain worker pool (pure stdlib: [Domain], [Mutex],
+    [Condition] — no domainslib). Results are deterministic by
+    construction: every work item writes only its pre-assigned slot, so the
+    schedule never influences the output.
+
+    A pool of size [jobs] keeps [jobs - 1] persistent worker domains; the
+    calling domain participates in every operation, so [jobs] domains make
+    progress in total. With [jobs <= 1] no domains are spawned and all
+    operations run sequentially on the caller. *)
+
+type t
+
+(** Parallelism to use by default: [Domain.recommended_domain_count () - 1]
+    (leaving one unit of hardware parallelism for the rest of the system),
+    floored at 1. *)
+val default_jobs : unit -> int
+
+(** [create ~jobs ()] spawns the worker domains. [jobs] defaults to
+    [default_jobs ()] and is floored at 1. *)
+val create : ?jobs:int -> unit -> t
+
+(** The pool's parallelism (total domains making progress, caller
+    included). *)
+val jobs : t -> int
+
+(** Join the worker domains. The pool must not be used afterwards. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts it
+    down, including on exceptions. *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+
+(** [parallel_for pool n body] runs [body i] for every [i] in [0 .. n - 1],
+    split into contiguous index chunks ([chunk] overrides the automatic
+    chunk size) executed across the pool. The body must only write state
+    owned by its own index. If any body raises, the first exception
+    (with its backtrace) is re-raised on the caller after all chunks have
+    finished; the pool remains usable. *)
+val parallel_for : ?chunk:int -> t -> int -> (int -> unit) -> unit
+
+(** [map_chunks pool f input] maps [f] over [input] across the pool,
+    returning results in input order (slot [i] holds [f input.(i)]
+    regardless of schedule). Exception behavior as for [parallel_for]. *)
+val map_chunks : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array

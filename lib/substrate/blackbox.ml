@@ -6,56 +6,101 @@
    through this interface, which is the thesis's central constraint: no
    access to individual entries of G, no analytic kernel. Every application
    is counted so the solve-reduction factors of Tables 4.1 and 4.3 can be
-   reported. *)
+   reported.
+
+   Batching: the right-hand sides inside each extraction stage are
+   independent, so a solver may additionally expose a multi-RHS [batch]
+   implementation that runs them on several domains ([jobs] is the total
+   parallelism). The solve counter is an [Atomic] so it stays exact when a
+   batch implementation (or a caller) applies the box concurrently, and
+   batch results land in input order, making parallel extraction
+   bit-identical to sequential. *)
 
 type t = {
   n : int;  (* number of contacts *)
   solve : La.Vec.t -> La.Vec.t;
-  counter : int ref;
+  batch : jobs:int -> La.Vec.t array -> La.Vec.t array;
+  counter : int Atomic.t;
 }
 
-let make ~n solve =
-  let counter = ref 0 in
+(* Process-wide tally across every black box, for harnesses that want the
+   total solve cost of a whole experiment without threading each box
+   through. Atomic for the same reason as the per-box counter. *)
+let total = Atomic.make 0
+let total_solve_count () = Atomic.get total
+
+let check_length n v =
+  if Array.length v <> n then
+    invalid_arg (Printf.sprintf "Blackbox: expected %d contact voltages, got %d" n (Array.length v))
+
+(* [make_batch ~n ~batch solve] wraps a solver that also supplies a
+   (possibly parallel) multi-RHS implementation. The wrappers validate and
+   count; [batch] itself must return one response per RHS, in order. *)
+let make_batch ~n ~batch solve =
+  let counter = Atomic.make 0 in
   let counted v =
-    if Array.length v <> n then
-      invalid_arg (Printf.sprintf "Blackbox: expected %d contact voltages, got %d" n (Array.length v));
-    incr counter;
+    check_length n v;
+    Atomic.incr counter;
+    Atomic.incr total;
     solve v
   in
-  { n; solve = counted; counter }
+  let counted_batch ~jobs vs =
+    Array.iter (check_length n) vs;
+    ignore (Atomic.fetch_and_add counter (Array.length vs));
+    ignore (Atomic.fetch_and_add total (Array.length vs));
+    let out = batch ~jobs vs in
+    if Array.length out <> Array.length vs then
+      invalid_arg "Blackbox: batch implementation returned a wrong-sized result";
+    out
+  in
+  { n; solve = counted; batch = counted_batch; counter }
+
+(* Solvers without a native batch run the right-hand sides sequentially:
+   an arbitrary solve closure may hold mutable scratch state, so the black
+   box never parallelizes it behind the solver's back. *)
+let make ~n solve = make_batch ~n ~batch:(fun ~jobs:_ vs -> Array.map solve vs) solve
 
 let n t = t.n
 let apply t v = t.solve v
-let solve_count t = !(t.counter)
-let reset_count t = t.counter := 0
+
+(* [apply_batch ~jobs t vs] solves all right-hand sides and returns the
+   responses in input order. [jobs] (default 1) is forwarded to the
+   solver's batch implementation; solvers constructed with [make] stay
+   sequential regardless. *)
+let apply_batch ?(jobs = 1) t vs = t.batch ~jobs vs
+
+let solve_count t = Atomic.get t.counter
+let reset_count t = Atomic.set t.counter 0
 
 (* Wrap an explicitly known conductance matrix. Used to test the
    sparsification algorithms against exact arithmetic, and to re-serve an
-   extracted G cheaply. *)
+   extracted G cheaply. gemv is pure, so the batch runs on a pool. *)
 let of_dense g =
   if La.Mat.rows g <> La.Mat.cols g then invalid_arg "Blackbox.of_dense: G must be square";
-  make ~n:(La.Mat.rows g) (La.Mat.gemv g)
+  make_batch ~n:(La.Mat.rows g)
+    ~batch:(fun ~jobs vs ->
+      if jobs <= 1 || Array.length vs <= 1 then Array.map (La.Mat.gemv g) vs
+      else Parallel.Pool.with_pool ~jobs (fun pool -> Parallel.Pool.map_chunks pool (La.Mat.gemv g) vs))
+    (La.Mat.gemv g)
+
+(* One fresh unit vector per right-hand side: a shared buffer would race
+   under batching, and even sequentially it aliases if a solver retains its
+   argument. *)
+let unit_vector n i =
+  let e = Array.make n 0.0 in
+  e.(i) <- 1.0;
+  e
 
 (* The naive extraction the thesis improves on: one solve per contact,
-   G(:, i) = G e_i (thesis §1.2). *)
-let extract_dense t =
+   G(:, i) = G e_i (thesis §1.2). Each response is written into its
+   pre-assigned column, so any [jobs] produces the same matrix. *)
+let extract_dense ?jobs t =
+  let cols = apply_batch ?jobs t (Array.init t.n (unit_vector t.n)) in
   let g = La.Mat.create t.n t.n in
-  let e = Array.make t.n 0.0 in
-  for i = 0 to t.n - 1 do
-    e.(i) <- 1.0;
-    La.Mat.set_col g i (apply t e);
-    e.(i) <- 0.0
-  done;
+  Array.iteri (fun i col -> La.Mat.set_col g i col) cols;
   g
 
 (* Extract a sample of columns (for error estimation on large examples,
    thesis Table 4.3: "a 10% sample of the columns of the actual G"). *)
-let extract_columns t indices =
-  let e = Array.make t.n 0.0 in
-  Array.map
-    (fun i ->
-      e.(i) <- 1.0;
-      let col = apply t e in
-      e.(i) <- 0.0;
-      col)
-    indices
+let extract_columns ?jobs t indices =
+  apply_batch ?jobs t (Array.map (unit_vector t.n) indices)

@@ -1,24 +1,53 @@
 (** Black-box substrate solver: contact voltages to contact currents, with
     solve counting. The sparsification algorithms touch G only through this
-    interface. *)
+    interface.
+
+    The solve counter is an [Atomic], so it stays exact when a batch
+    implementation applies the box from several domains concurrently. *)
 
 type t
 
 (** [make ~n solve] wraps a solver for [n] contacts. Applications are counted
-    and argument length is validated. *)
+    and argument length is validated. Batched applications run the
+    right-hand sides sequentially (an arbitrary closure may hold mutable
+    scratch state, so it is never parallelized behind the solver's back). *)
 val make : n:int -> (La.Vec.t -> La.Vec.t) -> t
+
+(** [make_batch ~n ~batch solve] additionally supplies a multi-RHS
+    implementation, called as [batch ~jobs vs]; it must return one response
+    per right-hand side, in input order. A solver whose per-solve state is
+    cloned per domain (e.g. {!Eigsolver.Eig_solver.blackbox}) uses this to
+    run independent solves in parallel. *)
+val make_batch :
+  n:int -> batch:(jobs:int -> La.Vec.t array -> La.Vec.t array) -> (La.Vec.t -> La.Vec.t) -> t
 
 val n : t -> int
 val apply : t -> La.Vec.t -> La.Vec.t
+
+(** [apply_batch ~jobs t vs] solves every right-hand side and returns the
+    responses in input order; each RHS counts as one solve. [jobs]
+    (default 1 = sequential) is the total parallelism forwarded to the
+    solver's batch implementation. *)
+val apply_batch : ?jobs:int -> t -> La.Vec.t array -> La.Vec.t array
+
 val solve_count : t -> int
 val reset_count : t -> unit
 
-(** Wrap a dense conductance matrix as a black box. *)
+(** Process-wide solve tally across every black box ever constructed (never
+    reset). Benchmarks diff it around an experiment to report total solve
+    cost. *)
+val total_solve_count : unit -> int
+
+(** Wrap a dense conductance matrix as a black box. Its batch
+    implementation is parallel (gemv is pure). *)
 val of_dense : La.Mat.t -> t
 
-(** Naive extraction: n solves, one per contact (thesis §1.2). *)
-val extract_dense : t -> La.Mat.t
+(** Naive extraction: n solves, one per contact (thesis §1.2). Responses are
+    written into pre-assigned columns, so the result is bit-identical for
+    every [jobs]. *)
+val extract_dense : ?jobs:int -> t -> La.Mat.t
 
 (** Extract the given columns of G (for sampled error estimates on large
-    examples). *)
-val extract_columns : t -> int array -> La.Vec.t array
+    examples). One fresh unit vector per column — nothing is shared across
+    solves. *)
+val extract_columns : ?jobs:int -> t -> int array -> La.Vec.t array

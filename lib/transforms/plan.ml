@@ -41,16 +41,20 @@ let create n =
   let twist_s = Array.init n (fun k -> sin (Float.pi *. float_of_int k /. float_of_int (2 * n))) in
   { n; rev; stage_wr; stage_wi; twist_c; twist_s }
 
-(* Cache plans per length; substrate grids use at most a handful of sizes. *)
+(* Cache plans per length; substrate grids use at most a handful of sizes.
+   The cache is consulted from every domain of a parallel batched solve, so
+   lookups are serialized; a plan is immutable once built and safe to share. *)
 let cache : (int, t) Hashtbl.t = Hashtbl.create 8
+let cache_mutex = Mutex.create ()
 
 let get n =
-  match Hashtbl.find_opt cache n with
-  | Some p -> p
-  | None ->
-    let p = create n in
-    Hashtbl.replace cache n p;
-    p
+  Mutex.protect cache_mutex (fun () ->
+      match Hashtbl.find_opt cache n with
+      | Some p -> p
+      | None ->
+        let p = create n in
+        Hashtbl.replace cache n p;
+        p)
 
 (* In-place FFT using the plan's tables; [sign] as in Fft.transform. *)
 let fft t ~sign (re : float array) (im : float array) =
