@@ -720,6 +720,60 @@ let bench_parallel ~full () =
     :: !par_records
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: wrapper overhead on clean runs, recovery under chaos *)
+
+let bench_chaos ~full () =
+  section "Resilience — wrapper overhead (clean) and chaos recovery";
+  let jobs = effective_jobs () in
+  let per_side = if full then 24 else 16 in
+  let layout = Layout.regular_grid ~size:128.0 ~per_side ~fill:0.5 () in
+  let n = Layout.n_contacts layout in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Best of two runs per configuration to damp scheduler noise; the
+     comparison targets the wrapper's bookkeeping (index assignment, DLS
+     context, health aggregation), which is tiny next to a CG solve. *)
+  let best_of_2 f =
+    let r1, t1 = time f in
+    let _, t2 = time f in
+    (r1, min t1 t2)
+  in
+  Printf.printf "  layout %s, n = %d, jobs = %d\n%!" layout.Layout.name n jobs;
+  let g_raw, t_raw =
+    best_of_2 (fun () -> Blackbox.extract_dense ~jobs (eig_blackbox ~panels:64 layout))
+  in
+  let g_res, t_res =
+    best_of_2 (fun () ->
+        let r = Substrate.Resilient.create (eig_blackbox ~panels:64 layout) in
+        Blackbox.extract_dense ~jobs (Substrate.Resilient.blackbox r))
+  in
+  let overhead = (t_res -. t_raw) /. t_raw *. 100.0 in
+  Printf.printf "  clean dense extraction (%d solves):\n" n;
+  Printf.printf "    raw box         %8.3f s\n" t_raw;
+  Printf.printf "    resilient box   %8.3f s   (overhead %+.2f%%, target <= 2%%)\n" t_res overhead;
+  Printf.printf "    bit-identical:  %b\n" (bitwise_equal g_raw g_res);
+  if not (bitwise_equal g_raw g_res) then
+    failwith "resilient wrapper changed the extracted conductance matrix";
+  (* Recovery leg: a transient fault every 7th solve; the retry policy's
+     clean re-solve is the first real inner solve at each fault site, so
+     the result must be bit-identical to the fault-free matrix. *)
+  let chaos = Substrate.Chaos.create ~every:7 ~fault:Substrate.Chaos.Transient (eig_blackbox ~panels:64 layout) in
+  let res = Substrate.Resilient.create (Substrate.Chaos.box chaos) in
+  let g_chaos, t_chaos = time (fun () -> Blackbox.extract_dense ~jobs (Substrate.Resilient.blackbox res)) in
+  let recovered = bitwise_equal g_raw g_chaos in
+  Printf.printf "  chaos recovery (transient fault every 7th solve):\n";
+  Printf.printf "    injected %d fault(s), %d retr%s, %8.3f s\n"
+    (Substrate.Chaos.injected chaos)
+    (Substrate.Resilient.retries res)
+    (if Substrate.Resilient.retries res = 1 then "y" else "ies")
+    t_chaos;
+  Printf.printf "    bit-identical to fault-free: %b\n" recovered;
+  if not recovered then failwith "chaos recovery is not bit-identical to the fault-free run"
+
+(* ------------------------------------------------------------------ *)
 (* JSON results (--json FILE): hand-rolled writer, no JSON dependency *)
 
 let json_escape s =
@@ -791,6 +845,7 @@ let experiments =
     ("direct", "Direct sparse Cholesky: fill and amortization (§2.2.2)", bench_direct_solver);
     ("apply", "Apply cost: sparse vs dense", bench_apply_cost);
     ("par", "Parallel extraction: sequential vs domain-pool batch", bench_parallel);
+    ("chaos", "Resilience: wrapper overhead on clean runs, chaos recovery", bench_chaos);
   ]
 
 let run only full list_only json jobs =

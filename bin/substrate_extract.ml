@@ -73,22 +73,57 @@ let fd_profile =
       ]
     ~backplane:Profile.Grounded
 
-let blackbox_of ~solver ~panels layout =
+(* The primary box plus its escalation ladder for --resilience: each rung is
+   lazy, so a ladder that is never climbed costs nothing (a re-plan or a
+   direct factorization is expensive). *)
+let solver_stack ~solver ~panels layout =
   let profile = Profile.thesis_default () in
   match solver with
   | `Eig ->
     let s = Eigsolver.Eig_solver.create profile layout ~panels_per_side:panels in
-    Eigsolver.Eig_solver.blackbox s
+    let fallbacks =
+      [
+        ( "eig tol=1e-11 4x iterations",
+          lazy
+            (Eigsolver.Eig_solver.blackbox
+               (Eigsolver.Eig_solver.with_tolerance ~tol:1e-11 ~max_iter:8000 s)) );
+        ( "eig re-plan tol=1e-11 16x iterations",
+          lazy
+            (Eigsolver.Eig_solver.blackbox
+               (Eigsolver.Eig_solver.create ~tol:1e-11 ~max_iter:32000 profile layout
+                  ~panels_per_side:panels)) );
+      ]
+    in
+    (Eigsolver.Eig_solver.blackbox s, fallbacks)
   | `Fd ->
     let s =
       Fdsolver.Fd_solver.create
         ~precond:(Fdsolver.Fd_solver.Fast_poisson (Fdsolver.Fd_solver.area_fraction layout))
         fd_profile layout ~nx:64 ~nz:16
     in
-    Fdsolver.Fd_solver.blackbox s
+    let fallbacks =
+      [
+        ( "fd tol=1e-11 4x iterations",
+          lazy
+            (Fdsolver.Fd_solver.blackbox (Fdsolver.Fd_solver.with_tolerance ~tol:1e-11 ~max_iter:20000 s))
+        );
+        ( "fd ICCG tol=1e-11",
+          lazy
+            (Fdsolver.Fd_solver.blackbox
+               (Fdsolver.Fd_solver.create ~precond:Fdsolver.Fd_solver.Ic0 ~tol:1e-11 ~max_iter:20000
+                  fd_profile layout ~nx:64 ~nz:16)) );
+        ( "fd direct (sparse Cholesky, coarse grid)",
+          lazy
+            (Fdsolver.Direct_solver.blackbox (Fdsolver.Direct_solver.create fd_profile layout ~nx:32 ~nz:8))
+        );
+      ]
+    in
+    (Fdsolver.Fd_solver.blackbox s, fallbacks)
   | `Fd_direct ->
     let s = Fdsolver.Direct_solver.create fd_profile layout ~nx:32 ~nz:8 in
-    Fdsolver.Direct_solver.blackbox s
+    (Fdsolver.Direct_solver.blackbox s, [])
+
+let blackbox_of ~solver ~panels layout = fst (solver_stack ~solver ~panels layout)
 
 (* ------------------------------------------------------------------ *)
 (* layouts *)
@@ -107,18 +142,103 @@ let layouts_cmd =
 (* ------------------------------------------------------------------ *)
 (* extract *)
 
-let run_extract layout_name per_side seed solver panels jobs method_ threshold verify estimate spy output =
+(* --chaos FAULT[:EVERY[:OFFSET[:SEED]]] (testing only). *)
+let parse_chaos spec =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf "--chaos %S: expected FAULT[:EVERY[:OFFSET[:SEED]]] with FAULT one of \
+                       transient, nan, nonconv, perturb" spec)
+  in
+  let fault_of = function
+    | "transient" -> Substrate.Chaos.Transient
+    | "nan" -> Substrate.Chaos.Nan_response
+    | "nonconv" -> Substrate.Chaos.Non_convergence
+    | "perturb" -> Substrate.Chaos.Perturb 1e-6
+    | _ -> fail ()
+  in
+  let int_of s = match int_of_string_opt s with Some i -> i | None -> fail () in
+  match String.split_on_char ':' spec with
+  | [ f ] -> (fault_of f, 7, 0, 0)
+  | [ f; e ] -> (fault_of f, int_of e, 0, 0)
+  | [ f; e; o ] -> (fault_of f, int_of e, int_of o, 0)
+  | [ f; e; o; s ] -> (fault_of f, int_of e, int_of o, int_of s)
+  | _ -> fail ()
+
+let policy_of_resilience mode max_attempts =
+  match mode with
+  | `Off -> None
+  | `Retry -> Some { Substrate.Resilient.default_policy with max_attempts }
+  | `Degrade -> Some { Substrate.Resilient.degrade with max_attempts }
+  | `Fail_fast -> Some Substrate.Resilient.fail_fast
+
+let run_extract layout_name per_side seed solver panels jobs method_ threshold verify estimate spy output
+    resilience max_attempts checkpoint chaos =
   let layout = make_layout layout_name per_side seed in
   let n = Layout.n_contacts layout in
   let jobs = resolve_jobs jobs in
   Printf.printf "layout: %s (%d contacts)\n%!" layout.Layout.name n;
   if jobs > 1 then Printf.printf "jobs: %d (batched solves run on a domain pool)\n%!" jobs;
-  let bb = blackbox_of ~solver ~panels layout in
-  let repr =
-    match method_ with
-    | `Lowrank -> Lowrank.extract ~jobs layout bb
-    | `Wavelet -> Wavelet.extract ~jobs (Wavelet.create ~p:2 layout) bb
+  let base_bb, fallbacks = solver_stack ~solver ~panels layout in
+  (* Wrapper stack, inside out: solver -> fault injection -> retry policy ->
+     checkpoint -> extraction. *)
+  let chaos_t =
+    Option.map
+      (fun spec ->
+        let fault, every, offset, seed = parse_chaos spec in
+        Printf.printf "chaos: injecting faults at every %d-th solve (offset %d)\n%!" every offset;
+        Substrate.Chaos.create ~seed ~offset ~every ~fault base_bb)
+      chaos
   in
+  let bb = match chaos_t with Some c -> Substrate.Chaos.box c | None -> base_bb in
+  let resilient_t =
+    Option.map
+      (fun policy -> Substrate.Resilient.create ~policy ~fallbacks bb)
+      (policy_of_resilience resilience max_attempts)
+  in
+  let bb = match resilient_t with Some r -> Substrate.Resilient.blackbox r | None -> bb in
+  let ck = Option.map Substrate.Checkpoint.create checkpoint in
+  (match ck with
+  | Some ck when Substrate.Checkpoint.stages_on_disk ck > 0 ->
+    Printf.printf "checkpoint: %s holds %d completed stage(s)\n%!" (Substrate.Checkpoint.path ck)
+      (Substrate.Checkpoint.stages_on_disk ck)
+  | _ -> ());
+  let finish_checkpoint () =
+    match ck with
+    | None -> ()
+    | Some ck ->
+      if Substrate.Checkpoint.hits ck > 0 then
+        Printf.printf "checkpoint: replayed %d stage(s), %d solve(s) not repeated\n"
+          (Substrate.Checkpoint.hits ck)
+          (Substrate.Checkpoint.cached_solves ck);
+      Substrate.Checkpoint.close ck
+  in
+  let report_resilience () =
+    (match chaos_t with
+    | Some c -> Printf.printf "chaos: %d fault(s) injected\n" (Substrate.Chaos.injected c)
+    | None -> ());
+    match resilient_t with
+    | None -> ()
+    | Some r ->
+      Printf.printf "resilience: %d retried attempt(s), %d degraded solve(s)\n"
+        (Substrate.Resilient.retries r) (Substrate.Resilient.degraded_count r);
+      List.iteri
+        (fun i f ->
+          if i < 5 then Printf.printf "  %s\n" (Fmt.str "%a" Substrate.Resilient.pp_failure f))
+        (Substrate.Resilient.failures r)
+  in
+  match
+    (match method_ with
+    | `Lowrank -> Lowrank.extract ~jobs ?checkpoint:ck layout bb
+    | `Wavelet -> Wavelet.extract ~jobs ?checkpoint:ck (Wavelet.create ~p:2 layout) bb)
+  with
+  | exception Blackbox.Solve_failed { index; reason } ->
+    (* Completed stages are already on disk: a later run with the same
+       --checkpoint resumes where this one failed. *)
+    finish_checkpoint ();
+    report_resilience ();
+    Printf.eprintf "extraction failed at solve %d: %s\n" index reason;
+    2
+  | repr ->
   let repr = if threshold > 1.0 then Repr.threshold repr ~target:threshold else repr in
   Printf.printf "solves: %d (%.1fx reduction over naive)\n" repr.Repr.solves
     (Metrics.solve_reduction ~n ~solves:repr.Repr.solves);
@@ -151,6 +271,12 @@ let run_extract layout_name per_side seed solver panels jobs method_ threshold v
     in
     write ".q.mtx" repr.Repr.q (Printf.sprintf "change of basis Q for %s" layout.Layout.name);
     write ".gw.mtx" repr.Repr.gw (Printf.sprintf "transformed G_w for %s (G ~ Q G_w Q')" layout.Layout.name));
+  finish_checkpoint ();
+  report_resilience ();
+  let health = Substrate.Health.summary (Blackbox.health base_bb) in
+  Printf.printf "solver health: %s%s\n"
+    (Fmt.str "%a" Substrate.Health.pp_summary health)
+    (if Substrate.Health.healthy health then "" else "  [CHECK QUALITY]");
   0
 
 let method_arg =
@@ -177,12 +303,50 @@ let output_arg =
     & opt (some string) None
     & info [ "output"; "o" ] ~docv:"BASE" ~doc:"Write Q and G_w as Matrix Market files BASE.q.mtx / BASE.gw.mtx.")
 
+let resilience_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("off", `Off); ("retry", `Retry); ("degrade", `Degrade); ("fail-fast", `Fail_fast) ])
+        `Off
+    & info [ "resilience" ] ~docv:"MODE"
+        ~doc:
+          "Solve failure policy: off (failures propagate), retry (re-solve up to --max-attempts \
+           times, escalating through tighter tolerances / better preconditioners / a direct \
+           fallback, then fail), degrade (as retry, but substitute the best-effort iterate and \
+           record the failure instead of failing), fail-fast (any fault aborts immediately).")
+
+let max_attempts_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "max-attempts" ] ~docv:"N" ~doc:"Attempts per solve under --resilience retry/degrade.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Persist completed solve stages to $(docv) and resume from it: an interrupted extraction \
+           re-run with the same parameters repeats no finished solve.")
+
+let chaos_arg =
+  (* Testing hook: kept out of the main option listing. *)
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC" ~docs:"TESTING (INTERNAL)"
+        ~doc:
+          "Inject deterministic solver faults (testing only): \
+           FAULT[:EVERY[:OFFSET[:SEED]]] with FAULT one of transient, nan, nonconv, perturb.")
+
 let extract_cmd =
   Cmd.v
     (Cmd.info "extract" ~doc:"Extract a sparsified conductance representation G ~ Q G_w Q'.")
     Term.(
       const run_extract $ layout_arg $ per_side_arg $ seed_arg $ solver_arg $ panels_arg $ jobs_arg
-      $ method_arg $ threshold_arg $ verify_arg $ estimate_arg $ spy_arg $ output_arg)
+      $ method_arg $ threshold_arg $ verify_arg $ estimate_arg $ spy_arg $ output_arg
+      $ resilience_arg $ max_attempts_arg $ checkpoint_arg $ chaos_arg)
 
 (* ------------------------------------------------------------------ *)
 (* solve *)

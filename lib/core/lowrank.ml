@@ -330,16 +330,18 @@ let representation t =
 (* Whole pipeline: phase 1 + phase 2 from a layout and a black box. *)
 
 let extract ?max_level ?sigma_rel_tol ?max_rank ?seed ?symmetric_refinement ?samples_per_square ?jobs
-    layout blackbox =
+    ?checkpoint layout blackbox =
   let max_level =
     match max_level with
     | Some l -> l
     | None -> max 2 (Quadtree.suggest_max_level ~target:8 layout)
   in
   let tree = Quadtree.create ~max_level layout in
+  (* All black-box solves happen in phase 1, so the checkpoint lives
+     there; phase 2 is deterministic post-processing. *)
   let rb =
-    Rowbasis.build ?sigma_rel_tol ?max_rank ?seed ?symmetric_refinement ?samples_per_square ?jobs tree
-      layout blackbox
+    Rowbasis.build ?sigma_rel_tol ?max_rank ?seed ?symmetric_refinement ?samples_per_square ?jobs
+      ?checkpoint tree layout blackbox
   in
   let t = build ?sigma_rel_tol ?max_rank rb in
   representation t

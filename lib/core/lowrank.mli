@@ -31,7 +31,9 @@ val representation : t -> Repr.t
 (** Whole pipeline: build the quadtree (default depth
     [suggest_max_level ~target:8]), run both phases, return the sparsified
     representation. [jobs] (default 1) batches phase 1's independent
-    black-box solves; the result is bit-identical for any [jobs]. *)
+    black-box solves; the result is bit-identical for any [jobs].
+    [checkpoint] persists phase 1's completed solve stages and replays
+    them on resume (phase 2 issues no solves). *)
 val extract :
   ?max_level:int ->
   ?sigma_rel_tol:float ->
@@ -40,6 +42,7 @@ val extract :
   ?symmetric_refinement:bool ->
   ?samples_per_square:int ->
   ?jobs:int ->
+  ?checkpoint:Substrate.Checkpoint.t ->
   Geometry.Layout.t ->
   Substrate.Blackbox.t ->
   Repr.t

@@ -220,8 +220,17 @@ let split_responses ctx ~level ~(vectors : (int * int) -> Mat.t option) =
 (* Build the representation. *)
 
 let build ?(sigma_rel_tol = 0.01) ?(max_rank = 6) ?(seed = 20020524) ?(symmetric_refinement = true)
-    ?(samples_per_square = 1) ?(jobs = 1) tree layout blackbox =
+    ?(samples_per_square = 1) ?(jobs = 1) ?checkpoint tree layout blackbox =
   if samples_per_square < 1 then invalid_arg "Rowbasis.build: samples_per_square must be positive";
+  (* Every solve below goes through [apply_batch] in a deterministic stage
+     order (level-2 samples, level-2 responses, then per level one sample
+     and one response stage, finally the complements), so each batch is one
+     resumable checkpoint stage. *)
+  let blackbox =
+    match checkpoint with
+    | Some ck -> Substrate.Checkpoint.wrap ck blackbox
+    | None -> blackbox
+  in
   let max_level = Quadtree.max_level tree in
   if max_level < 2 then invalid_arg "Rowbasis.build: max_level must be at least 2";
   let n = Layout.n_contacts layout in

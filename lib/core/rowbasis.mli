@@ -26,8 +26,9 @@ type t
     regions hold few contacts, §4.3.3). [jobs] (default 1) batches each
     stage's independent black-box solves through
     {!Substrate.Blackbox.apply_batch}; random draws stay sequential, so the
-    representation is bit-identical for any [jobs]. The quadtree must have
-    [max_level >= 2]. *)
+    representation is bit-identical for any [jobs]. [checkpoint] persists
+    each completed solve stage and replays finished stages on resume (see
+    {!Substrate.Checkpoint}). The quadtree must have [max_level >= 2]. *)
 val build :
   ?sigma_rel_tol:float ->
   ?max_rank:int ->
@@ -35,6 +36,7 @@ val build :
   ?symmetric_refinement:bool ->
   ?samples_per_square:int ->
   ?jobs:int ->
+  ?checkpoint:Substrate.Checkpoint.t ->
   Geometry.Quadtree.t ->
   Geometry.Layout.t ->
   Substrate.Blackbox.t ->

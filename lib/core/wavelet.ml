@@ -211,8 +211,18 @@ let kept_targets t ~level ~ix ~iy ~level' =
    through [Blackbox.apply_batch]; right-hand sides are assembled
    sequentially and projections run sequentially in the same order as the
    one-solve-at-a-time loop, so the result is bit-identical for any
-   [jobs]. *)
-let extract ?(combine = true) ?(jobs = 1) t blackbox =
+   [jobs].
+
+   [checkpoint] persists each completed solve stage (the root batch, then
+   one batch per level): the stage order is deterministic, so a resumed
+   extraction replays finished stages from the file and repeats no
+   completed solve. *)
+let extract ?(combine = true) ?(jobs = 1) ?checkpoint t blackbox =
+  let blackbox =
+    match checkpoint with
+    | Some ck -> Substrate.Checkpoint.wrap ck blackbox
+    | None -> blackbox
+  in
   let entries : (int * int, float) Hashtbl.t = Hashtbl.create (t.n * 8) in
   let set i j v =
     Hashtbl.replace entries (i, j) v;

@@ -38,8 +38,10 @@ val q_matrix : t -> Sparsemat.Csr.t
     (§3.5); set [combine:false] to spend one solve per basis vector
     instead. [jobs] (default 1) batches each stage's independent solves
     through {!Substrate.Blackbox.apply_batch}; the result is bit-identical
-    for any [jobs]. *)
-val extract : ?combine:bool -> ?jobs:int -> t -> Substrate.Blackbox.t -> Repr.t
+    for any [jobs]. [checkpoint] persists each completed solve stage and
+    replays finished stages on resume (see {!Substrate.Checkpoint}). *)
+val extract :
+  ?combine:bool -> ?jobs:int -> ?checkpoint:Substrate.Checkpoint.t -> t -> Substrate.Blackbox.t -> Repr.t
 
 (** Exact Q' G Q from a known dense G (validation). *)
 val change_basis_dense : t -> La.Mat.t -> La.Mat.t

@@ -33,6 +33,7 @@ type t = {
   tol : float;
   max_iter : int;
   stats : La.Krylov.stats;
+  health : Substrate.Health.t;
 }
 
 (* Galerkin correction for piecewise-constant panels (the precorrected-DCT
@@ -62,7 +63,28 @@ let create ?(tol = 1e-9) ?(max_iter = 2000) ?(precond = No_preconditioner) ?(gal
         lambdas
     else lambdas
   in
-  { profile; panel; lambdas; precond; tol; max_iter; stats = La.Krylov.make_stats () }
+  {
+    profile;
+    panel;
+    lambdas;
+    precond;
+    tol;
+    max_iter;
+    stats = La.Krylov.make_stats ();
+    health = Substrate.Health.create ();
+  }
+
+(* Escalation handle: same panel tables and eigenvalue table, tighter CG
+   settings, private stats/health. Cheap — nothing is re-discretized — so a
+   retry ladder can stack several of these. *)
+let with_tolerance ?tol ?max_iter t =
+  {
+    t with
+    tol = Option.value tol ~default:t.tol;
+    max_iter = Option.value max_iter ~default:t.max_iter;
+    stats = La.Krylov.make_stats ();
+    health = Substrate.Health.create ();
+  }
 
 let panel_count t = t.panel |> Panel.n_dofs
 let stats t = t.stats
@@ -98,13 +120,31 @@ let solve_into ~stats t (v : La.Vec.t) : La.Vec.t =
     | No_preconditioner -> None
     | Fast_inverse -> Some (apply_inverse_restricted t)
   in
+  let t0 = Substrate.Health.now () in
   let result =
     La.Krylov.cg ?precond ~apply:(apply_restricted t) ~tol:t.tol ~max_iter:t.max_iter ~stats rhs
   in
-  if not result.La.Krylov.converged then
+  let wall = Substrate.Health.now () -. t0 in
+  if result.La.Krylov.breakdown then
+    Logs.warn (fun m ->
+        m
+          "eigenfunction solve: CG breakdown on a non-positive-definite direction (residual %.2e \
+           after %d iterations%s)"
+          result.La.Krylov.residual_norm result.La.Krylov.iterations
+          (if result.La.Krylov.converged then ", accepted at relaxed threshold" else ""))
+  else if not result.La.Krylov.converged then
     Logs.warn (fun m ->
         m "eigenfunction solve: CG not converged (residual %.2e after %d iterations)"
           result.La.Krylov.residual_norm result.La.Krylov.iterations);
+  Blackbox.report_solve t.health
+    {
+      Substrate.Health.converged = result.La.Krylov.converged;
+      breakdown = result.La.Krylov.breakdown;
+      residual = result.La.Krylov.residual_norm;
+      iterations = result.La.Krylov.iterations;
+      wall_s = wall;
+      finite = true;  (* the box wrapper completes the NaN/Inf scan *)
+    };
   La.Vec.scale (Panel.panel_area t.panel) (Panel.sum_per_contact t.panel result.La.Krylov.x)
 
 let solve t v = solve_into ~stats:t.stats t v
@@ -133,7 +173,7 @@ let solve_batch ?(jobs = Parallel.Pool.default_jobs ()) t (vs : La.Vec.t array) 
   end
 
 let blackbox t =
-  Blackbox.make_batch
+  Blackbox.make_batch ~health:t.health
     ~n:(Panel.n_contacts t.panel)
     ~batch:(fun ~jobs vs -> solve_batch ~jobs t vs)
     (solve t)

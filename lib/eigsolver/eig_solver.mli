@@ -24,6 +24,12 @@ val create :
   panels_per_side:int ->
   t
 
+(** [with_tolerance ?tol ?max_iter t] is [t] with tighter (or looser) CG
+    settings, sharing the discretization and eigenvalue tables but with
+    private iteration stats and health — the cheap escalation step for a
+    {!Substrate.Resilient} fallback ladder. *)
+val with_tolerance : ?tol:float -> ?max_iter:int -> t -> t
+
 (** Apply the restricted inverse of the full-surface operator (the
     fast-solver preconditioner candidate). *)
 val apply_inverse_restricted : t -> La.Vec.t -> La.Vec.t
@@ -53,5 +59,6 @@ val solve : t -> La.Vec.t -> La.Vec.t
 val solve_batch : ?jobs:int -> t -> La.Vec.t array -> La.Vec.t array
 
 (** Wrap as a counted black box whose batch implementation is
-    [solve_batch]. *)
+    [solve_batch]. The box's health record carries one report per solve
+    (convergence, residual, iterations, CG breakdowns, wall time). *)
 val blackbox : t -> Substrate.Blackbox.t

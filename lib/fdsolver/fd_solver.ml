@@ -25,6 +25,7 @@ type t = {
   tol : float;
   max_iter : int;
   stats : La.Krylov.stats;
+  health : Substrate.Health.t;
   n_contacts : int;
 }
 
@@ -68,11 +69,50 @@ let create ?placement ?(precond = Fast_poisson 1.0) ?(tol = 1e-9) ?(max_iter = 5
     tol;
     max_iter;
     stats = La.Krylov.make_stats ();
+    health = Substrate.Health.create ();
     n_contacts = Array.length layout.Layout.contacts;
+  }
+
+(* Escalation handle: same grid and preconditioner, tighter CG settings,
+   private stats/health — cheap, nothing is re-discretized or refactored.
+   Preconditioner *changes* need a fresh [create] (or [Direct_solver]). *)
+let with_tolerance ?tol ?max_iter t =
+  {
+    t with
+    tol = Option.value tol ~default:t.tol;
+    max_iter = Option.value max_iter ~default:t.max_iter;
+    stats = La.Krylov.make_stats ();
+    health = Substrate.Health.create ();
   }
 
 let grid t = t.grid
 let stats t = t.stats
+
+(* Run one PCG solve with distinct logging for breakdown vs plain
+   non-convergence, and publish the per-solve quality report. *)
+let run_cg t ~apply b =
+  let t0 = Substrate.Health.now () in
+  let result = La.Krylov.cg ?precond:t.precond ~apply ~tol:t.tol ~max_iter:t.max_iter ~stats:t.stats b in
+  let wall = Substrate.Health.now () -. t0 in
+  if result.La.Krylov.breakdown then
+    Logs.warn (fun m ->
+        m "fd solve: CG breakdown on a non-positive-definite direction (residual %.2e after %d iterations%s)"
+          result.La.Krylov.residual_norm result.La.Krylov.iterations
+          (if result.La.Krylov.converged then ", accepted at relaxed threshold" else ""))
+  else if not result.La.Krylov.converged then
+    Logs.warn (fun m ->
+        m "fd solve: CG not converged (residual %.2e after %d iterations)" result.La.Krylov.residual_norm
+          result.La.Krylov.iterations);
+  Blackbox.report_solve t.health
+    {
+      Substrate.Health.converged = result.La.Krylov.converged;
+      breakdown = result.La.Krylov.breakdown;
+      residual = result.La.Krylov.residual_norm;
+      iterations = result.La.Krylov.iterations;
+      wall_s = wall;
+      finite = true;  (* the box wrapper completes the NaN/Inf scan *)
+    };
+  result
 
 (* Net current out of a grid node given the full voltage field. *)
 let node_current grid (v : float array) i =
@@ -93,11 +133,7 @@ let solve_inside t (u : La.Vec.t) : La.Vec.t =
   (* Reduced system A_ff x = -A v_fix. *)
   let b = zero_fixed grid (Array.map (fun x -> -.x) (Grid.apply grid v_fix)) in
   let apply v = zero_fixed grid (Grid.apply grid v) in
-  let result = La.Krylov.cg ?precond:t.precond ~apply ~tol:t.tol ~max_iter:t.max_iter ~stats:t.stats b in
-  if not result.La.Krylov.converged then
-    Logs.warn (fun m ->
-        m "fd solve: CG not converged (residual %.2e after %d iterations)" result.La.Krylov.residual_norm
-          result.La.Krylov.iterations);
+  let result = run_cg t ~apply b in
   let v = La.Vec.add v_fix result.La.Krylov.x in
   Array.map
     (fun nodes -> Array.fold_left (fun acc k -> acc +. node_current grid v k) 0.0 nodes)
@@ -112,13 +148,7 @@ let solve_outside t (u : La.Vec.t) : La.Vec.t =
   Array.iteri
     (fun c nodes -> Array.iter (fun k -> b.(k) <- grid.Grid.g_contact *. u.(c)) nodes)
     grid.Grid.contact_nodes;
-  let result =
-    La.Krylov.cg ?precond:t.precond ~apply:(Grid.apply grid) ~tol:t.tol ~max_iter:t.max_iter ~stats:t.stats b
-  in
-  if not result.La.Krylov.converged then
-    Logs.warn (fun m ->
-        m "fd solve: CG not converged (residual %.2e after %d iterations)" result.La.Krylov.residual_norm
-          result.La.Krylov.iterations);
+  let result = run_cg t ~apply:(Grid.apply grid) b in
   let v = result.La.Krylov.x in
   (* Current through each contact's Dirichlet resistors. *)
   Array.mapi
@@ -132,4 +162,4 @@ let solve t (u : La.Vec.t) : La.Vec.t =
   | Grid.Inside -> solve_inside t u
   | Grid.Outside -> solve_outside t u
 
-let blackbox t = Blackbox.make ~n:t.n_contacts (solve t)
+let blackbox t = Blackbox.make ~health:t.health ~n:t.n_contacts (solve t)

@@ -30,6 +30,13 @@ val create :
 
 val grid : t -> Grid.t
 
+(** [with_tolerance ?tol ?max_iter t] is [t] with tighter (or looser) CG
+    settings, sharing the grid and preconditioner but with private
+    iteration stats and health — the cheap escalation step for a
+    {!Substrate.Resilient} fallback ladder. Preconditioner changes need a
+    fresh {!create} (or {!Direct_solver}). *)
+val with_tolerance : ?tol:float -> ?max_iter:int -> t -> t
+
 (** PCG iteration statistics across all solves (Table 2.1 reports the
     average per solve). *)
 val stats : t -> La.Krylov.stats
@@ -37,5 +44,7 @@ val stats : t -> La.Krylov.stats
 (** One black-box solve: contact voltages to contact currents. *)
 val solve : t -> La.Vec.t -> La.Vec.t
 
-(** Wrap as a counted black box. *)
+(** Wrap as a counted black box. The box's health record carries one
+    report per solve (convergence, residual, iterations, CG breakdowns,
+    wall time). *)
 val blackbox : t -> Substrate.Blackbox.t

@@ -11,12 +11,17 @@ type result = {
   x : Vec.t;
   iterations : int;
   converged : bool;
+  breakdown : bool;
   residual_norm : float;
 }
 
-type stats = { mutable solves : int; mutable total_iterations : int }
+type stats = {
+  mutable solves : int;
+  mutable total_iterations : int;
+  mutable breakdowns : int;
+}
 
-let make_stats () = { solves = 0; total_iterations = 0 }
+let make_stats () = { solves = 0; total_iterations = 0; breakdowns = 0 }
 
 let average_iterations s =
   if s.solves = 0 then 0.0 else float_of_int s.total_iterations /. float_of_int s.solves
@@ -26,7 +31,8 @@ let average_iterations s =
    and merge them back on the caller once the batch completes. *)
 let merge_stats ~into s =
   into.solves <- into.solves + s.solves;
-  into.total_iterations <- into.total_iterations + s.total_iterations
+  into.total_iterations <- into.total_iterations + s.total_iterations;
+  into.breakdowns <- into.breakdowns + s.breakdowns
 
 (* Solve A x = b for SPD A given [apply : v -> A v].
    [precond] applies M^{-1}; default is the identity.
@@ -44,14 +50,22 @@ let cg ?precond ?(tol = 1e-9) ?(max_iter = 10_000) ?x0 ?stats ~apply b =
   let iterations = ref 0 in
   let rnorm = ref (Vec.norm2 r) in
   let converged = ref (!rnorm <= threshold) in
-  while (not !converged) && !iterations < max_iter do
+  let breakdown = ref false in
+  while (not !converged) && (not !breakdown) && !iterations < max_iter do
     incr iterations;
     let ap = apply p in
     let pap = Vec.dot p ap in
-    if pap <= 0.0 then
+    if pap <= 0.0 then begin
       (* Operator not positive definite along p (or exact convergence in
-         exact arithmetic); stop rather than divide by ~0. *)
+         exact arithmetic). The direction cannot be used — repeating it
+         would divide by ~0 and every further iteration would reuse the
+         same bad p — so stop immediately and flag the breakdown. The
+         stale iterate is accepted only at a 10x relaxed threshold, and
+         callers can now see that this happened instead of mistaking it
+         for ordinary convergence. *)
+      breakdown := true;
       converged := !rnorm <= threshold *. 10.0
+    end
     else begin
       let alpha = !rz /. pap in
       Vec.axpy ~alpha p x;
@@ -72,6 +86,7 @@ let cg ?precond ?(tol = 1e-9) ?(max_iter = 10_000) ?x0 ?stats ~apply b =
   (match stats with
   | Some s ->
     s.solves <- s.solves + 1;
-    s.total_iterations <- s.total_iterations + !iterations
+    s.total_iterations <- s.total_iterations + !iterations;
+    if !breakdown then s.breakdowns <- s.breakdowns + 1
   | None -> ());
-  { x; iterations = !iterations; converged = !converged; residual_norm = !rnorm }
+  { x; iterations = !iterations; converged = !converged; breakdown = !breakdown; residual_norm = !rnorm }

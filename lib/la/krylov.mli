@@ -4,12 +4,23 @@ type result = {
   x : Vec.t;
   iterations : int;
   converged : bool;
+  breakdown : bool;
+      (** The recurrence met a non-positive-definite direction (p' A p <= 0)
+          and stopped; [converged] then only holds at a 10x relaxed
+          threshold. Distinct from plain non-convergence: it means the
+          operator (or preconditioner) is not SPD along the Krylov space,
+          and more iterations would not have helped. *)
   residual_norm : float;
 }
 
 (** Accumulates per-solve iteration counts across many solves, for the
-    preconditioner-effectiveness experiments (thesis Table 2.1). *)
-type stats = { mutable solves : int; mutable total_iterations : int }
+    preconditioner-effectiveness experiments (thesis Table 2.1), plus the
+    number of solves that ended in a CG breakdown. *)
+type stats = {
+  mutable solves : int;
+  mutable total_iterations : int;
+  mutable breakdowns : int;
+}
 
 val make_stats : unit -> stats
 val average_iterations : stats -> float

@@ -73,9 +73,12 @@ let with_pool ?jobs f =
 
 (* One parallel_for / map_chunks invocation: a batch of chunk tasks plus a
    completion count and the first exception raised by any chunk. The caller
-   both enqueues and drains, then re-raises the recorded exception (with its
-   backtrace) once every chunk has finished, so no chunk is lost and the
-   pool stays usable after a failure. *)
+   both enqueues and drains, then re-raises the recorded exception via
+   [Printexc.raise_with_backtrace] once every chunk has finished, so no
+   chunk is lost and the pool stays usable after a failure. The exception
+   value crosses domains intact — a [Blackbox.Solve_failed] keeps its
+   index/diagnostics payload and its backtrace points at the failing solve,
+   not at the pool join. *)
 type batch_state = {
   b_mutex : Mutex.t;
   b_done : Condition.t;
@@ -96,7 +99,9 @@ let run_chunks pool (chunks : task array) =
        with e ->
          let bt = Printexc.get_raw_backtrace () in
          Mutex.lock state.b_mutex;
-         if state.error = None then state.error <- Some (e, bt);
+         (* Keep only the first failure; comparing with [is_none] avoids
+            running the polymorphic equality over an exception value. *)
+         if Option.is_none state.error then state.error <- Some (e, bt);
          Mutex.unlock state.b_mutex);
       Mutex.lock state.b_mutex;
       state.remaining <- state.remaining - 1;

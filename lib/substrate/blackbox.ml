@@ -14,51 +14,165 @@
    parallelism). The solve counter is an [Atomic] so it stays exact when a
    batch implementation (or a caller) applies the box concurrently, and
    batch results land in input order, making parallel extraction
-   bit-identical to sequential. *)
+   bit-identical to sequential.
+
+   Failure model: every response is scanned for NaN/Inf; a non-finite
+   response raises [Solve_failed] with the offending RHS index rather than
+   flowing garbage into a representation. Solve quality (convergence,
+   residual, iterations, wall time) is aggregated per box in a [Health.t];
+   solvers that know their own convergence publish a report per solve via
+   [report_solve], other boxes get a synthesized report from the wrapper. *)
+
+exception Solve_failed of { index : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Solve_failed { index; reason } ->
+      Some (Printf.sprintf "Substrate.Blackbox.Solve_failed(solve %d: %s)" index reason)
+    | _ -> None)
 
 type t = {
   n : int;  (* number of contacts *)
   solve : La.Vec.t -> La.Vec.t;
   batch : jobs:int -> La.Vec.t array -> La.Vec.t array;
   counter : int Atomic.t;
+  health : Health.t;
 }
 
 (* Process-wide tally across every black box, for harnesses that want the
    total solve cost of a whole experiment without threading each box
-   through. Atomic for the same reason as the per-box counter. *)
+   through. Atomic for the same reason as the per-box counter. Wrapper
+   boxes (resilience, fault injection, checkpointing) opt out with
+   [~count_total:false] so only real underlying solves are tallied. *)
 let total = Atomic.make 0
 let total_solve_count () = Atomic.get total
+
+(* --- domain-local side channels -------------------------------------------
+
+   The [t] record's solve signature (vec -> vec) cannot carry metadata, and
+   changing it would break every solver; instead two domain-local slots pass
+   information "around" a solve in the same domain:
+
+   - the pending/last report slot: a solver deposits its per-solve report
+     with [report_solve] just before returning; the wrapper picks it up,
+     completes the finite scan, and leaves it in [last_report] for callers
+     (the retry policy reads it to detect soft failures). Works on pool
+     domains too, because the wrapper's [counted] closure runs on the same
+     domain as the solve itself.
+
+   - the solve context: a retry policy runs each attempt under
+     [with_context ~index ~attempt], giving downstream wrappers (fault
+     injection, error messages) the logical solve index independent of how
+     many attempts or jobs are in flight — the key to deterministic fault
+     sites. *)
+
+let pending_key : Health.report option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let last_key : Health.report option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let context_key : (int * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_pending_report r = Domain.DLS.get pending_key := Some r
+
+let take_pending () =
+  let slot = Domain.DLS.get pending_key in
+  let r = !slot in
+  slot := None;
+  r
+
+let report_solve health r =
+  Health.record health r;
+  set_pending_report r
+
+let last_report () = !(Domain.DLS.get last_key)
+
+let with_context ~index ~attempt f =
+  let slot = Domain.DLS.get context_key in
+  let saved = !slot in
+  slot := Some (index, attempt);
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let context () = !(Domain.DLS.get context_key)
+
+(* -------------------------------------------------------------------------- *)
 
 let check_length n v =
   if Array.length v <> n then
     invalid_arg (Printf.sprintf "Blackbox: expected %d contact voltages, got %d" n (Array.length v))
 
+let all_finite v =
+  let ok = ref true in
+  for i = 0 to Array.length v - 1 do
+    if not (Float.is_finite v.(i)) then ok := false
+  done;
+  !ok
+
+let non_finite_reason v =
+  let k = ref (-1) in
+  (try
+     Array.iteri (fun i x -> if not (Float.is_finite x) then begin k := i; raise Exit end) v
+   with Exit -> ());
+  Printf.sprintf "non-finite response (first bad component %d = %h)" !k v.(!k)
+
 (* [make_batch ~n ~batch solve] wraps a solver that also supplies a
-   (possibly parallel) multi-RHS implementation. The wrappers validate and
-   count; [batch] itself must return one response per RHS, in order. *)
-let make_batch ~n ~batch solve =
+   (possibly parallel) multi-RHS implementation. The wrappers validate,
+   count, scan responses for NaN/Inf and keep the health record; [batch]
+   itself must return one response per RHS, in order.
+
+   [?health]: a solver that publishes its own per-solve reports (via
+   [report_solve]) passes the same [Health.t] here so the wrapper does not
+   synthesize duplicates. *)
+let make_batch ?health ?(count_total = true) ~n ~batch solve =
+  let external_reports = Option.is_some health in
+  let health = match health with Some h -> h | None -> Health.create () in
   let counter = Atomic.make 0 in
+  let fail ~ordinal v =
+    Health.record_non_finite health;
+    let index = match context () with Some (i, _) -> i | None -> ordinal in
+    raise (Solve_failed { index; reason = non_finite_reason v })
+  in
   let counted v =
     check_length n v;
-    Atomic.incr counter;
-    Atomic.incr total;
-    solve v
+    let ordinal = Atomic.fetch_and_add counter 1 in
+    if count_total then Atomic.incr total;
+    ignore (take_pending ());  (* discard any stale report from a prior solve *)
+    let t0 = Health.now () in
+    let y = solve v in
+    let wall = Health.now () -. t0 in
+    let finite = all_finite y in
+    let report =
+      match take_pending () with
+      | Some r -> { r with Health.finite }
+      | None -> { Health.ok with wall_s = wall; finite }
+    in
+    Domain.DLS.get last_key := Some report;
+    if not external_reports then Health.record health report;
+    if not finite then fail ~ordinal y;
+    y
   in
   let counted_batch ~jobs vs =
     Array.iter (check_length n) vs;
-    ignore (Atomic.fetch_and_add counter (Array.length vs));
-    ignore (Atomic.fetch_and_add total (Array.length vs));
+    let base = Atomic.fetch_and_add counter (Array.length vs) in
+    if count_total then ignore (Atomic.fetch_and_add total (Array.length vs));
+    let t0 = Health.now () in
     let out = batch ~jobs vs in
+    let wall = Health.now () -. t0 in
     if Array.length out <> Array.length vs then
       invalid_arg "Blackbox: batch implementation returned a wrong-sized result";
+    Health.record_batch health ~solves:(if external_reports then 0 else Array.length vs) ~wall_s:wall;
+    Array.iteri (fun i y -> if not (all_finite y) then fail ~ordinal:(base + i) y) out;
     out
   in
-  { n; solve = counted; batch = counted_batch; counter }
+  { n; solve = counted; batch = counted_batch; counter; health }
 
 (* Solvers without a native batch run the right-hand sides sequentially:
    an arbitrary solve closure may hold mutable scratch state, so the black
    box never parallelizes it behind the solver's back. *)
-let make ~n solve = make_batch ~n ~batch:(fun ~jobs:_ vs -> Array.map solve vs) solve
+let make ?health ?count_total ~n solve =
+  make_batch ?health ?count_total ~n ~batch:(fun ~jobs:_ vs -> Array.map solve vs) solve
 
 let n t = t.n
 let apply t v = t.solve v
@@ -71,6 +185,7 @@ let apply_batch ?(jobs = 1) t vs = t.batch ~jobs vs
 
 let solve_count t = Atomic.get t.counter
 let reset_count t = Atomic.set t.counter 0
+let health t = t.health
 
 (* Wrap an explicitly known conductance matrix. Used to test the
    sparsification algorithms against exact arithmetic, and to re-serve an
@@ -103,4 +218,10 @@ let extract_dense ?jobs t =
 (* Extract a sample of columns (for error estimation on large examples,
    thesis Table 4.3: "a 10% sample of the columns of the actual G"). *)
 let extract_columns ?jobs t indices =
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= t.n then
+        invalid_arg
+          (Printf.sprintf "Blackbox.extract_columns: column index %d out of range [0, %d)" i t.n))
+    indices;
   apply_batch ?jobs t (Array.map (unit_vector t.n) indices)

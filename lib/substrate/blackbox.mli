@@ -1,17 +1,30 @@
 (** Black-box substrate solver: contact voltages to contact currents, with
-    solve counting. The sparsification algorithms touch G only through this
-    interface.
+    solve counting, NaN/Inf detection and per-box solve-quality aggregation.
+    The sparsification algorithms touch G only through this interface.
 
     The solve counter is an [Atomic], so it stays exact when a batch
     implementation applies the box from several domains concurrently. *)
 
 type t
 
+(** Raised by {!apply} / {!apply_batch} when a response contains NaN/Inf
+    (and by resilience wrappers when every attempt at a solve failed).
+    [index] is the logical solve index: the position within the batch plus
+    the box's solve count at batch start — deterministic for a fixed
+    extraction, independent of [jobs]. *)
+exception Solve_failed of { index : int; reason : string }
+
 (** [make ~n solve] wraps a solver for [n] contacts. Applications are counted
     and argument length is validated. Batched applications run the
     right-hand sides sequentially (an arbitrary closure may hold mutable
-    scratch state, so it is never parallelized behind the solver's back). *)
-val make : n:int -> (La.Vec.t -> La.Vec.t) -> t
+    scratch state, so it is never parallelized behind the solver's back).
+
+    [?health]: pass the solver's own {!Health.t} if it publishes per-solve
+    reports via {!report_solve}; otherwise the box synthesizes a report per
+    solve (wall time + finite scan only). [?count_total] (default [true]):
+    wrapper boxes that delegate to an inner box pass [false] so
+    {!total_solve_count} counts only real underlying solves. *)
+val make : ?health:Health.t -> ?count_total:bool -> n:int -> (La.Vec.t -> La.Vec.t) -> t
 
 (** [make_batch ~n ~batch solve] additionally supplies a multi-RHS
     implementation, called as [batch ~jobs vs]; it must return one response
@@ -19,23 +32,38 @@ val make : n:int -> (La.Vec.t -> La.Vec.t) -> t
     cloned per domain (e.g. {!Eigsolver.Eig_solver.blackbox}) uses this to
     run independent solves in parallel. *)
 val make_batch :
-  n:int -> batch:(jobs:int -> La.Vec.t array -> La.Vec.t array) -> (La.Vec.t -> La.Vec.t) -> t
+  ?health:Health.t ->
+  ?count_total:bool ->
+  n:int ->
+  batch:(jobs:int -> La.Vec.t array -> La.Vec.t array) ->
+  (La.Vec.t -> La.Vec.t) ->
+  t
 
 val n : t -> int
+
+(** Solve one right-hand side.
+    @raise Solve_failed if the response contains non-finite values. *)
 val apply : t -> La.Vec.t -> La.Vec.t
 
 (** [apply_batch ~jobs t vs] solves every right-hand side and returns the
     responses in input order; each RHS counts as one solve. [jobs]
     (default 1 = sequential) is the total parallelism forwarded to the
-    solver's batch implementation. *)
+    solver's batch implementation.
+    @raise Solve_failed on the first non-finite response (by batch
+    position), after the whole batch has run. *)
 val apply_batch : ?jobs:int -> t -> La.Vec.t array -> La.Vec.t array
 
 val solve_count : t -> int
 val reset_count : t -> unit
 
+(** The box's aggregated solve-quality record: convergence failures, CG
+    breakdowns, non-finite responses, iteration and wall-time totals. *)
+val health : t -> Health.t
+
 (** Process-wide solve tally across every black box ever constructed (never
     reset). Benchmarks diff it around an experiment to report total solve
-    cost. *)
+    cost; wrapper boxes built with [~count_total:false] do not contribute,
+    so the tally counts real underlying solves only. *)
 val total_solve_count : unit -> int
 
 (** Wrap a dense conductance matrix as a black box. Its batch
@@ -49,5 +77,38 @@ val extract_dense : ?jobs:int -> t -> La.Mat.t
 
 (** Extract the given columns of G (for sampled error estimates on large
     examples). One fresh unit vector per column — nothing is shared across
-    solves. *)
+    solves.
+    @raise Invalid_argument naming any out-of-range index, before any
+    solve runs. *)
 val extract_columns : ?jobs:int -> t -> int array -> La.Vec.t array
+
+(** {2 Solve-quality side channels}
+
+    The solve signature ([vec -> vec]) cannot carry metadata, so per-solve
+    quality flows through domain-local slots. All of these are transparent
+    to code that ignores them. *)
+
+(** A solver calls [report_solve health r] just before returning a
+    response: [r] is aggregated into [health] and deposited for the box
+    wrapper, which completes its [finite] field and exposes it via
+    {!last_report}. Must be called on the domain performing the solve
+    (batch implementations already satisfy this). *)
+val report_solve : Health.t -> Health.report -> unit
+
+(** Deposit a report for the wrapper {e without} aggregating it anywhere —
+    used by fault injection to fake a solver outcome. *)
+val set_pending_report : Health.report -> unit
+
+(** The report of the most recent {!apply} on the current domain (finite
+    scan included). Retry policies read it to detect soft failures. *)
+val last_report : unit -> Health.report option
+
+(** [with_context ~index ~attempt f] runs [f] with the current domain's
+    solve context set: [index] is the logical solve index and [attempt]
+    the 1-based attempt number. Retry policies set it around each attempt
+    so wrapped boxes (fault injection, error reporting) see stable solve
+    identities regardless of retries or scheduling. *)
+val with_context : index:int -> attempt:int -> (unit -> 'a) -> 'a
+
+(** The current domain's solve context, if any. *)
+val context : unit -> (int * int) option

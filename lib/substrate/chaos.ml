@@ -1,0 +1,123 @@
+(* Deterministic fault injection for black-box solves.
+
+   A seeded wrapper box that corrupts chosen solves, used to test the
+   failure-reporting and retry machinery and to prove that wavelet /
+   row-basis / low-rank extraction either recovers or fails loudly.
+
+   Fault sites are addressed by the *logical* solve index: the position of
+   the right-hand side within the extraction's fixed stage order (batch
+   base + position within batch). That makes the injected faults identical
+   for every [jobs] value, with or without a retry wrapper in front:
+
+   - standalone, the wrapper numbers solves itself from an atomic counter
+     (batches reserve a contiguous range, so position base+i is stable);
+   - under [Resilient], every attempt runs inside
+     [Blackbox.with_context ~index ~attempt] and the wrapper reads the
+     index (and the attempt, so a [Transient] fault can hit attempt 1 only)
+     from there instead.
+
+   All injections are idempotent per (index, attempt): repeating a solve
+   reproduces the same outcome bit-for-bit, so retried extractions stay
+   deterministic. *)
+
+type fault =
+  | Transient  (* NaN response on attempt 1 only; retries succeed cleanly *)
+  | Nan_response  (* NaN response on every attempt (hard fault) *)
+  | Perturb of float  (* multiply each component by 1 + eps*N(0,1), seeded per index *)
+  | Non_convergence  (* correct response, but reported as non-converged on attempt 1 *)
+
+type state = {
+  inner : Blackbox.t;
+  fault : fault;
+  every : int;
+  offset : int;
+  seed : int;
+  n : int;
+  next_index : int Atomic.t;  (* standalone numbering when no context is set *)
+  injected : int Atomic.t;
+}
+
+type t = { state : state; box : Blackbox.t }
+
+let is_site st index = index >= st.offset && (index - st.offset) mod st.every = 0
+
+let nan_response n = Array.make n Float.nan
+
+let perturb st ~index eps y =
+  (* Private generator per solve index: the draw is a pure function of
+     (seed, index), independent of scheduling or other injections. *)
+  let rng = La.Rng.create (st.seed lxor ((index + 1) * 0x9E3779B9)) in
+  Array.map (fun x -> x *. (1.0 +. (eps *. La.Rng.gaussian rng))) y
+
+let solve_at st ~index ~attempt v =
+  if not (is_site st index) then Blackbox.apply st.inner v
+  else
+    match st.fault with
+    | Transient ->
+      if attempt = 1 then begin
+        (* Skip the inner solve entirely: the retry's clean solve is then
+           the first and only inner solve at this site, so recovery is
+           bit-identical to a fault-free run. *)
+        Atomic.incr st.injected;
+        nan_response st.n
+      end
+      else Blackbox.apply st.inner v
+    | Nan_response ->
+      Atomic.incr st.injected;
+      nan_response st.n
+    | Perturb eps ->
+      Atomic.incr st.injected;
+      perturb st ~index eps (Blackbox.apply st.inner v)
+    | Non_convergence ->
+      let y = Blackbox.apply st.inner v in
+      if attempt = 1 then begin
+        Atomic.incr st.injected;
+        (* Fake the solver outcome: overwrite whatever report the inner
+           solve deposited with a non-converged one, so a retry policy
+           treats this solve as a soft failure. *)
+        Blackbox.set_pending_report
+          { Health.ok with converged = false; residual = 1.0; iterations = 0 }
+      end;
+      y
+
+let identity ~fallback_index =
+  match Blackbox.context () with
+  | Some (index, attempt) -> (index, attempt)
+  | None -> (fallback_index (), 1)
+
+let create ?(seed = 0) ?(offset = 0) ~every ~fault inner =
+  if every <= 0 then invalid_arg "Chaos.create: every must be positive";
+  if offset < 0 then invalid_arg "Chaos.create: offset must be non-negative";
+  let st =
+    {
+      inner;
+      fault;
+      every;
+      offset;
+      seed;
+      n = Blackbox.n inner;
+      next_index = Atomic.make 0;
+      injected = Atomic.make 0;
+    }
+  in
+  let solve v =
+    let index, attempt =
+      identity ~fallback_index:(fun () -> Atomic.fetch_and_add st.next_index 1)
+    in
+    solve_at st ~index ~attempt v
+  in
+  let batch ~jobs vs =
+    let base = Atomic.fetch_and_add st.next_index (Array.length vs) in
+    let one i =
+      let index, attempt = identity ~fallback_index:(fun () -> base + i) in
+      solve_at st ~index ~attempt vs.(i)
+    in
+    if jobs <= 1 || Array.length vs <= 1 then Array.init (Array.length vs) one
+    else
+      Parallel.Pool.with_pool ~jobs (fun pool ->
+          Parallel.Pool.map_chunks pool one (Array.init (Array.length vs) Fun.id))
+  in
+  { state = st; box = Blackbox.make_batch ~count_total:false ~n:st.n ~batch solve }
+
+let box t = t.box
+let injected t = Atomic.get t.state.injected

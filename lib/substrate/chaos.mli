@@ -1,0 +1,37 @@
+(** Deterministic fault injection for black-box solves: the test harness for
+    the failure-reporting and retry machinery.
+
+    A chaos box wraps an inner box and corrupts the solves whose logical
+    index [i] satisfies [i >= offset && (i - offset) mod every = 0]. The
+    logical index is the right-hand side's position in the extraction's
+    fixed stage order (batch base + position), so fault sites are identical
+    for every [jobs] value and with or without a {!Resilient} wrapper in
+    front (which passes the index through {!Blackbox.with_context}).
+    Injections are idempotent per (index, attempt): repeating a solve
+    reproduces the same outcome bit-for-bit. *)
+
+type fault =
+  | Transient
+      (** NaN response on attempt 1 only, produced {e without} running the
+          inner solve; a retry solves cleanly, so recovery under a retry
+          policy is bit-identical to a fault-free run. *)
+  | Nan_response  (** NaN response on every attempt (hard, persistent fault). *)
+  | Perturb of float
+      (** Multiply each response component by [1 + eps * N(0,1)], with the
+          noise a pure function of (seed, solve index). *)
+  | Non_convergence
+      (** Correct response, but the solve report is replaced by a
+          non-converged one on attempt 1 (soft failure). *)
+
+type t
+
+(** [create ~every ~fault inner] builds the injector. [offset] (default 0)
+    shifts the fault sites; [seed] (default 0) keys the [Perturb] noise. *)
+val create : ?seed:int -> ?offset:int -> every:int -> fault:fault -> Blackbox.t -> t
+
+(** The wrapped box (built with [~count_total:false]: only real inner
+    solves reach {!Blackbox.total_solve_count}). *)
+val box : t -> Blackbox.t
+
+(** Number of faults injected so far. *)
+val injected : t -> int

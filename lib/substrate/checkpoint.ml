@@ -1,0 +1,165 @@
+(* Checkpointed extraction: persist completed solve stages, resume after a
+   crash or Solve_failed without repeating any finished solve.
+
+   The wavelet and low-rank drivers issue every solve through
+   [Blackbox.apply_batch] in a deterministic stage order (root projection,
+   per-level combine solves, samples, split responses, ...). That makes
+   apply_batch calls the natural checkpoint grain: [wrap] memoizes each
+   *stage* (one batch) onto disk, keyed by its position in the run and a
+   digest of its right-hand sides. On resume, stages replay from the file
+   in order — the digest check catches a checkpoint from a different
+   layout, solver or seed — and the first stage beyond the file runs live
+   and is appended.
+
+   File format (version in the magic string):
+
+     "SUBCKPT1\n"
+     repeat: Marshal(checksum : Digest.t, payload : string)
+       where payload = Marshal(stage_digest : string,
+                               responses : float array array)
+
+   Records are self-delimiting (Marshal framing) and individually
+   checksummed; loading stops at the first truncated or corrupt record and
+   the file is truncated back to the last good byte, so a crash mid-append
+   costs at most the interrupted stage. *)
+
+exception Corrupt of string
+exception Mismatch of { stage : int; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt m -> Some (Printf.sprintf "Substrate.Checkpoint.Corrupt(%s)" m)
+    | Mismatch { stage; message } ->
+      Some (Printf.sprintf "Substrate.Checkpoint.Mismatch(stage %d: %s)" stage message)
+    | _ -> None)
+
+let magic = "SUBCKPT1\n"
+
+type entry = { stage_digest : string; responses : La.Vec.t array }
+
+type t = {
+  path : string;
+  mutex : Mutex.t;
+  completed : entry array;  (* loaded at create, replayed in order *)
+  mutable cursor : int;  (* next stage index *)
+  mutable hits : int;  (* stages served from the file *)
+  mutable cached_solves : int;  (* right-hand sides served from the file *)
+  mutable oc : out_channel option;  (* append channel, opened at create *)
+}
+
+(* Read entries until EOF, a truncated record or a checksum failure.
+   Returns the good entries and the byte offset just past the last one. *)
+let load_entries path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      if len < String.length magic then (* empty or torn header: treat as fresh *)
+        ([], 0)
+      else begin
+        let header = really_input_string ic (String.length magic) in
+        if header <> magic then
+          raise
+            (Corrupt
+               (Printf.sprintf "%s: not a checkpoint file (bad magic %S)" path header));
+        let entries = ref [] in
+        let good = ref (pos_in ic) in
+        (try
+           while pos_in ic < len do
+             let checksum, payload = (Marshal.from_channel ic : Digest.t * string) in
+             if Digest.string payload <> checksum then raise Exit;
+             let stage_digest, responses =
+               (Marshal.from_string payload 0 : string * La.Vec.t array)
+             in
+             entries := { stage_digest; responses } :: !entries;
+             good := pos_in ic
+           done
+         with _ -> ());
+        (List.rev !entries, !good)
+      end)
+
+let create path =
+  let entries, good_len =
+    if Sys.file_exists path then load_entries path else ([], 0)
+  in
+  (* Drop any torn tail so the append channel starts at a record boundary. *)
+  if Sys.file_exists path && (Unix.stat path).Unix.st_size > good_len then
+    Unix.truncate path good_len;
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  if good_len = 0 then begin
+    output_string oc magic;
+    flush oc
+  end;
+  {
+    path;
+    mutex = Mutex.create ();
+    completed = Array.of_list entries;
+    cursor = 0;
+    hits = 0;
+    cached_solves = 0;
+    oc = Some oc;
+  }
+
+let digest_stage ~stage rhs = Digest.to_hex (Digest.string (Marshal.to_string (stage, rhs) []))
+
+let append t ~stage_digest responses =
+  match t.oc with
+  | None -> ()  (* closed: keep solving, stop persisting *)
+  | Some oc ->
+    let payload = Marshal.to_string (stage_digest, responses) [] in
+    Marshal.to_channel oc (Digest.string payload, payload) [];
+    flush oc
+
+(* Serve stage [cursor] from the file if present (digest must match),
+   otherwise run [solve] and append the result. The mutex serializes
+   stages; extraction drivers issue them sequentially anyway. *)
+let stage t ~rhs solve =
+  Mutex.protect t.mutex (fun () ->
+      let stage = t.cursor in
+      let stage_digest = digest_stage ~stage rhs in
+      if stage < Array.length t.completed then begin
+        let e = t.completed.(stage) in
+        if e.stage_digest <> stage_digest then
+          raise
+            (Mismatch
+               {
+                 stage;
+                 message =
+                   Printf.sprintf
+                     "%s was written by a different run (layout/solver/seed changed?)" t.path;
+               });
+        t.cursor <- stage + 1;
+        t.hits <- t.hits + 1;
+        t.cached_solves <- t.cached_solves + Array.length e.responses;
+        e.responses
+      end
+      else begin
+        let responses = solve () in
+        append t ~stage_digest responses;
+        t.cursor <- stage + 1;
+        responses
+      end)
+
+(* Wrap a box so every apply/apply_batch becomes a checkpointed stage.
+   [~count_total:false]: replayed stages must not inflate the process-wide
+   solve tally (the inner box never ran them). *)
+let wrap t inner =
+  Blackbox.make_batch ~count_total:false ~n:(Blackbox.n inner)
+    ~batch:(fun ~jobs vs -> stage t ~rhs:vs (fun () -> Blackbox.apply_batch ~jobs inner vs))
+    (fun v -> (stage t ~rhs:[| v |] (fun () -> [| Blackbox.apply inner v |])).(0))
+
+let path t = t.path
+let stages_on_disk t = Array.length t.completed
+let hits t = t.hits
+let cached_solves t = t.cached_solves
+
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+        close_out_noerr oc;
+        t.oc <- None)

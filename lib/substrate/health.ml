@@ -1,0 +1,112 @@
+(* Per-solve quality reports and their thread-safe aggregation.
+
+   A black-box solve can go wrong in three distinct ways that a caller
+   needs to tell apart: the Krylov iteration ran out of budget
+   (non-convergence — the iterate is stale but usually finite), the CG
+   recurrence broke down on a non-SPD direction (more iterations would
+   not have helped), or the response contains NaN/Inf (garbage that must
+   never be folded into a representation). Solvers publish one [report]
+   per solve; a [t] aggregates them under a mutex so batched solves can
+   record from any pool domain. *)
+
+type report = {
+  converged : bool;
+  breakdown : bool;  (* CG met a non-positive-definite direction *)
+  residual : float;  (* final 2-norm residual (absolute) *)
+  iterations : int;
+  wall_s : float;
+  finite : bool;  (* response passed the NaN/Inf scan *)
+}
+
+let ok = { converged = true; breakdown = false; residual = 0.0; iterations = 0; wall_s = 0.0; finite = true }
+
+type t = {
+  mutex : Mutex.t;
+  mutable solves : int;
+  mutable batches : int;
+  mutable non_converged : int;
+  mutable breakdowns : int;
+  mutable non_finite : int;
+  mutable total_iterations : int;
+  mutable solve_wall_s : float;
+  mutable batch_wall_s : float;
+  mutable worst_residual : float;
+  mutable last : report option;
+}
+
+type summary = {
+  s_solves : int;
+  s_batches : int;
+  s_non_converged : int;
+  s_breakdowns : int;
+  s_non_finite : int;
+  s_total_iterations : int;
+  s_solve_wall_s : float;
+  s_batch_wall_s : float;
+  s_worst_residual : float;
+  s_last : report option;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    solves = 0;
+    batches = 0;
+    non_converged = 0;
+    breakdowns = 0;
+    non_finite = 0;
+    total_iterations = 0;
+    solve_wall_s = 0.0;
+    batch_wall_s = 0.0;
+    worst_residual = 0.0;
+    last = None;
+  }
+
+let now () = Unix.gettimeofday ()
+
+let record t r =
+  Mutex.protect t.mutex (fun () ->
+      t.solves <- t.solves + 1;
+      if not r.converged then t.non_converged <- t.non_converged + 1;
+      if r.breakdown then t.breakdowns <- t.breakdowns + 1;
+      if not r.finite then t.non_finite <- t.non_finite + 1;
+      t.total_iterations <- t.total_iterations + r.iterations;
+      t.solve_wall_s <- t.solve_wall_s +. r.wall_s;
+      if r.residual > t.worst_residual then t.worst_residual <- r.residual;
+      t.last <- Some r)
+
+(* One batch event: [solves] is 0 for boxes whose solver already records a
+   per-solve report (the batch wall clock is still worth keeping — it is
+   what the resilience-overhead benchmark measures). *)
+let record_batch t ~solves ~wall_s =
+  Mutex.protect t.mutex (fun () ->
+      t.batches <- t.batches + 1;
+      t.solves <- t.solves + solves;
+      t.batch_wall_s <- t.batch_wall_s +. wall_s)
+
+let record_non_finite t =
+  Mutex.protect t.mutex (fun () -> t.non_finite <- t.non_finite + 1)
+
+let summary t =
+  Mutex.protect t.mutex (fun () ->
+      {
+        s_solves = t.solves;
+        s_batches = t.batches;
+        s_non_converged = t.non_converged;
+        s_breakdowns = t.breakdowns;
+        s_non_finite = t.non_finite;
+        s_total_iterations = t.total_iterations;
+        s_solve_wall_s = t.solve_wall_s;
+        s_batch_wall_s = t.batch_wall_s;
+        s_worst_residual = t.worst_residual;
+        s_last = t.last;
+      })
+
+let healthy s = s.s_non_converged = 0 && s.s_breakdowns = 0 && s.s_non_finite = 0
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "solves=%d batches=%d non_converged=%d breakdowns=%d non_finite=%d iterations=%d wall=%.3fs worst_residual=%.3e"
+    s.s_solves s.s_batches s.s_non_converged s.s_breakdowns s.s_non_finite s.s_total_iterations
+    (if s.s_solve_wall_s > 0.0 then s.s_solve_wall_s else s.s_batch_wall_s)
+    s.s_worst_residual

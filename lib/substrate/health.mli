@@ -1,0 +1,56 @@
+(** Per-solve quality reports and their thread-safe aggregation.
+
+    Every black box owns a [t]; solvers (or the box wrapper itself, for
+    solvers that report nothing) record one {!report} per solve. All
+    recording goes through a mutex, so batched solves may report from any
+    pool domain. *)
+
+type report = {
+  converged : bool;
+  breakdown : bool;  (** CG stopped on a non-positive-definite direction *)
+  residual : float;  (** final residual 2-norm (absolute) *)
+  iterations : int;
+  wall_s : float;
+  finite : bool;  (** response passed the NaN/Inf scan *)
+}
+
+(** A clean placeholder report (converged, finite, zero cost) — the wrapper
+    synthesizes from it when a solver publishes nothing. *)
+val ok : report
+
+type t
+
+type summary = {
+  s_solves : int;
+  s_batches : int;
+  s_non_converged : int;
+  s_breakdowns : int;
+  s_non_finite : int;
+  s_total_iterations : int;
+  s_solve_wall_s : float;  (** summed per-solve wall time (solver-reported) *)
+  s_batch_wall_s : float;  (** summed wall time inside [apply_batch] *)
+  s_worst_residual : float;
+  s_last : report option;
+}
+
+val create : unit -> t
+
+(** Wall clock, for timing solves. *)
+val now : unit -> float
+
+val record : t -> report -> unit
+
+(** Record one batch event. [solves] is 0 when the per-solve reports are
+    recorded separately by the solver. *)
+val record_batch : t -> solves:int -> wall_s:float -> unit
+
+(** Count one non-finite response (recorded in addition to the per-solve
+    report, which a failing solver may never have published). *)
+val record_non_finite : t -> unit
+
+val summary : t -> summary
+
+(** No non-convergence, no CG breakdowns, no non-finite responses. *)
+val healthy : summary -> bool
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,64 @@
+(** Retry / escalation policies around a black-box solver.
+
+    A resilient box re-runs failing solves up to [max_attempts] times:
+    attempt 2 retries the primary (so transient faults recover
+    bit-identically to a clean run — a different solver would produce
+    different bits for the same right-hand side), and attempts 3 and later
+    walk an optional ladder of lazily-built fallback boxes (tighter
+    tolerance, different preconditioner, direct solver), parking on the
+    last rung. A {e hard} failure is {!Blackbox.Solve_failed} (non-finite
+    response); a {e soft} failure is a response whose solve report says
+    the iteration did not converge.
+
+    On exhaustion, [Fail] raises a typed {!Blackbox.Solve_failed} naming
+    the logical solve index; [Degrade] records the failure (see
+    {!failures}) and substitutes the best finite iterate seen (zeros if
+    every attempt was hard), flagging the solve as non-converged in the
+    wrapper's health record — extraction completes with an explicit
+    quality report instead of dying mid-run. *)
+
+type on_exhausted = Fail | Degrade
+
+type policy = {
+  max_attempts : int;  (** total attempts per solve, including the first *)
+  retry_non_converged : bool;  (** treat a non-converged report as a failure *)
+  on_exhausted : on_exhausted;
+}
+
+(** 3 attempts, retry on non-convergence, raise on exhaustion. *)
+val default_policy : policy
+
+(** 1 attempt, hard failures only: any fault raises immediately. *)
+val fail_fast : policy
+
+(** {!default_policy} with [Degrade] on exhaustion. *)
+val degrade : policy
+
+type failure = {
+  solve_index : int;
+  attempts : int;
+  degraded : bool;  (** [false]: raised; [true]: substituted an iterate *)
+  reason : string;  (** per-attempt diagnostics, oldest first *)
+}
+
+type t
+
+val create : ?policy:policy -> ?fallbacks:(string * Blackbox.t Lazy.t) list -> Blackbox.t -> t
+
+(** The wrapped box. Batches assign logical solve indices [base + position]
+    (base = solves issued so far), so fault sites, error messages and
+    results are identical for every [jobs] value. Built with
+    [~count_total:false]: only real attempts on the underlying solvers
+    reach {!Blackbox.total_solve_count}. *)
+val blackbox : t -> Blackbox.t
+
+(** Attempts beyond the first, summed over all solves. *)
+val retries : t -> int
+
+(** Solves that exhausted every attempt, in solve order. *)
+val failures : t -> failure list
+
+(** Number of degraded (substituted) solves. *)
+val degraded_count : t -> int
+
+val pp_failure : Format.formatter -> failure -> unit
