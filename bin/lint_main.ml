@@ -1,0 +1,38 @@
+(* subcouple-lint: the repo's static analysis pass.
+
+   Usage: subcouple-lint [--allowlist FILE] [--root DIR] PATH...
+
+   Parses every .ml under the given paths with the compiler's parser, runs
+   the rule catalogue (see DESIGN.md "Static analysis"), prints findings as
+   file:line:col diagnostics and exits 1 if any unsuppressed finding
+   remains. Wired into the build as `dune build @lint`. *)
+
+let usage = "subcouple-lint [--allowlist FILE] [--root DIR] PATH..."
+
+let () =
+  let allowlist = ref None and root = ref "." and paths = ref [] and list_rules = ref false in
+  let spec =
+    [
+      ( "--allowlist",
+        Arg.String (fun s -> allowlist := Some s),
+        "FILE checked domain-safety allowlist" );
+      ("--root", Arg.Set_string root, "DIR repo root paths are relative to (default .)");
+      ("--rules", Arg.Set list_rules, " print the rule catalogue and exit");
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun r ->
+        Printf.printf "%-18s %s\n    hint: %s\n" (Lint.Finding.rule_id r)
+          (Lint.Finding.description r) (Lint.Finding.hint r))
+      Lint.Finding.all_rules;
+    exit 0
+  end;
+  let paths = match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps in
+  let report = Lint.Driver.lint_paths ?allowlist:!allowlist ~root:!root paths in
+  List.iter (fun f -> print_endline (Lint.Finding.to_string f)) report.Lint.Driver.findings;
+  let n = List.length report.Lint.Driver.findings in
+  Printf.printf "subcouple-lint: %d file(s) checked, %d finding(s), %d suppressed\n"
+    report.Lint.Driver.files n report.Lint.Driver.suppressed;
+  exit (if n > 0 then 1 else 0)

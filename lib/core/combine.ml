@@ -7,7 +7,6 @@
    This is the mechanism that takes the number of solves from n to
    O(log n). *)
 
-module Quadtree = Geometry.Quadtree
 
 (* Partition same-level square coordinates into the 9 groups
    (ix mod 3, iy mod 3). Squares within a group are >= 3 apart in both

@@ -1,8 +1,5 @@
 module Quadtree = Geometry.Quadtree
-module Layout = Geometry.Layout
-module Blackbox = Substrate.Blackbox
 module Mat = La.Mat
-module Vec = La.Vec
 module Csr = Sparsemat.Csr
 module Coo = Sparsemat.Coo
 
@@ -272,7 +269,8 @@ let kept_targets t ~level ~ix ~iy ~level' =
 let representation t =
   let entries : (int * int, float) Hashtbl.t = Hashtbl.create (t.n * 8) in
   let set i j v =
-    if v <> 0.0 then begin
+    (* Exact-zero drop: keep structurally absent entries out of G_w. *)
+    if not (Float.equal v 0.0) then begin
       Hashtbl.replace entries (i, j) v;
       Hashtbl.replace entries (j, i) v
     end

@@ -29,7 +29,10 @@ let gamma (profile : Profile.t) ~m ~n =
 let propagate_layer ~sigma ~gamma ~t y_below =
   let sg = sigma *. gamma in
   let th = tanh (gamma *. t) in
-  if y_below = Float.infinity then if th = 0.0 then Float.infinity else sg /. th
+  (* Exact comparisons: Float.infinity is the sentinel for a grounded
+     backplane, and th is 0.0 only for a zero-thickness layer. *)
+  if Float.equal y_below Float.infinity then
+    if Float.equal th 0.0 then Float.infinity else sg /. th
   else sg *. (y_below +. (sg *. th)) /. (sg +. (y_below *. th))
 
 (* Large finite stand-in for the infinite lambda_00 of a floating backplane
@@ -41,7 +44,9 @@ let lambda (profile : Profile.t) ~m ~n =
   let g = gamma profile ~m ~n in
   (* Layers are stored top-first; the admittance recursion runs bottom-up. *)
   let bottom_up = List.rev profile.Profile.layers in
-  if g = 0.0 then
+  (* g is exactly 0.0 only for the (0,0) DC mode (gamma is pi*sqrt(...) of
+     non-negative terms), so exact equality selects precisely that mode. *)
+  if Float.equal g 0.0 then
     (* DC mode: plain series resistance of the stack (thesis eq. (2.36)),
        infinite without a backplane contact. *)
     match profile.Profile.backplane with

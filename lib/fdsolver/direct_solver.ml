@@ -1,6 +1,4 @@
-module Profile = Substrate.Profile
 module Blackbox = Substrate.Blackbox
-module Layout = Geometry.Layout
 
 (* Direct finite-difference substrate solver: sparse Cholesky under nested
    dissection (the §2.2.2 alternative to PCG).

@@ -1,4 +1,3 @@
-module Profile = Substrate.Profile
 module Blackbox = Substrate.Blackbox
 module Layout = Geometry.Layout
 module Contact = Geometry.Contact

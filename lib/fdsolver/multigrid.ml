@@ -1,5 +1,3 @@
-module Profile = Substrate.Profile
-module Layout = Geometry.Layout
 module Csr = Sparsemat.Csr
 module Coo = Sparsemat.Coo
 

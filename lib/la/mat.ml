@@ -74,7 +74,8 @@ let mul a b =
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = a.data.((i * a.cols) + k) in
-      if aik <> 0.0 then
+      (* Exact-zero skip: purely a work-saving test, any nonzero must multiply. *)
+      if not (Float.equal aik 0.0) then
         for j = 0 to b.cols - 1 do
           c.data.((i * b.cols) + j) <- c.data.((i * b.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
         done
@@ -103,7 +104,8 @@ let gemv_t a (x : Vec.t) : Vec.t =
   for i = 0 to a.rows - 1 do
     let base = i * a.cols in
     let xi = x.(i) in
-    if xi <> 0.0 then
+    (* Exact-zero skip, as in [mul]. *)
+    if not (Float.equal xi 0.0) then
       for j = 0 to a.cols - 1 do
         y.(j) <- y.(j) +. (a.data.(base + j) *. xi)
       done

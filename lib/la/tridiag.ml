@@ -14,12 +14,15 @@ let solve ~lower ~diag ~upper ~rhs =
   if n = 0 then [||]
   else begin
     let c' = Array.make n 0.0 and d' = Array.make n 0.0 in
-    if diag.(0) = 0.0 then invalid_arg "Tridiag.solve: zero pivot";
+    (* Exact-zero pivot checks: the elimination only divides, so any nonzero
+       pivot is arithmetically usable; near-zero accuracy loss is the
+       caller's conditioning problem, not a reason to refuse the solve. *)
+    if Float.equal diag.(0) 0.0 then invalid_arg "Tridiag.solve: zero pivot";
     c'.(0) <- upper.(0) /. diag.(0);
     d'.(0) <- rhs.(0) /. diag.(0);
     for i = 1 to n - 1 do
       let m = diag.(i) -. (lower.(i) *. c'.(i - 1)) in
-      if m = 0.0 then invalid_arg "Tridiag.solve: zero pivot";
+      if Float.equal m 0.0 then invalid_arg "Tridiag.solve: zero pivot";
       c'.(i) <- upper.(i) /. m;
       d'.(i) <- (rhs.(i) -. (lower.(i) *. d'.(i - 1))) /. m
     done;

@@ -57,7 +57,9 @@ let sum v = Array.fold_left ( +. ) 0.0 v
 
 let normalize v =
   let n = norm2 v in
-  if n = 0.0 then copy v else scale (1.0 /. n) v
+  (* Exact zero is the right test: norm2 is 0.0 iff every entry is ±0.0,
+     and any positive norm, however tiny, is a valid scale factor. *)
+  if Float.equal n 0.0 then copy v else scale (1.0 /. n) v
 
 let approx_equal ?(tol = 1e-10) a b =
   dim a = dim b

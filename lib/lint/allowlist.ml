@@ -1,0 +1,71 @@
+(* The domain-safety allowlist (lint/domain_safety.allow).
+
+   One entry per line:
+
+     <file> <binding> <justification...>
+
+   e.g.
+
+     lib/sparse/spy.ml shades read-only ASCII ramp, never written after init
+
+   Entries suppress Domain_safety findings for exactly that (file, binding)
+   pair. The list is *checked*: an entry that matches no finding is stale
+   and reported as a Suppression error, so the allowlist can only shrink as
+   code is fixed — it cannot silently rot. *)
+
+type entry = { e_file : string; e_ident : string; e_line : int; e_justification : string }
+
+let parse_line ~path ~line_no line =
+  let line = String.trim line in
+  if String.equal line "" || line.[0] = '#' then Ok None
+  else
+    match String.index_opt line ' ' with
+    | None ->
+      Error
+        (Finding.v ~file:path ~line:line_no ~col:0 Finding.Suppression
+           "allowlist entry needs: <file> <binding> <justification>")
+    | Some i -> (
+      let e_file = String.sub line 0 i in
+      let rest = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+      match String.index_opt rest ' ' with
+      | None ->
+        Error
+          (Finding.v ~file:path ~line:line_no ~col:0 Finding.Suppression
+             (Printf.sprintf "allowlist entry for %s lacks a justification" e_file))
+      | Some j ->
+        let e_ident = String.sub rest 0 j in
+        let e_justification = String.trim (String.sub rest (j + 1) (String.length rest - j - 1)) in
+        if String.equal e_justification "" then
+          Error
+            (Finding.v ~file:path ~line:line_no ~col:0 Finding.Suppression
+               (Printf.sprintf "allowlist entry for %s lacks a justification" e_file))
+        else Ok (Some { e_file; e_ident; e_line = line_no; e_justification }))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let entries = ref [] and malformed = ref [] in
+      let line_no = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr line_no;
+           match parse_line ~path ~line_no:!line_no line with
+           | Ok (Some e) -> entries := e :: !entries
+           | Ok None -> ()
+           | Error f -> malformed := f :: !malformed
+         done
+       with End_of_file -> ());
+      (List.rev !entries, List.rev !malformed))
+
+let matches entry (f : Finding.t) =
+  f.Finding.rule = Finding.Domain_safety
+  && String.equal entry.e_file f.Finding.file
+  && match f.Finding.ident with Some id -> String.equal entry.e_ident id | None -> false
+
+let stale_finding ~path entry =
+  Finding.v ~file:path ~line:entry.e_line ~col:0 Finding.Suppression
+    (Printf.sprintf "stale allowlist entry: no domain_safety finding matches %s %s" entry.e_file
+       entry.e_ident)

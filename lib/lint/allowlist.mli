@@ -1,0 +1,14 @@
+(** The checked domain-safety allowlist (lint/domain_safety.allow). *)
+
+type entry = { e_file : string; e_ident : string; e_line : int; e_justification : string }
+
+val load : string -> entry list * Finding.t list
+(** Parse the allowlist; malformed lines (missing binding or justification)
+    come back as [Suppression] findings. Raises [Sys_error] if the file
+    cannot be read. *)
+
+val matches : entry -> Finding.t -> bool
+(** Does this entry suppress this (domain_safety) finding? *)
+
+val stale_finding : path:string -> entry -> Finding.t
+(** The [Suppression] finding reported for an entry no finding matched. *)

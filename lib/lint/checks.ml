@@ -1,0 +1,267 @@
+(* The Parsetree checks behind subcouple-lint's per-file rules.
+
+   Everything here is purely syntactic: the linter runs the compiler's own
+   parser ([Parse.implementation]) but not its type checker, so rules that
+   sound type-dependent (float_eq most of all) are heuristics over what the
+   source literally says. The heuristics are tuned to this codebase: a
+   comparison is "floaty" when one operand is a float literal, a float
+   arithmetic expression, or a [Float.*]/[float_of_int]/[sqrt]-style call.
+   That catches every real site found in lib/ while never flagging integer
+   code; comparisons of two opaque float-typed variables are out of reach
+   by design and belong to code review. *)
+
+open Parsetree
+
+let flatten (lid : Longident.t) =
+  match lid with Longident.Lapply _ -> [] | _ -> Longident.flatten lid
+
+let loc_pos (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+(* ------------------------------------------------------------------ *)
+(* float_eq                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let float_arith = [ "+."; "-."; "*."; "/."; "**"; "~-." ]
+
+let float_returning_stdlib =
+  [
+    "float_of_int"; "float_of_string"; "sqrt"; "exp"; "expm1"; "log"; "log10"; "log1p"; "sin";
+    "cos"; "tan"; "asin"; "acos"; "atan"; "atan2"; "sinh"; "cosh"; "tanh"; "abs_float";
+    "mod_float"; "ceil"; "floor"; "copysign"; "ldexp"; "frexp"; "infinity"; "nan"; "max_float";
+    "min_float"; "epsilon_float";
+  ]
+
+(* Float.* members that do NOT yield a float. *)
+let float_module_non_float =
+  [
+    "equal"; "compare"; "is_nan"; "is_finite"; "is_integer"; "sign_bit"; "to_int"; "to_string";
+    "of_string"; "of_string_opt"; "hash"; "classify_float";
+  ]
+
+let float_head lid =
+  match flatten lid with
+  | [ x ] -> List.mem x float_arith || List.mem x float_returning_stdlib
+  | [ "Float"; m ] -> not (List.mem m float_module_non_float)
+  | [ "Stdlib"; x ] -> List.mem x float_arith || List.mem x float_returning_stdlib
+  | _ -> false
+
+let rec is_float_type (t : core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, [])
+  | Ptyp_constr ({ txt = Longident.Ldot (Longident.Lident "Stdlib", "float"); _ }, []) ->
+    true
+  | Ptyp_alias (t, _) -> is_float_type t
+  | _ -> false
+
+let rec floaty (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (e', t) -> is_float_type t || floaty e'
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+    float_head txt || (List.mem (flatten txt) [ [ "min" ]; [ "max" ] ] && List.exists (fun (_, a) -> floaty a) args)
+  | Pexp_ident { txt = Longident.Ldot (Longident.Lident "Float", m); _ } ->
+    not (List.mem m float_module_non_float)
+  | Pexp_ident { txt = Longident.Lident x; _ } -> List.mem x [ "infinity"; "nan"; "max_float"; "min_float"; "epsilon_float" ]
+  | _ -> false
+
+let structural_eq lid =
+  match flatten lid with [ ("=" | "<>" | "==" | "!=") as op ] -> Some op | _ -> None
+
+let poly_compare lid =
+  match flatten lid with [ "compare" ] | [ "Stdlib"; "compare" ] -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* no_unsafe / no_stdout_in_lib                                        *)
+(* ------------------------------------------------------------------ *)
+
+let unsafe_ident lid =
+  match flatten lid with
+  | [ ("Array" | "Bytes" | "String" | "Bigarray"); m ] ->
+    String.length m >= 7 && String.equal (String.sub m 0 7) "unsafe_"
+  | [ "Obj"; "magic" ] -> true
+  | _ -> false
+
+let stdout_ident lid =
+  match flatten lid with
+  | [ ("print_endline" | "print_string" | "print_newline" | "print_int" | "print_float"
+      | "print_char" | "print_bytes") ] ->
+    true
+  | [ "Printf"; "printf" ] | [ "Format"; "printf" ] | [ "Format"; "print_string" ]
+  | [ "Format"; "print_newline" ] ->
+    true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* no_catch_all                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec pattern_contains_any (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_or (a, b) -> pattern_contains_any a || pattern_contains_any b
+  | Ppat_alias (p, _) -> pattern_contains_any p
+  | _ -> false
+
+let expr_uses_var name (e : expression) =
+  let found = ref false in
+  let open Ast_iterator in
+  let iter =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident x; _ } when String.equal x name -> found := true
+          | _ -> ());
+          default_iterator.expr self e);
+    }
+  in
+  iter.expr iter e;
+  !found
+
+(* A handler case is a catch-all when its pattern matches every exception
+   ([_], possibly through or/alias) or binds the exception to a variable
+   the body never mentions (so it can neither inspect nor re-raise it). *)
+let catch_all_case (c : case) =
+  match c.pc_lhs.ppat_desc with
+  | Ppat_var { txt = name; _ } when not (expr_uses_var name c.pc_rhs) ->
+    Some (Printf.sprintf "handler binds %s but never inspects or re-raises it" name)
+  | _ when pattern_contains_any c.pc_lhs -> Some "catch-all handler swallows every exception"
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* domain_safety                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Constructors of shared mutable state. [Atomic.make], [Mutex.create],
+   [Condition.create], [Semaphore.*] and [Domain.DLS.new_key] are the
+   sanctioned primitives and are deliberately absent: they ARE the
+   protection the rule asks for. *)
+let mutable_ctor lid =
+  match flatten lid with
+  | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "a ref cell"
+  | [ "Hashtbl"; ("create" | "copy" | "of_seq") ] -> Some "a Hashtbl"
+  | [ "Array"; ("make" | "create_float" | "init" | "make_matrix" | "of_list" | "copy" | "append" | "concat" | "sub") ]
+    ->
+    Some "an array"
+  | [ "Bytes"; ("create" | "make" | "init" | "of_string") ] -> Some "a Bytes buffer"
+  | [ "Buffer"; "create" ] -> Some "a Buffer"
+  | [ "Queue"; ("create" | "copy") ] -> Some "a Queue"
+  | [ "Stack"; ("create" | "copy") ] -> Some "a Stack"
+  | [ "Random"; "State"; ("make" | "make_self_init") ] -> Some "a Random.State"
+  | _ -> None
+
+let rec pat_ident (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) -> pat_ident p
+  | _ -> None
+
+(* Scan the right-hand side of a module-level binding for mutable-state
+   constructors, without descending into function bodies: state created
+   inside a function is per-call and therefore not shared. *)
+let scan_module_binding ~flag vb =
+  let ident = pat_ident vb.pvb_pat in
+  let open Ast_iterator in
+  let iter =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          match e.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ -> ()
+          | Pexp_array (_ :: _) -> flag ?ident e.pexp_loc "an array literal"
+          | Pexp_lazy _ -> flag ?ident e.pexp_loc "a lazy block (Lazy.force is racy under domains)"
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+            match mutable_ctor txt with
+            | Some what -> flag ?ident e.pexp_loc what
+            | None -> List.iter (fun (_, a) -> self.expr self a) args)
+          | _ -> default_iterator.expr self e);
+    }
+  in
+  iter.expr iter vb.pvb_expr
+
+(* Walk only module-level structure items (including nested modules). *)
+let rec scan_structure_state ~flag items =
+  List.iter
+    (fun si ->
+      match si.pstr_desc with
+      | Pstr_value (_, vbs) -> List.iter (scan_module_binding ~flag) vbs
+      | Pstr_module { pmb_expr; _ } -> scan_module_expr_state ~flag pmb_expr
+      | Pstr_recmodule mbs -> List.iter (fun mb -> scan_module_expr_state ~flag mb.pmb_expr) mbs
+      | Pstr_include { pincl_mod; _ } -> scan_module_expr_state ~flag pincl_mod
+      | _ -> ())
+    items
+
+and scan_module_expr_state ~flag me =
+  match me.pmod_desc with
+  | Pmod_structure s -> scan_structure_state ~flag s
+  | Pmod_constraint (me, _) -> scan_module_expr_state ~flag me
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check ~file ~in_lib ~domain_safety structure =
+  let findings = ref [] in
+  let add ?ident ~loc rule message =
+    let line, col = loc_pos loc in
+    findings := Finding.v ?ident ~file ~line ~col rule message :: !findings
+  in
+  if domain_safety then
+    scan_structure_state
+      ~flag:(fun ?ident loc what ->
+        let name = Option.value ident ~default:"_" in
+        add ?ident ~loc Finding.Domain_safety
+          (Printf.sprintf "top-level binding %s creates %s shared across domains" name what))
+      structure;
+  let open Ast_iterator in
+  let iter =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_try (_, cases) ->
+            List.iter
+              (fun c ->
+                match catch_all_case c with
+                | Some msg -> add ~loc:c.pc_lhs.ppat_loc Finding.No_catch_all msg
+                | None -> ())
+              cases
+          | Pexp_match (_, cases) ->
+            (* [match ... with exception _ ->] is a try in disguise. *)
+            List.iter
+              (fun c ->
+                match c.pc_lhs.ppat_desc with
+                | Ppat_exception p when pattern_contains_any p ->
+                  add ~loc:p.ppat_loc Finding.No_catch_all
+                    "catch-all exception case swallows every exception"
+                | _ -> ())
+              cases
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; pexp_loc; _ }, [ (_, a); (_, b) ])
+            when Option.is_some (structural_eq txt) && (floaty a || floaty b) -> (
+            match structural_eq txt with
+            | Some op ->
+              add ~loc:pexp_loc Finding.Float_eq
+                (Printf.sprintf "structural (%s) on float operands" op)
+            | None -> ())
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; pexp_loc; _ }, args)
+            when poly_compare txt && List.exists (fun (_, x) -> floaty x) args ->
+            add ~loc:pexp_loc Finding.Float_eq "polymorphic compare on float operands"
+          | Pexp_ident { txt; loc } when unsafe_ident txt ->
+            add ~loc Finding.No_unsafe
+              (Printf.sprintf "unchecked access %s" (String.concat "." (flatten txt)))
+          | Pexp_ident { txt; loc } when in_lib && stdout_ident txt ->
+            add ~loc Finding.No_stdout_in_lib
+              (Printf.sprintf "%s writes to stdout from library code"
+                 (String.concat "." (flatten txt)))
+          | _ -> ());
+          default_iterator.expr self e);
+    }
+  in
+  iter.structure iter structure;
+  List.rev !findings

@@ -1,0 +1,20 @@
+(** Syntactic Parsetree checks for the subcouple-lint rules.
+
+    All rules are heuristics over the untyped AST (the linter never runs the
+    type checker); see DESIGN.md "Static analysis" for exactly what each rule
+    does and does not catch. *)
+
+val check :
+  file:string -> in_lib:bool -> domain_safety:bool -> Parsetree.structure -> Finding.t list
+(** Run every expression-level rule over one parsed implementation.
+    [in_lib] enables no_stdout_in_lib; [domain_safety] enables the
+    module-level mutable-state scan. Findings come back in source order and
+    are NOT yet filtered by suppressions — that is {!Driver}'s job. *)
+
+val floaty : Parsetree.expression -> bool
+(** Exposed for tests: the float_eq operand heuristic. *)
+
+val mutable_ctor : Longident.t -> string option
+(** Exposed for tests: constructors of shared mutable state recognized by
+    the domain_safety rule ([Atomic.make]/[Mutex.create]/... deliberately
+    excluded — they are the sanctioned protection primitives). *)

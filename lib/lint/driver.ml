@@ -1,0 +1,145 @@
+(* The subcouple-lint driver: walk the tree, parse every .ml with the
+   compiler's own parser, run the rule checks, then apply the two
+   suppression mechanisms (inline attributes and the checked domain-safety
+   allowlist). Reporting and the exit code live in bin/lint_main.ml; this
+   module only produces data. *)
+
+type report = { findings : Finding.t list; suppressed : int; files : int }
+
+let empty = { findings = []; suppressed = 0; files = 0 }
+
+let parse_impl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      match Parse.implementation lexbuf with
+      | structure -> Ok structure
+      | exception Syntaxerr.Error _ ->
+        let p = lexbuf.Lexing.lex_curr_p in
+        Error (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol, "syntax error")
+      | exception Lexer.Error (_, loc) ->
+        let p = loc.Location.loc_start in
+        Error (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol, "lexical error"))
+
+(* Lint one file. [file] is the path used in findings (usually relative to
+   the repo root); [path] is where to read it from. Domain-safety findings
+   are returned unsuppressed unless an inline attribute covers them — the
+   allowlist is applied across files by [lint_paths]. *)
+let lint_one ~file ~path ~in_lib ~domain_safety ~check_mli () =
+  match parse_impl path with
+  | Error (line, col, msg) ->
+    ([ Finding.v ~file ~line ~col Finding.Parse_error msg ], 0)
+  | Ok structure ->
+    let raw = Checks.check ~file ~in_lib ~domain_safety structure in
+    let sup = Suppress.collect ~file structure in
+    let mli_missing =
+      if check_mli && not (Sys.file_exists (Filename.remove_extension path ^ ".mli")) then
+        [
+          Finding.v ~file ~line:1 ~col:0 Finding.Mli_coverage
+            (Printf.sprintf "module %s has no .mli interface"
+               (String.capitalize_ascii (Filename.remove_extension (Filename.basename path))));
+        ]
+      else []
+    in
+    let kept, suppressed =
+      List.partition
+        (fun f ->
+          not
+            (Suppress.covers sup f
+            || (f.Finding.rule = Finding.No_unsafe && Suppress.in_hotpath sup f)))
+        (raw @ mli_missing)
+    in
+    (kept @ sup.Suppress.malformed, List.length suppressed)
+
+let lint_file ?(in_lib = false) ?(domain_safety = false) ?(check_mli = false) path =
+  let findings, suppressed =
+    lint_one ~file:path ~path ~in_lib ~domain_safety ~check_mli ()
+  in
+  { findings = List.sort Finding.compare_by_location findings; suppressed; files = 1 }
+
+(* Deterministic recursive walk collecting .ml files; skips _build and
+   dot-directories. *)
+let rec walk acc path =
+  if Sys.file_exists path && Sys.is_directory path then begin
+    let base = Filename.basename path in
+    if String.equal base "_build" || (String.length base > 0 && base.[0] = '.') then acc
+    else begin
+      let entries = Sys.readdir path in
+      Array.sort compare entries;
+      Array.fold_left (fun acc e -> walk acc (Filename.concat path e)) acc entries
+    end
+  end
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let relativize ~root path =
+  if String.equal root "." || String.equal root "" then path
+  else
+    let prefix = if Filename.check_suffix root "/" then root else root ^ "/" in
+    if String.length path > String.length prefix
+       && String.equal (String.sub path 0 (String.length prefix)) prefix
+    then String.sub path (String.length prefix) (String.length path - String.length prefix)
+    else path
+
+let under dir file =
+  let prefix = dir ^ "/" in
+  String.length file > String.length prefix
+  && String.equal (String.sub file 0 (String.length prefix)) prefix
+
+let lint_paths ?allowlist ~root paths =
+  let files =
+    paths
+    |> List.map (fun p -> if String.equal root "." then p else Filename.concat root p)
+    |> List.fold_left walk []
+    |> List.sort_uniq compare
+  in
+  let safety_dirs = Dune_deps.pool_reachable_dirs ~root () in
+  let entries, allow_malformed =
+    match allowlist with None -> ([], []) | Some path -> Allowlist.load path
+  in
+  let used = Hashtbl.create 8 in
+  let acc =
+    List.fold_left
+      (fun acc path ->
+        let file = relativize ~root path in
+        let in_lib = under "lib" file in
+        let domain_safety = List.exists (fun d -> under d file) safety_dirs in
+        let findings, suppressed =
+          lint_one ~file ~path ~in_lib ~domain_safety ~check_mli:in_lib ()
+        in
+        (* Apply the allowlist to what survived inline suppression. *)
+        let findings, allowed =
+          List.partition
+            (fun f ->
+              match List.find_opt (fun e -> Allowlist.matches e f) entries with
+              | Some e ->
+                Hashtbl.replace used e.Allowlist.e_line ();
+                false
+              | None -> true)
+            findings
+        in
+        {
+          findings = findings @ acc.findings;
+          suppressed = acc.suppressed + suppressed + List.length allowed;
+          files = acc.files + 1;
+        })
+      empty files
+  in
+  let stale =
+    match allowlist with
+    | None -> []
+    | Some path ->
+      List.filter_map
+        (fun e ->
+          if Hashtbl.mem used e.Allowlist.e_line then None
+          else Some (Allowlist.stale_finding ~path e))
+        entries
+  in
+  {
+    acc with
+    findings =
+      List.sort Finding.compare_by_location (acc.findings @ allow_malformed @ stale);
+  }

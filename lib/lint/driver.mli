@@ -1,0 +1,20 @@
+(** The subcouple-lint driver. Produces findings; printing and the exit
+    code live in bin/lint_main.ml. *)
+
+type report = {
+  findings : Finding.t list;  (** unsuppressed findings, sorted by location *)
+  suppressed : int;  (** findings silenced by attributes or the allowlist *)
+  files : int;  (** implementation files checked *)
+}
+
+val lint_file : ?in_lib:bool -> ?domain_safety:bool -> ?check_mli:bool -> string -> report
+(** Lint a single .ml file. The flags default to [false] so fixture tests
+    can exercise one rule at a time; [lint_paths] derives them from the
+    file's location instead. *)
+
+val lint_paths : ?allowlist:string -> root:string -> string list -> report
+(** Lint every .ml under the given paths (files or directories, relative to
+    [root]). Files under lib/ get the no_stdout_in_lib and mli_coverage
+    rules; files in {!Dune_deps.pool_reachable_dirs} get domain_safety,
+    with [allowlist] (if given) applied as the checked allowlist — stale
+    and malformed entries are reported as findings. *)

@@ -1,0 +1,184 @@
+(* Which library directories can execute inside the Domain pool?
+
+   The domain_safety rule only applies to code that parallel workers can
+   reach. Rather than hard-coding a directory list, we read the dune files:
+   a library is *pool-running* when it (transitively) depends on the
+   [parallel] library — its code creates or runs pool tasks — and a library
+   is *pool-reachable* when a pool-running library can call into it, i.e.
+   it is in the transitive dependency closure of the pool-running set.
+   Everything pool-reachable gets the domain_safety scan.
+
+   dune files are read with a minimal s-expression parser (atoms, lists,
+   [;] line comments, double-quoted strings) — enough for the [(name ...)]
+   and [(libraries ...)] fields we consume. *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Malformed of string
+
+let parse_sexps (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | Some ';' ->
+      while !pos < n && s.[!pos] <> '\n' do
+        incr pos
+      done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let atom_char = function
+    | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | '"' -> false
+    | _ -> true
+  in
+  let rec parse_one () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Malformed "unexpected end of input")
+    | Some '(' ->
+      incr pos;
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        match peek () with
+        | Some ')' -> incr pos
+        | None -> raise (Malformed "unclosed (")
+        | Some _ ->
+          items := parse_one () :: !items;
+          loop ()
+      in
+      loop ();
+      List (List.rev !items)
+    | Some '"' ->
+      incr pos;
+      let b = Buffer.create 16 in
+      let rec loop () =
+        match peek () with
+        | None -> raise (Malformed "unclosed string")
+        | Some '"' -> incr pos
+        | Some '\\' when !pos + 1 < n ->
+          Buffer.add_char b s.[!pos + 1];
+          pos := !pos + 2;
+          loop ()
+        | Some c ->
+          Buffer.add_char b c;
+          incr pos;
+          loop ()
+      in
+      loop ();
+      Atom (Buffer.contents b)
+    | Some ')' -> raise (Malformed "unexpected )")
+    | Some _ ->
+      let start = !pos in
+      while !pos < n && atom_char s.[!pos] do
+        incr pos
+      done;
+      Atom (String.sub s start (!pos - start))
+  in
+  let out = ref [] in
+  let rec loop () =
+    skip_ws ();
+    if !pos < n then begin
+      out := parse_one () :: !out;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !out
+
+type lib = { name : string; dir : string; deps : string list }
+
+let field name = function
+  | List (Atom f :: rest) when String.equal f name -> Some rest
+  | _ -> None
+
+let atoms l = List.filter_map (function Atom a -> Some a | List _ -> None) l
+
+(* Extract every (library ...) stanza's name, dir and dune-visible deps. *)
+let libs_of_dune ~dir content =
+  match parse_sexps content with
+  | exception Malformed _ -> []
+  | sexps ->
+    List.filter_map
+      (function
+        | List (Atom "library" :: fields) ->
+          let name =
+            List.find_map (fun f -> Option.map atoms (field "name" f)) fields
+            |> Option.map (function n :: _ -> n | [] -> "")
+          in
+          let deps =
+            List.find_map (fun f -> Option.map atoms (field "libraries" f)) fields
+            |> Option.value ~default:[]
+          in
+          Option.map (fun name -> { name; dir; deps }) name
+        | _ -> None)
+      sexps
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* All libraries found in immediate subdirectories of [root]/lib. *)
+let scan_libs ~root =
+  let lib_root = Filename.concat root "lib" in
+  if not (Sys.file_exists lib_root && Sys.is_directory lib_root) then []
+  else
+    let subdirs = Sys.readdir lib_root in
+    Array.sort compare subdirs;
+    Array.to_list subdirs
+    |> List.concat_map (fun sub ->
+           let dir = Filename.concat lib_root sub in
+           let dune = Filename.concat dir "dune" in
+           if Sys.file_exists dune && Sys.is_directory dir then
+             libs_of_dune ~dir:(Filename.concat "lib" sub) (read_file dune)
+           else [])
+
+let closure ~libs seeds =
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace by_name l.name l) libs;
+  let seen = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      match Hashtbl.find_opt by_name name with
+      | Some l -> List.iter visit l.deps
+      | None -> () (* external library: out of scope *)
+    end
+  in
+  List.iter visit seeds;
+  seen
+
+let pool_reachable_dirs ?(pool_lib = "parallel") ~root () =
+  let libs = scan_libs ~root in
+  if not (List.exists (fun l -> String.equal l.name pool_lib) libs) then
+    (* No pool in this tree (e.g. a fixture corpus): be conservative and
+       treat every library as pool-reachable. *)
+    List.map (fun l -> l.dir) libs
+  else begin
+    (* Pool-running: transitively depends on the pool. *)
+    let running =
+      let rec grow acc =
+        let acc' =
+          List.filter
+            (fun l ->
+              (not (List.mem l.name acc))
+              && List.exists (fun d -> List.mem d acc) l.deps)
+            libs
+          |> List.map (fun l -> l.name)
+          |> List.append acc
+        in
+        if List.length acc' = List.length acc then acc else grow acc'
+      in
+      grow [ pool_lib ]
+    in
+    (* Pool-reachable: dependency closure of the pool-running set. *)
+    let reach = closure ~libs running in
+    List.filter_map (fun l -> if Hashtbl.mem reach l.name then Some l.dir else None) libs
+  end

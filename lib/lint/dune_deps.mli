@@ -1,0 +1,23 @@
+(** Compute, from the dune files themselves, which lib/ directories hold
+    code reachable from the Domain pool — the scope of the domain_safety
+    rule. *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Malformed of string
+
+val parse_sexps : string -> sexp list
+(** Minimal s-expression parser (atoms, lists, [;] comments, quoted
+    strings). Raises {!Malformed} on unbalanced input. *)
+
+type lib = { name : string; dir : string; deps : string list }
+
+val scan_libs : root:string -> lib list
+(** Every [(library ...)] stanza found in [root]/lib/*/dune, with [dir]
+    relative to [root]. *)
+
+val pool_reachable_dirs : ?pool_lib:string -> root:string -> unit -> string list
+(** Directories (relative to [root], e.g. ["lib/la"]) whose library is in
+    the dependency closure of any library that transitively depends on
+    [pool_lib]. If no [pool_lib] library exists in the tree, every scanned
+    library directory is returned (conservative default). *)

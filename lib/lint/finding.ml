@@ -1,0 +1,96 @@
+(* Findings and the rule catalogue for subcouple-lint.
+
+   A finding is one diagnostic: a rule violated at a file:line:col, with a
+   message describing the site and a per-rule fix hint. The executable in
+   bin/lint_main.ml prints findings and exits non-zero if any unsuppressed
+   one remains; see DESIGN.md "Static analysis" for the catalogue. *)
+
+type rule =
+  | Domain_safety
+  | Float_eq
+  | No_catch_all
+  | No_unsafe
+  | No_stdout_in_lib
+  | Mli_coverage
+  | Suppression
+  | Parse_error
+
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  severity : severity;
+  ident : string option;
+      (* for [Domain_safety]: the top-level binding name, matched against
+         the lint/domain_safety.allow allowlist *)
+  message : string;
+}
+
+let all_rules =
+  [
+    Domain_safety;
+    Float_eq;
+    No_catch_all;
+    No_unsafe;
+    No_stdout_in_lib;
+    Mli_coverage;
+    Suppression;
+    Parse_error;
+  ]
+
+let rule_id = function
+  | Domain_safety -> "domain_safety"
+  | Float_eq -> "float_eq"
+  | No_catch_all -> "no_catch_all"
+  | No_unsafe -> "no_unsafe"
+  | No_stdout_in_lib -> "no_stdout_in_lib"
+  | Mli_coverage -> "mli_coverage"
+  | Suppression -> "suppression"
+  | Parse_error -> "parse_error"
+
+let rule_of_id id = List.find_opt (fun r -> String.equal (rule_id r) id) all_rules
+
+let description = function
+  | Domain_safety ->
+    "top-level mutable state (ref, Hashtbl, array, ...) in a library reachable from Parallel.Pool"
+  | Float_eq -> "structural =/<>/compare on float operands"
+  | No_catch_all -> "try ... with handler that swallows every exception"
+  | No_unsafe -> "Array.unsafe_* / Bytes.unsafe_* / Obj.magic outside an annotated hot path"
+  | No_stdout_in_lib -> "direct stdout output from library code"
+  | Mli_coverage -> "library module without an .mli interface"
+  | Suppression -> "malformed or unjustified suppression, or stale allowlist entry"
+  | Parse_error -> "file does not parse"
+
+let hint = function
+  | Domain_safety ->
+    "guard it with a Mutex/Atomic/Domain.DLS and record that in [@@lint.allow domain_safety \
+     \"...\"] or lint/domain_safety.allow"
+  | Float_eq -> "use Float.equal for intentional exact equality, or compare against a tolerance"
+  | No_catch_all -> "match the exception cases you expect and let programmer errors propagate"
+  | No_unsafe -> "use the bounds-checked accessor, or annotate the binding with [@@lint.hotpath \"...\"]"
+  | No_stdout_in_lib -> "go through Logs (or return the string and print from bin/)"
+  | Mli_coverage -> "add a .mli making the module's public surface explicit"
+  | Suppression -> "suppressions need a one-line justification: [@lint.allow <rule> \"why\"]"
+  | Parse_error -> "fix the syntax error; the linter parses with the compiler's own parser"
+
+let severity_id = function Error -> "error" | Warning -> "warning"
+
+let v ?(severity = Error) ?ident ~file ~line ~col rule message =
+  { file; line; col; rule; severity; ident; message }
+
+(* Stable report order: file, then position. *)
+let compare_by_location a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else Int.compare a.col b.col
+
+let pp ppf f =
+  Format.fprintf ppf "%s:%d:%d: %s[%s] %s (hint: %s)" f.file f.line f.col (severity_id f.severity)
+    (rule_id f.rule) f.message (hint f.rule)
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,37 @@
+(** Findings and the rule catalogue for subcouple-lint. *)
+
+type rule =
+  | Domain_safety  (** top-level mutable state in pool-reachable libraries *)
+  | Float_eq  (** structural =/<>/compare on float operands *)
+  | No_catch_all  (** [try ... with _ ->] or handler that drops the exception *)
+  | No_unsafe  (** unsafe accessors outside annotated hot paths *)
+  | No_stdout_in_lib  (** stdout printing from lib/ *)
+  | Mli_coverage  (** lib/ module without an .mli *)
+  | Suppression  (** malformed/unjustified suppression or stale allowlist entry *)
+  | Parse_error  (** file does not parse *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  severity : severity;
+  ident : string option;
+  message : string;
+}
+
+val all_rules : rule list
+val rule_id : rule -> string
+val rule_of_id : string -> rule option
+val description : rule -> string
+val hint : rule -> string
+val severity_id : severity -> string
+
+val v :
+  ?severity:severity -> ?ident:string -> file:string -> line:int -> col:int -> rule -> string -> t
+
+val compare_by_location : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

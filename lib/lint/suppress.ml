@@ -1,0 +1,121 @@
+(* Suppression scopes.
+
+   Findings are suppressed with attributes carrying a mandatory one-line
+   justification:
+
+     [@@@lint.allow mli_coverage "generated module, interface is the functor"]
+     let cache = Hashtbl.create 8 [@@lint.allow domain_safety "guarded by cache_mutex"]
+     (Array.unsafe_get a i [@lint.allow no_unsafe "i < n checked above"])
+     let kernel a i = ... [@@lint.hotpath "bounds hoisted out of the loop"]
+
+   A suppression covers every finding of its rule whose line falls inside
+   the attributed item ([@@@...] covers the whole file). [@@lint.hotpath]
+   is a dedicated scope for the no_unsafe rule: it marks a function as an
+   audited hot path. A suppression without a justification string is itself
+   reported as a [Suppression] finding — silence must be paid for in prose. *)
+
+open Parsetree
+
+type scope = { s_rule : Finding.rule; s_first : int; s_last : int; s_justification : string }
+type hotpath = { h_first : int; h_last : int }
+type t = { scopes : scope list; hotpaths : hotpath list; malformed : Finding.t list }
+
+let attr_loc (attr : attribute) =
+  let p = attr.attr_name.loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let payload_expr (attr : attribute) =
+  match attr.attr_payload with
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> Some e
+  | _ -> None
+
+let string_const (e : expression) =
+  match e.pexp_desc with Pexp_constant (Pconst_string (s, _, _)) -> Some s | _ -> None
+
+type parsed =
+  | Allow of Finding.rule * string
+  | Hotpath of string
+  | Bad of string
+  | Not_lint
+
+(* Recognize [@lint.allow rule "why"] and [@lint.hotpath "why"]. *)
+let parse_attr (attr : attribute) =
+  match attr.attr_name.txt with
+  | "lint.allow" -> (
+    match payload_expr attr with
+    | Some
+        {
+          pexp_desc =
+            Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Longident.Lident rid; _ }; _ },
+                [ (Asttypes.Nolabel, arg) ] );
+          _;
+        } -> (
+      match (Finding.rule_of_id rid, string_const arg) with
+      | Some rule, Some j when not (String.equal (String.trim j) "") -> Allow (rule, j)
+      | None, _ -> Bad (Printf.sprintf "unknown rule %S in [@lint.allow]" rid)
+      | Some _, _ -> Bad (Printf.sprintf "suppression of %s lacks a justification string" rid))
+    | Some { pexp_desc = Pexp_ident { txt = Longident.Lident rid; _ }; _ } ->
+      Bad (Printf.sprintf "suppression of %s lacks a justification string" rid)
+    | _ -> Bad "malformed [@lint.allow] payload; expected: [@lint.allow <rule> \"why\"]")
+  | "lint.hotpath" -> (
+    match Option.bind (payload_expr attr) string_const with
+    | Some j when not (String.equal (String.trim j) "") -> Hotpath j
+    | _ -> Bad "[@lint.hotpath] needs a justification string: [@lint.hotpath \"why\"]")
+  | _ -> Not_lint
+
+(* Collect the scopes declared by [attrs] over source lines
+   [first..last]. *)
+let collect ~file structure =
+  let scopes = ref [] and hotpaths = ref [] and malformed = ref [] in
+  let record ~first ~last attrs =
+    List.iter
+      (fun attr ->
+        match parse_attr attr with
+        | Allow (rule, j) ->
+          scopes := { s_rule = rule; s_first = first; s_last = last; s_justification = j } :: !scopes
+        | Hotpath _ -> hotpaths := { h_first = first; h_last = last } :: !hotpaths
+        | Bad message ->
+          let line, col = attr_loc attr in
+          malformed := Finding.v ~file ~line ~col Finding.Suppression message :: !malformed
+        | Not_lint -> ())
+      attrs
+  in
+  let span (loc : Location.t) =
+    (loc.Location.loc_start.Lexing.pos_lnum, loc.Location.loc_end.Lexing.pos_lnum)
+  in
+  let open Ast_iterator in
+  let iter =
+    {
+      default_iterator with
+      value_binding =
+        (fun self vb ->
+          let first, last = span vb.pvb_loc in
+          record ~first ~last vb.pvb_attributes;
+          default_iterator.value_binding self vb);
+      expr =
+        (fun self e ->
+          let first, last = span e.pexp_loc in
+          record ~first ~last e.pexp_attributes;
+          default_iterator.expr self e);
+      structure_item =
+        (fun self si ->
+          (match si.pstr_desc with
+          | Pstr_attribute attr -> record ~first:1 ~last:max_int [ attr ]
+          | Pstr_eval (_, attrs) ->
+            let first, last = span si.pstr_loc in
+            record ~first ~last attrs
+          | _ -> ());
+          default_iterator.structure_item self si);
+    }
+  in
+  iter.structure iter structure;
+  { scopes = !scopes; hotpaths = !hotpaths; malformed = !malformed }
+
+let covers t (f : Finding.t) =
+  List.exists
+    (fun s -> s.s_rule = f.Finding.rule && f.Finding.line >= s.s_first && f.Finding.line <= s.s_last)
+    t.scopes
+
+let in_hotpath t (f : Finding.t) =
+  List.exists (fun h -> f.Finding.line >= h.h_first && f.Finding.line <= h.h_last) t.hotpaths

@@ -1,0 +1,20 @@
+(** Suppression scopes: [[@lint.allow <rule> "why"]] and [[@lint.hotpath "why"]]
+    attributes, each covering the source lines of the item they annotate
+    (a floating [[@@@lint.allow ...]] covers the whole file). *)
+
+type scope = { s_rule : Finding.rule; s_first : int; s_last : int; s_justification : string }
+type hotpath = { h_first : int; h_last : int }
+
+type t = {
+  scopes : scope list;
+  hotpaths : hotpath list;
+  malformed : Finding.t list;  (** suppressions without a justification, unknown rules, ... *)
+}
+
+val collect : file:string -> Parsetree.structure -> t
+
+val covers : t -> Finding.t -> bool
+(** Is the finding inside a matching [lint.allow] scope? *)
+
+val in_hotpath : t -> Finding.t -> bool
+(** Is the finding inside a [lint.hotpath] scope (no_unsafe only)? *)

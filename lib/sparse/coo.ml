@@ -23,7 +23,9 @@ let entry_count t = t.count
 let add t i j v =
   if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
     invalid_arg (Printf.sprintf "Coo.add: index (%d, %d) out of bounds for %dx%d" i j t.rows t.cols);
-  if v <> 0.0 then begin
+  (* Exact-zero drop: only a literal 0.0 carries no information; every
+     other magnitude is a real entry (thresholding is Csr.of_dense's job). *)
+  if not (Float.equal v 0.0) then begin
     t.entries <- (i, j, v) :: t.entries;
     t.count <- t.count + 1
   end

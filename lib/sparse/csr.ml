@@ -32,14 +32,19 @@ let of_coo coo =
       | None -> Hashtbl.add tbl j v);
   let row_ptr = Array.make (rows + 1) 0 in
   for i = 0 to rows - 1 do
-    let live = Hashtbl.fold (fun _ v acc -> if v <> 0.0 then acc + 1 else acc) row_tables.(i) 0 in
+    (* Exact-zero drop of entries that cancelled during accumulation. *)
+    let live =
+      Hashtbl.fold (fun _ v acc -> if Float.equal v 0.0 then acc else acc + 1) row_tables.(i) 0
+    in
     row_ptr.(i + 1) <- row_ptr.(i) + live
   done;
   let total = row_ptr.(rows) in
   let col_idx = Array.make total 0 and values = Array.make total 0.0 in
   for i = 0 to rows - 1 do
     let cols_of_row =
-      Hashtbl.fold (fun j v acc -> if v <> 0.0 then (j, v) :: acc else acc) row_tables.(i) []
+      Hashtbl.fold
+        (fun j v acc -> if Float.equal v 0.0 then acc else (j, v) :: acc)
+        row_tables.(i) []
     in
     let sorted = List.sort (fun (a, _) (b, _) -> compare a b) cols_of_row in
     List.iteri
@@ -86,7 +91,8 @@ let gemv_t t (x : La.Vec.t) : La.Vec.t =
   let y = Array.make t.cols 0.0 in
   for i = 0 to t.rows - 1 do
     let xi = x.(i) in
-    if xi <> 0.0 then
+    (* Exact-zero skip: purely a work-saving test. *)
+    if not (Float.equal xi 0.0) then
       for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
         y.(t.col_idx.(k)) <- y.(t.col_idx.(k)) +. (t.values.(k) *. xi)
       done

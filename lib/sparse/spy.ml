@@ -47,4 +47,7 @@ let render ?(width = 64) m =
     Buffer.contents buf
   end
 
-let print ?width m = print_string (render ?width m)
+let print ?width m =
+  print_string (render ?width m)
+[@@lint.allow no_stdout_in_lib
+  "Spy.print is an explicit stdout renderer for interactive use; bin/bench call it on purpose"]

@@ -65,6 +65,11 @@ let load_entries path =
                (Printf.sprintf "%s: not a checkpoint file (bad magic %S)" path header));
         let entries = ref [] in
         let good = ref (pos_in ic) in
+        (* Expected ends of a torn tail: [End_of_file] (record cut mid-read),
+           [Failure] (Marshal rejects a truncated/corrupt object) and [Exit]
+           (our own checksum mismatch above). Anything else — Sys_error on a
+           failing disk, allocation failure, a programmer error — must
+           propagate rather than be mistaken for "end of checkpoint". *)
         (try
            while pos_in ic < len do
              let checksum, payload = (Marshal.from_channel ic : Digest.t * string) in
@@ -75,7 +80,7 @@ let load_entries path =
              entries := { stage_digest; responses } :: !entries;
              good := pos_in ic
            done
-         with _ -> ());
+         with End_of_file | Failure _ | Exit -> ());
         (List.rev !entries, !good)
       end)
 

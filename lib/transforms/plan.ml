@@ -44,7 +44,11 @@ let create n =
 (* Cache plans per length; substrate grids use at most a handful of sizes.
    The cache is consulted from every domain of a parallel batched solve, so
    lookups are serialized; a plan is immutable once built and safe to share. *)
-let cache : (int, t) Hashtbl.t = Hashtbl.create 8
+let cache : (int, t) Hashtbl.t =
+  Hashtbl.create 8
+[@@lint.allow domain_safety
+  "every access goes through Mutex.protect cache_mutex in [get]; plans are immutable once built"]
+
 let cache_mutex = Mutex.create ()
 
 let get n =

@@ -98,7 +98,9 @@ let solve t (b : float array) : float array =
     let s = Dct.dct_ii_2d ~nx ~ny slice in
     Array.blit s 0 hat (iz * plane) plane
   done;
-  let singular = g_top = 0.0 && g_bottom = 0.0 in
+  (* Exact test: boundary conductances are 0.0 only when the caller asked
+     for pure-Neumann walls, which is the one genuinely singular case. *)
+  let singular = Float.equal g_top 0.0 && Float.equal g_bottom 0.0 in
   (* One tridiagonal system in z per (kx, ky) mode. *)
   let lower = Array.make nz 0.0 and diag = Array.make nz 0.0 in
   let upper = Array.make nz 0.0 and rhs = Array.make nz 0.0 in

@@ -1,0 +1,7 @@
+(* Fixture: the violation is inline-suppressed with a justification. *)
+let cache : (int, string) Hashtbl.t =
+  Hashtbl.create 8
+[@@lint.allow domain_safety "all access goes through Mutex.protect cache_mutex below"]
+
+let cache_mutex = Mutex.create ()
+let get n = Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache n)

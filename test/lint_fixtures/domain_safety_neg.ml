@@ -1,0 +1,9 @@
+(* Fixture: no shared mutable state at module level. Function-local state
+   is per-call; Atomic/Mutex/DLS are the sanctioned primitives. *)
+let make_scratch n = Array.make n 0.0
+let fresh_table () = Hashtbl.create 16
+let total = Atomic.make 0
+let guard = Mutex.create ()
+let key = Domain.DLS.new_key (fun () -> 0)
+let shades = "immutable string"
+let _ = (make_scratch, fresh_table, total, guard, key, shades)

@@ -1,0 +1,7 @@
+(* Fixture: three module-level mutable bindings, one per detected shape. *)
+let counter = ref 0
+let table = Hashtbl.create 16
+let weights = [| 0.25; 0.5; 0.25 |]
+
+let bump () = incr counter
+let _ = (bump, table, weights)

@@ -1,0 +1,6 @@
+(* Fixture: integer equality and the sanctioned float comparisons. *)
+let is_zero n = n = 0
+let eq_ok a b = Float.equal a b
+let tol_ok a b = Float.abs (a -. b) <= 1e-12
+let ord_ok a b = a <= 0.0 || b >= 1.0
+let str_eq s = s = "x"

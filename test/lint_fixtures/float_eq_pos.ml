@@ -1,0 +1,5 @@
+(* Fixture: structural equality and polymorphic compare on float operands. *)
+let is_zero x = x = 0.0
+let not_half x = x <> 0.5
+let against_expr a b = a = (b *. 2.0)
+let ordered a b = compare (sqrt a) b

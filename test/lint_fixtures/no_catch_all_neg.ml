@@ -1,0 +1,4 @@
+(* Fixture: explicit exception cases, or re-raising the catch-all. *)
+let expected f = try f () with Not_found | End_of_file -> 0
+let logged f = try f () with e -> log_error e; raise e
+let cleanup f = try f () with Sys_error m -> fail m

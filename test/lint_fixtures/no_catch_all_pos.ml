@@ -1,0 +1,4 @@
+(* Fixture: handlers that swallow every exception. *)
+let swallow f = try f () with _ -> ()
+let drop f = try f () with e -> ignore e2; 0
+let masked f = match f () with exception _ -> None | v -> Some v

@@ -1,0 +1,4 @@
+(* Fixture (linted as lib code): output goes to a formatter or a log. *)
+let announce ppf = Format.fprintf ppf "starting@."
+let report () = Logs.info (fun m -> m "done")
+let render n = Printf.sprintf "n = %d" n

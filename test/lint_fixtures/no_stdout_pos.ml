@@ -1,0 +1,3 @@
+(* Fixture (linted as lib code): direct stdout output. *)
+let announce () = print_endline "starting"
+let report n = Printf.printf "n = %d\n" n

@@ -1,0 +1,8 @@
+(* Fixture: unsafe access inside an annotated, audited hot path. *)
+let dot a b n =
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (Array.unsafe_get a i *. Array.unsafe_get b i)
+  done;
+  !acc
+[@@lint.hotpath "caller checks n <= min (length a) (length b); saves a bounds check per flop"]

@@ -1,0 +1,3 @@
+(* Fixture: unchecked accessors outside any annotated hot path. *)
+let peek a = Array.unsafe_get a 0
+let poke b = Bytes.unsafe_set b 0 'x'

@@ -1,0 +1,3 @@
+(* Fixture: a suppression without a justification is itself a finding
+   (and does not silence the underlying one). *)
+let cache = Hashtbl.create 8 [@@lint.allow domain_safety]

@@ -1,0 +1,241 @@
+(* Tests for subcouple-lint: one positive and one negative fixture per rule
+   (test/lint_fixtures/), the suppression machinery, the checked allowlist,
+   dune-derived domain-safety scope, and a self-check asserting the linter
+   runs clean over the repository itself. *)
+
+open Lint
+
+(* Walk up from cwd to the tree root (works both from the source tree and
+   from inside _build/default, whichever dune runs us in). *)
+let rec find_root dir =
+  if
+    Sys.file_exists (Filename.concat dir "lint/domain_safety.allow")
+    && Sys.file_exists (Filename.concat dir "lib")
+  then dir
+  else
+    let parent = Filename.dirname dir in
+    if String.equal parent dir then Alcotest.fail "repo root not found from cwd" else find_root parent
+
+let fixture name = Filename.concat (find_root (Sys.getcwd ())) (Filename.concat "test/lint_fixtures" name)
+
+let count rule (r : Driver.report) =
+  List.length (List.filter (fun f -> f.Finding.rule = rule) r.Driver.findings)
+
+let show (r : Driver.report) =
+  String.concat "\n" (List.map Finding.to_string r.Driver.findings)
+
+let check_counts name ?(in_lib = false) ?(domain_safety = false) ?(check_mli = false) file rule
+    expected =
+  let r = Driver.lint_file ~in_lib ~domain_safety ~check_mli (fixture file) in
+  Alcotest.(check int) (name ^ ": " ^ show r) expected (count rule r)
+
+(* ------------------------------------------------------------------ *)
+(* Per-rule fixtures *)
+
+let test_domain_safety_pos () =
+  check_counts "ref/hashtbl/array literal flagged" ~domain_safety:true "domain_safety_pos.ml"
+    Finding.Domain_safety 3
+
+let test_domain_safety_neg () =
+  let r = Driver.lint_file ~domain_safety:true (fixture "domain_safety_neg.ml") in
+  Alcotest.(check int) ("clean fixture: " ^ show r) 0 (List.length r.Driver.findings)
+
+let test_domain_safety_off_outside_scope () =
+  (* The same mutable state is fine in a library the pool cannot reach. *)
+  let r = Driver.lint_file ~domain_safety:false (fixture "domain_safety_pos.ml") in
+  Alcotest.(check int) "not flagged outside pool-reachable scope" 0
+    (count Finding.Domain_safety r)
+
+let test_float_eq_pos () = check_counts "=/<>/compare on floats" "float_eq_pos.ml" Finding.Float_eq 4
+let test_float_eq_neg () = check_counts "int eq, Float.equal, tolerances" "float_eq_neg.ml" Finding.Float_eq 0
+
+let test_no_catch_all_pos () =
+  check_counts "with _ / unused e / exception _" "no_catch_all_pos.ml" Finding.No_catch_all 3
+
+let test_no_catch_all_neg () =
+  check_counts "explicit cases and re-raise" "no_catch_all_neg.ml" Finding.No_catch_all 0
+
+let test_no_unsafe_pos () = check_counts "unsafe accessors" "no_unsafe_pos.ml" Finding.No_unsafe 2
+
+let test_no_unsafe_neg () =
+  let r = Driver.lint_file (fixture "no_unsafe_neg.ml") in
+  Alcotest.(check int) ("hotpath-annotated: " ^ show r) 0 (count Finding.No_unsafe r);
+  Alcotest.(check int) "both accesses counted as suppressed" 2 r.Driver.suppressed
+
+let test_no_stdout_pos () =
+  check_counts "stdout from lib" ~in_lib:true "no_stdout_pos.ml" Finding.No_stdout_in_lib 2
+
+let test_no_stdout_outside_lib () =
+  (* The same calls are fine outside lib/. *)
+  check_counts "stdout from bin" ~in_lib:false "no_stdout_pos.ml" Finding.No_stdout_in_lib 0
+
+let test_no_stdout_neg () =
+  check_counts "formatter/log output" ~in_lib:true "no_stdout_neg.ml" Finding.No_stdout_in_lib 0
+
+let test_mli_pos () =
+  check_counts "module without interface" ~in_lib:true ~check_mli:true "mli/missing.ml"
+    Finding.Mli_coverage 1
+
+let test_mli_neg () =
+  check_counts "module with interface" ~in_lib:true ~check_mli:true "mli/covered.ml"
+    Finding.Mli_coverage 0
+
+(* ------------------------------------------------------------------ *)
+(* Suppressions *)
+
+let test_suppression_with_justification () =
+  let r = Driver.lint_file ~domain_safety:true (fixture "domain_safety_allow.ml") in
+  Alcotest.(check int) ("no unsuppressed findings: " ^ show r) 0 (List.length r.Driver.findings);
+  Alcotest.(check int) "one suppressed finding" 1 r.Driver.suppressed
+
+let test_suppression_needs_justification () =
+  let r = Driver.lint_file ~domain_safety:true (fixture "suppress_bad.ml") in
+  (* The bare [@@lint.allow domain_safety] is itself a finding AND fails to
+     silence the underlying one. *)
+  Alcotest.(check int) ("unjustified suppression reported: " ^ show r) 1
+    (count Finding.Suppression r);
+  Alcotest.(check int) "underlying finding survives" 1 (count Finding.Domain_safety r)
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist *)
+
+let temp_allowlist lines =
+  let path = Filename.temp_file "lint_allow" ".allow" in
+  let oc = open_out path in
+  output_string oc (String.concat "\n" lines);
+  output_string oc "\n";
+  close_out oc;
+  path
+
+let test_allowlist_suppresses () =
+  let root = find_root (Sys.getcwd ()) in
+  let allowlist =
+    temp_allowlist [ "lib/sparse/spy.ml shades read-only ramp, never written after init" ]
+  in
+  let r = Driver.lint_paths ~allowlist ~root [ "lib/sparse/spy.ml" ] in
+  Alcotest.(check int) ("spy.ml clean under allowlist: " ^ show r) 0 (count Finding.Domain_safety r);
+  Sys.remove allowlist
+
+let test_allowlist_stale_entry () =
+  let root = find_root (Sys.getcwd ()) in
+  let allowlist =
+    temp_allowlist
+      [
+        "lib/sparse/spy.ml shades read-only ramp, never written after init";
+        "lib/sparse/spy.ml no_such_binding justification for nothing";
+      ]
+  in
+  let r = Driver.lint_paths ~allowlist ~root [ "lib/sparse/spy.ml" ] in
+  Alcotest.(check int) ("stale entry reported: " ^ show r) 1 (count Finding.Suppression r);
+  Sys.remove allowlist
+
+let test_allowlist_requires_justification () =
+  let allowlist = temp_allowlist [ "lib/sparse/spy.ml shades" ] in
+  let entries, malformed = Allowlist.load allowlist in
+  Alcotest.(check int) "entry rejected" 0 (List.length entries);
+  Alcotest.(check int) "malformed line reported" 1 (List.length malformed);
+  Sys.remove allowlist
+
+(* ------------------------------------------------------------------ *)
+(* Domain-safety scope from the dune files *)
+
+let test_pool_reachable_dirs () =
+  let root = find_root (Sys.getcwd ()) in
+  let dirs = Dune_deps.pool_reachable_dirs ~root () in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (d ^ " is pool-reachable (" ^ String.concat ", " dirs ^ ")")
+        true (List.mem d dirs))
+    [ "lib/parallel"; "lib/la"; "lib/transforms"; "lib/substrate"; "lib/sparse" ]
+
+(* ------------------------------------------------------------------ *)
+(* Seeded violation and repo self-check *)
+
+let test_seeded_violation_detected () =
+  (* Simulate the acceptance check: drop a single float_eq violation into a
+     fresh tree and the driver must report that rule at that file. *)
+  let dir = Filename.temp_file "lint_seed" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Sys.mkdir (Filename.concat dir "lib") 0o755;
+  let bad = Filename.concat (Filename.concat dir "lib") "bad.ml" in
+  let oc = open_out bad in
+  output_string oc "let is_zero x = x = 0.0\n";
+  close_out oc;
+  let r = Driver.lint_paths ~root:dir [ "lib" ] in
+  Alcotest.(check int) ("violation found: " ^ show r) 1 (count Finding.Float_eq r);
+  (* The seeded module also (correctly) lacks an .mli. *)
+  Alcotest.(check int) ("mli finding too: " ^ show r) 1 (count Finding.Mli_coverage r);
+  (match List.find_opt (fun f -> f.Finding.rule = Finding.Float_eq) r.Driver.findings with
+  | Some f ->
+    Alcotest.(check string) "names the file" "lib/bad.ml" f.Finding.file;
+    Alcotest.(check int) "names the line" 1 f.Finding.line
+  | None -> Alcotest.fail ("expected a float_eq finding:\n" ^ show r));
+  Sys.remove bad;
+  Sys.rmdir (Filename.concat dir "lib");
+  Sys.rmdir dir
+
+let test_repo_self_check () =
+  let root = find_root (Sys.getcwd ()) in
+  let allowlist = Filename.concat root "lint/domain_safety.allow" in
+  let r = Driver.lint_paths ~allowlist ~root [ "lib"; "bin"; "bench" ] in
+  Alcotest.(check string) "repo lints clean" "" (show r);
+  Alcotest.(check bool) "checked a substantial tree" true (r.Driver.files > 40)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "domain_safety",
+        [
+          Alcotest.test_case "positive fixture" `Quick test_domain_safety_pos;
+          Alcotest.test_case "negative fixture" `Quick test_domain_safety_neg;
+          Alcotest.test_case "scope-gated" `Quick test_domain_safety_off_outside_scope;
+        ] );
+      ( "float_eq",
+        [
+          Alcotest.test_case "positive fixture" `Quick test_float_eq_pos;
+          Alcotest.test_case "negative fixture" `Quick test_float_eq_neg;
+        ] );
+      ( "no_catch_all",
+        [
+          Alcotest.test_case "positive fixture" `Quick test_no_catch_all_pos;
+          Alcotest.test_case "negative fixture" `Quick test_no_catch_all_neg;
+        ] );
+      ( "no_unsafe",
+        [
+          Alcotest.test_case "positive fixture" `Quick test_no_unsafe_pos;
+          Alcotest.test_case "hotpath fixture" `Quick test_no_unsafe_neg;
+        ] );
+      ( "no_stdout_in_lib",
+        [
+          Alcotest.test_case "positive fixture" `Quick test_no_stdout_pos;
+          Alcotest.test_case "outside lib" `Quick test_no_stdout_outside_lib;
+          Alcotest.test_case "negative fixture" `Quick test_no_stdout_neg;
+        ] );
+      ( "mli_coverage",
+        [
+          Alcotest.test_case "positive fixture" `Quick test_mli_pos;
+          Alcotest.test_case "negative fixture" `Quick test_mli_neg;
+        ] );
+      ( "suppressions",
+        [
+          Alcotest.test_case "justified attribute" `Quick test_suppression_with_justification;
+          Alcotest.test_case "justification required" `Quick test_suppression_needs_justification;
+        ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "suppresses matching finding" `Quick test_allowlist_suppresses;
+          Alcotest.test_case "stale entry is an error" `Quick test_allowlist_stale_entry;
+          Alcotest.test_case "justification required" `Quick test_allowlist_requires_justification;
+        ] );
+      ( "scope",
+        [ Alcotest.test_case "dune-derived pool reachability" `Quick test_pool_reachable_dirs ] );
+      ( "driver",
+        [
+          Alcotest.test_case "seeded violation detected" `Quick test_seeded_violation_detected;
+          Alcotest.test_case "repo self-check" `Quick test_repo_self_check;
+        ] );
+    ]
