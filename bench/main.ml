@@ -451,10 +451,10 @@ let bench_table_4_3 ~full () =
          columns so the sampling doesn't dominate the paper-scale runs). *)
       let sample = Metrics.sample_indices ~n ~count:(min 256 (max 8 (n / 10))) in
       let exact_cols = Blackbox.extract_columns (eig_blackbox ~panels layout) sample in
-      let approx_cols = Repr.columns repr sample in
+      let approx_cols = Subcouple_op.columns (Repr.op repr) sample in
       let err = Metrics.error_sampled ~exact_columns:exact_cols ~approx_columns:approx_cols in
       let thr = Repr.threshold repr ~target:6.0 in
-      let thr_cols = Repr.columns thr sample in
+      let thr_cols = Subcouple_op.columns (Repr.op thr) sample in
       let err_thr = Metrics.error_sampled ~exact_columns:exact_cols ~approx_columns:thr_cols in
       Printf.printf "  %-24s %6d | %7.1f %7.2f%% | %8.1f %6.2f%% | %5.1fx\n%!" name n
         (Repr.sparsity_gw repr) (100.0 *. err.Metrics.max_rel_error) (Repr.sparsity_gw thr)
@@ -490,11 +490,12 @@ let bench_ablation_symmetry ~full:_ () =
   let g = exact_g ~panels:64 layout in
   let tree = Quadtree.create ~max_level:3 layout in
   let apply_err rb =
+    let apply_rb = Subcouple_op.apply (Rowbasis.op rb) in
     let worst = ref 0.0 in
     for _ = 1 to 5 do
       let v = La.Rng.gaussian_array rng (Layout.n_contacts layout) in
       let exact = Mat.gemv g v in
-      let err = Vec.norm2 (Vec.sub (Rowbasis.apply rb v) exact) /. Vec.norm2 exact in
+      let err = Vec.norm2 (Vec.sub (apply_rb v) exact) /. Vec.norm2 exact in
       worst := Float.max !worst err
     done;
     !worst
@@ -636,26 +637,71 @@ let bench_ablation_jitter ~full:_ () =
     [ 0.0; 0.25; 0.5; 1.0 ]
 
 (* ------------------------------------------------------------------ *)
-(* Apply-cost comparison: sparse representation vs dense matrix-vector *)
+(* Operator matvec throughput: dense G vs Q G_w Q' vs a loaded artifact *)
+
+type apply_record = {
+  ap_op : string;
+  ap_n : int;
+  ap_storage : int;
+  ap_s_per_matvec : float;
+  ap_matvecs_per_s : float;
+}
+
+let apply_records : apply_record list ref = ref []
 
 let bench_apply_cost ~full:_ () =
-  section "Apply cost — Q G_w Q' vs dense G (bechamel)";
+  section "Apply throughput — dense G vs Q G_w Q' vs loaded artifact (bechamel)";
   let layout = Layout.alternating ~size:128.0 ~per_side:32 () in
   let n = Layout.n_contacts layout in
   let bb = eig_blackbox ~panels:128 layout in
   let repr = Repr.threshold (Lowrank.extract layout bb) ~target:6.0 in
   let g = exact_g ~panels:128 layout in
+  (* Round-trip the representation through a .sca artifact, as the serving
+     CLI would, and prove the loaded operator applies bit-identically —
+     sequentially and batched on the pool — before timing it. *)
+  let path = Filename.temp_file "subcouple_bench" ".sca" in
+  Repr.save repr ~source:"bench apply experiment" ~path;
+  let loaded = Repr.load ~path in
+  Sys.remove path;
+  let dense_op = Subcouple_op.of_dense ~symmetric:true ~source:"dense reference (bench)" g in
+  let repr_op = Repr.op repr in
+  let loaded_op = Repr.op loaded in
+  let probes = Array.init 8 (fun i -> La.Rng.gaussian_array (La.Rng.create (4242 + i)) n) in
+  let vec_bits_equal a b =
+    Array.length a = Array.length b
+    && Array.for_all2 (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)) a b
+  in
+  let seq = Subcouple_op.apply_batch ~jobs:1 repr_op probes in
+  let seq_loaded = Subcouple_op.apply_batch ~jobs:1 loaded_op probes in
+  let par_loaded = Subcouple_op.apply_batch ~jobs:4 loaded_op probes in
+  let identical =
+    Array.for_all2 vec_bits_equal seq seq_loaded && Array.for_all2 vec_bits_equal seq par_loaded
+  in
+  Printf.printf "  loaded artifact bit-identical to in-memory repr (jobs 1 and 4): %b\n" identical;
+  if not identical then
+    failwith "loaded artifact does not apply bit-identically to the in-memory representation";
   let v = La.Rng.gaussian_array rng n in
-  let t_sparse =
-    bechamel_time_per_run
-      (Bechamel.Test.make ~name:"sparse" (Bechamel.Staged.stage (fun () -> ignore (Repr.apply repr v))))
-  in
-  let t_dense =
-    bechamel_time_per_run
-      (Bechamel.Test.make ~name:"dense" (Bechamel.Staged.stage (fun () -> ignore (Mat.gemv g v))))
-  in
-  Printf.printf "  n = %d: sparse apply %.2e s, dense apply %.2e s (%.1fx)\n" n t_sparse t_dense
-    (t_dense /. t_sparse)
+  Printf.printf "  n = %d\n" n;
+  Printf.printf "  %-18s %10s %14s %16s\n" "operator" "floats" "s/matvec" "matvecs/s";
+  List.iter
+    (fun (name, op) ->
+      let t =
+        bechamel_time_per_run
+          (Bechamel.Test.make ~name
+             (Bechamel.Staged.stage (fun () -> ignore (Subcouple_op.apply op v))))
+      in
+      let per_s = 1.0 /. t in
+      Printf.printf "  %-18s %10d %14.3e %16.0f\n%!" name (Subcouple_op.storage_floats op) t per_s;
+      apply_records :=
+        {
+          ap_op = name;
+          ap_n = n;
+          ap_storage = Subcouple_op.storage_floats op;
+          ap_s_per_matvec = t;
+          ap_matvecs_per_s = per_s;
+        }
+        :: !apply_records)
+    [ ("dense G", dense_op); ("repr Q Gw Q'", repr_op); ("loaded artifact", loaded_op) ]
 
 (* ------------------------------------------------------------------ *)
 (* Parallel extraction: sequential vs domain-pool batched solves *)
@@ -818,6 +864,17 @@ let write_json path ~full records =
             (p.par_seq_s /. p.par_par_s) p.par_identical
             (if i = List.length pars - 1 then "" else ","))
         pars;
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc "  \"apply_throughput\": [\n";
+      let aps = List.rev !apply_records in
+      List.iteri
+        (fun i a ->
+          Printf.fprintf oc
+            "    {\"operator\": \"%s\", \"n\": %d, \"storage_floats\": %d, \"s_per_matvec\": %.6e, \
+             \"matvecs_per_s\": %.1f}%s\n"
+            (json_escape a.ap_op) a.ap_n a.ap_storage a.ap_s_per_matvec a.ap_matvecs_per_s
+            (if i = List.length aps - 1 then "" else ","))
+        aps;
       Printf.fprintf oc "  ]\n";
       Printf.fprintf oc "}\n");
   Printf.printf "\nwrote %s\n" path
@@ -843,7 +900,7 @@ let experiments =
     ("a4", "Ablation: placement jitter", bench_ablation_jitter);
     ("ies3", "Comparison: pairwise SVD baseline (§4.5)", bench_pairwise_baseline);
     ("direct", "Direct sparse Cholesky: fill and amortization (§2.2.2)", bench_direct_solver);
-    ("apply", "Apply cost: sparse vs dense", bench_apply_cost);
+    ("apply", "Apply throughput: dense vs repr vs loaded artifact", bench_apply_cost);
     ("par", "Parallel extraction: sequential vs domain-pool batch", bench_parallel);
     ("chaos", "Resilience: wrapper overhead on clean runs, chaos recovery", bench_chaos);
   ]

@@ -1,0 +1,198 @@
+(* Shared CLI plumbing for the substrate tools (substrate_extract,
+   substrate_apply): the typed problem configuration with its cmdliner
+   terms, the solver escalation stacks, consistent exit codes, and the
+   deterministic probe-digest machinery both binaries use to prove that a
+   served artifact applies bit-identically to the representation that was
+   extracted. *)
+
+module Profile = Substrate.Profile
+module Blackbox = Substrate.Blackbox
+module Layout = Geometry.Layout
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Exit codes, shared across the tools so scripts and CI can dispatch on
+   them: 0 success, 1 user error, 2 a black-box solve failed during
+   extraction, 3 an operator artifact was rejected (missing, torn,
+   corrupt, or wrong version). cmdliner reserves 123-125. *)
+
+let exit_ok = 0
+let exit_user_error = 1
+let exit_solve_failed = 2
+let exit_bad_artifact = 3
+
+(* ------------------------------------------------------------------ *)
+(* Problem configuration: which layout and which solver. *)
+
+type problem = {
+  layout_name : string;
+  per_side : int;
+  seed : int;
+  solver : [ `Eig | `Fd | `Fd_direct ];
+  panels : int;
+}
+
+let layout_names = [ "regular"; "irregular"; "alternating"; "mixed"; "large" ]
+
+let make_layout name per_side seed =
+  let rng = La.Rng.create seed in
+  match name with
+  | "regular" -> Layout.regular_grid ~size:128.0 ~per_side ~fill:0.5 ()
+  | "irregular" -> Layout.irregular ~size:128.0 ~per_side ~fill:0.4 rng ()
+  | "alternating" -> Layout.alternating ~size:128.0 ~per_side ()
+  | "mixed" -> Layout.mixed_shapes ~size:128.0 ~per_side:(max 16 per_side) ()
+  | "large" -> Layout.large_mixed ~size:128.0 ~per_side rng ()
+  | other -> invalid_arg (Printf.sprintf "unknown layout %S" other)
+
+let layout_of_problem p = make_layout p.layout_name p.per_side p.seed
+
+let layout_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) layout_names)) "regular"
+    & info [ "layout"; "l" ] ~docv:"NAME"
+        ~doc:"Contact layout: regular, irregular, alternating, mixed, large.")
+
+let per_side_arg =
+  Arg.(value & opt int 16 & info [ "per-side" ] ~docv:"N" ~doc:"Cells per side of the layout grid.")
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for generated layouts.")
+
+let panels_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "panels" ] ~docv:"P" ~doc:"Surface panels per side for the eigenfunction solver.")
+
+let solver_arg =
+  Arg.(
+    value
+    & opt (enum [ ("eig", `Eig); ("fd", `Fd); ("fd-direct", `Fd_direct) ]) `Eig
+    & info [ "solver" ] ~docv:"S"
+        ~doc:
+          "Substrate solver: eig (eigenfunction/DCT), fd (finite difference, PCG), or fd-direct \
+           (finite difference, sparse Cholesky).")
+
+let problem_term =
+  let pack layout_name per_side seed solver panels = { layout_name; per_side; seed; solver; panels } in
+  Term.(const pack $ layout_arg $ per_side_arg $ seed_arg $ solver_arg $ panels_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Parallelism. *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains for batched applications (1 = sequential, 0 = auto: one less than the \
+           recommended domain count). Results are bit-identical for every value.")
+
+let resolve_jobs jobs = if jobs <= 0 then Parallel.Pool.default_jobs () else jobs
+
+(* ------------------------------------------------------------------ *)
+(* Solver construction. *)
+
+(* A grid-friendly layered profile: h = 2 at nx = 64. *)
+let fd_profile () =
+  Profile.make ~a:128.0 ~b:128.0
+    ~layers:
+      [
+        { Profile.thickness = 2.0; conductivity = 1.0 };
+        { Profile.thickness = 28.0; conductivity = 100.0 };
+        { Profile.thickness = 2.0; conductivity = 0.1 };
+      ]
+    ~backplane:Profile.Grounded
+
+(* The primary box plus its escalation ladder for --resilience: each rung is
+   lazy, so a ladder that is never climbed costs nothing (a re-plan or a
+   direct factorization is expensive). *)
+let solver_stack p layout =
+  let profile = Profile.thesis_default () in
+  match p.solver with
+  | `Eig ->
+    let s = Eigsolver.Eig_solver.create profile layout ~panels_per_side:p.panels in
+    let fallbacks =
+      [
+        ( "eig tol=1e-11 4x iterations",
+          lazy
+            (Eigsolver.Eig_solver.blackbox
+               (Eigsolver.Eig_solver.with_tolerance ~tol:1e-11 ~max_iter:8000 s)) );
+        ( "eig re-plan tol=1e-11 16x iterations",
+          lazy
+            (Eigsolver.Eig_solver.blackbox
+               (Eigsolver.Eig_solver.create ~tol:1e-11 ~max_iter:32000 profile layout
+                  ~panels_per_side:p.panels)) );
+      ]
+    in
+    (Eigsolver.Eig_solver.blackbox s, fallbacks)
+  | `Fd ->
+    let fd_profile = fd_profile () in
+    let s =
+      Fdsolver.Fd_solver.create
+        ~precond:(Fdsolver.Fd_solver.Fast_poisson (Fdsolver.Fd_solver.area_fraction layout))
+        fd_profile layout ~nx:64 ~nz:16
+    in
+    let fallbacks =
+      [
+        ( "fd tol=1e-11 4x iterations",
+          lazy
+            (Fdsolver.Fd_solver.blackbox
+               (Fdsolver.Fd_solver.with_tolerance ~tol:1e-11 ~max_iter:20000 s)) );
+        ( "fd ICCG tol=1e-11",
+          lazy
+            (Fdsolver.Fd_solver.blackbox
+               (Fdsolver.Fd_solver.create ~precond:Fdsolver.Fd_solver.Ic0 ~tol:1e-11 ~max_iter:20000
+                  fd_profile layout ~nx:64 ~nz:16)) );
+        ( "fd direct (sparse Cholesky, coarse grid)",
+          lazy
+            (Fdsolver.Direct_solver.blackbox
+               (Fdsolver.Direct_solver.create fd_profile layout ~nx:32 ~nz:8)) );
+      ]
+    in
+    (Fdsolver.Fd_solver.blackbox s, fallbacks)
+  | `Fd_direct ->
+    let s = Fdsolver.Direct_solver.create (fd_profile ()) layout ~nx:32 ~nz:8 in
+    (Fdsolver.Direct_solver.blackbox s, [])
+
+let blackbox_of p layout = fst (solver_stack p layout)
+
+(* ------------------------------------------------------------------ *)
+(* Probe digests: the cross-process parity check.
+
+   Both binaries generate the same deterministic Gaussian probe vectors
+   (fixed seed), apply an operator to them, and hash the exact IEEE-754
+   bit patterns of the responses. If substrate_extract's digest of the
+   in-memory representation equals substrate_apply's digest of the loaded
+   artifact — in a different process, at any --jobs — the round trip is
+   bit-exact. *)
+
+let default_probes = 5
+let default_probe_seed = 1234
+
+let probe_vectors ~n ~probes ~seed =
+  let rng = La.Rng.create seed in
+  (* Explicit loop: the draws must consume the generator in index order. *)
+  let vs = Array.make probes [||] in
+  for i = 0 to probes - 1 do
+    vs.(i) <- La.Rng.gaussian_array rng n
+  done;
+  vs
+
+(* Hash the exact bit patterns (lengths included), so two digests agree
+   iff every response component is identical to the last bit. *)
+let response_digest (responses : La.Vec.t array) =
+  let b = Buffer.create 4096 in
+  Buffer.add_int64_le b (Int64.of_int (Array.length responses));
+  Array.iter
+    (fun v ->
+      Buffer.add_int64_le b (Int64.of_int (Array.length v));
+      Array.iter (fun x -> Buffer.add_int64_le b (Int64.bits_of_float x)) v)
+    responses;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let probe_digest_line ?(probes = default_probes) ?(seed = default_probe_seed) ~jobs op =
+  let n = Subcouple_op.n op in
+  let responses = Subcouple_op.apply_batch ~jobs op (probe_vectors ~n ~probes ~seed) in
+  Printf.sprintf "probe digest: %s (%d probes, seed %d, n %d)" (response_digest responses) probes
+    seed n

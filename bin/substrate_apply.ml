@@ -1,0 +1,148 @@
+(* substrate_apply: serve a persisted operator artifact — no solver.
+
+     substrate_apply info g.sca                     what the artifact holds
+     substrate_apply apply g.sca --column 3         one column of G
+     substrate_apply apply g.sca --digest --jobs 4  probe-digest parity check
+
+   This is the other half of the extract-once/apply-many split: the
+   expensive black-box solves happened in substrate_extract, which wrote
+   the compressed representation to a checksummed .sca file; this tool
+   loads it in a fresh process (no eigenfunction or finite-difference
+   solver is even constructed) and serves matvecs, column queries and
+   further thresholding through the same operator interface. Applications
+   are bit-identical to the in-memory representation that was saved, for
+   every --jobs value. *)
+
+module Op = Subcouple_op
+module Artifact = Subcouple_op.Artifact
+open Sparsify
+open Cmdliner
+open Cli_common
+
+let load_or_exit path =
+  match Artifact.load ~path with
+  | payload -> payload
+  | exception Artifact.Error { path; error } ->
+    Printf.eprintf "%s: %s\n" path (Artifact.error_message error);
+    exit exit_bad_artifact
+
+let artifact_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Operator artifact (.sca) written by substrate_extract --output.")
+
+(* ------------------------------------------------------------------ *)
+(* info *)
+
+let run_info path =
+  let a = load_or_exit path in
+  let repr = Repr.of_artifact a in
+  Printf.printf "artifact: %s (format A1, checksum verified)\n" path;
+  Printf.printf "kind: %s\n" (if String.equal a.Artifact.kind "" then "(unset)" else a.Artifact.kind);
+  if not (String.equal a.Artifact.source "") then Printf.printf "source: %s\n" a.Artifact.source;
+  Printf.printf "n: %d contacts\n" a.Artifact.n;
+  Printf.printf "solves spent extracting: %d (%.1fx reduction over naive)\n" a.Artifact.solves
+    (Metrics.solve_reduction ~n:a.Artifact.n ~solves:a.Artifact.solves);
+  Printf.printf "Q: %d nonzeros, sparsity factor %.1f\n" (Sparsemat.Csr.nnz a.Artifact.q)
+    (Repr.sparsity_q repr);
+  Printf.printf "G_w: %d nonzeros, sparsity factor %.1f\n" (Repr.nnz_gw repr)
+    (Repr.sparsity_gw repr);
+  Printf.printf "storage: %d floats (dense G would store %d)\n" (Repr.storage_floats repr)
+    (a.Artifact.n * a.Artifact.n);
+  exit_ok
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe an operator artifact: provenance, size, sparsity, build cost.")
+    Term.(const run_info $ artifact_arg)
+
+(* ------------------------------------------------------------------ *)
+(* apply *)
+
+let print_vector ~label v =
+  Printf.printf "%s\n" label;
+  let n = Array.length v in
+  Array.iteri (fun i c -> if i < 32 then Printf.printf "  I[%d] = %+.5f\n" i c) v;
+  if n > 32 then Printf.printf "  ... (%d more)\n" (n - 32);
+  Printf.printf "  |I|_2 = %.6g\n" (La.Vec.norm2 v)
+
+let run_apply path jobs threshold columns probes seed digest =
+  let a = load_or_exit path in
+  let repr = Repr.of_artifact a in
+  let repr = if threshold > 1.0 then Repr.threshold repr ~target:threshold else repr in
+  let op = Repr.op repr in
+  let jobs = resolve_jobs jobs in
+  if threshold > 1.0 then
+    Printf.printf "thresholded G_w to %d nonzeros (sparsity factor %.1f)\n" (Repr.nnz_gw repr)
+      (Repr.sparsity_gw repr);
+  match columns with
+  | _ :: _ ->
+    (match Op.columns ~jobs op (Array.of_list columns) with
+    | cols ->
+      List.iteri
+        (fun k j -> print_vector ~label:(Printf.sprintf "column %d of G (unit voltage on contact %d):" j j) cols.(k))
+        columns;
+      exit_ok
+    | exception Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit_user_error)
+  | [] ->
+    let vs = probe_vectors ~n:(Op.n op) ~probes ~seed in
+    let responses = Op.apply_batch ~jobs op vs in
+    if digest then
+      print_endline (probe_digest_line ~probes ~seed ~jobs op)
+    else begin
+      Printf.printf "applied the operator to %d probe vector(s) (seed %d, jobs %d)\n"
+        (Array.length vs) seed jobs;
+      Array.iteri
+        (fun i r -> Printf.printf "  probe %d: |G v|_2 = %.6g\n" i (La.Vec.norm2 r))
+        responses
+    end;
+    exit_ok
+
+let columns_arg =
+  Arg.(
+    value & opt_all int []
+    & info [ "column"; "c" ] ~docv:"I"
+        ~doc:"Serve column $(docv) of G (repeatable). Without columns, probe vectors are applied.")
+
+let threshold_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "threshold"; "t" ] ~docv:"X"
+        ~doc:"Threshold the loaded G_w to roughly X times fewer nonzeros before serving (1 = off).")
+
+let probes_arg =
+  Arg.(
+    value & opt int default_probes
+    & info [ "probes" ] ~docv:"K" ~doc:"Number of deterministic probe vectors to apply.")
+
+let probe_seed_arg =
+  Arg.(
+    value & opt int default_probe_seed
+    & info [ "probe-seed" ] ~docv:"SEED" ~doc:"Seed for the deterministic probe vectors.")
+
+let digest_arg =
+  Arg.(
+    value & flag
+    & info [ "digest" ]
+        ~doc:
+          "Print the probe-response digest instead of norms. Matches substrate_extract \
+           --probe-digest when the artifact round-tripped bit-exactly.")
+
+let apply_cmd =
+  Cmd.v
+    (Cmd.info "apply"
+       ~doc:
+         "Apply a persisted operator: matvecs, column queries and thresholding, solver-free.")
+    Term.(
+      const run_apply $ artifact_arg $ jobs_arg $ threshold_arg $ columns_arg $ probes_arg
+      $ probe_seed_arg $ digest_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "Serve matvecs from a persisted substrate operator artifact (no solver needed)." in
+  let info = Cmd.info "substrate_apply" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ info_cmd; apply_cmd ]))

@@ -3,127 +3,20 @@
 
      substrate_extract layouts                        render the built-in layouts
      substrate_extract extract --layout alternating   extract a sparsified model
+     substrate_extract extract -o g.sca               ... and persist the operator
      substrate_extract solve --layout regular -c 0    one black-box solve
 
    The extract command reports the thesis's metrics (sparsity, solve
-   reduction, and — with --verify — entrywise error against the exact G). *)
+   reduction, and — with --verify — entrywise error against the exact G).
+   With --output FILE.sca the compressed operator is written as a
+   checksummed artifact that substrate_apply serves in a fresh process,
+   without any solver. *)
 
-module Profile = Substrate.Profile
 module Blackbox = Substrate.Blackbox
 module Layout = Geometry.Layout
 open Sparsify
 open Cmdliner
-
-(* ------------------------------------------------------------------ *)
-(* Shared arguments *)
-
-let layout_names = [ "regular"; "irregular"; "alternating"; "mixed"; "large" ]
-
-let make_layout name per_side seed =
-  let rng = La.Rng.create seed in
-  match name with
-  | "regular" -> Layout.regular_grid ~size:128.0 ~per_side ~fill:0.5 ()
-  | "irregular" -> Layout.irregular ~size:128.0 ~per_side ~fill:0.4 rng ()
-  | "alternating" -> Layout.alternating ~size:128.0 ~per_side ()
-  | "mixed" -> Layout.mixed_shapes ~size:128.0 ~per_side:(max 16 per_side) ()
-  | "large" -> Layout.large_mixed ~size:128.0 ~per_side rng ()
-  | other -> invalid_arg (Printf.sprintf "unknown layout %S" other)
-
-let layout_arg =
-  Arg.(
-    value
-    & opt (enum (List.map (fun n -> (n, n)) layout_names)) "regular"
-    & info [ "layout"; "l" ] ~docv:"NAME" ~doc:"Contact layout: regular, irregular, alternating, mixed, large.")
-
-let per_side_arg =
-  Arg.(value & opt int 16 & info [ "per-side" ] ~docv:"N" ~doc:"Cells per side of the layout grid.")
-
-let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for generated layouts.")
-
-let panels_arg =
-  Arg.(value & opt int 64 & info [ "panels" ] ~docv:"P" ~doc:"Surface panels per side for the eigenfunction solver.")
-
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Domains for batched black-box solves (1 = sequential, 0 = auto: one less than the \
-           recommended domain count). Results are bit-identical for every value.")
-
-let resolve_jobs jobs = if jobs <= 0 then Parallel.Pool.default_jobs () else jobs
-
-let solver_arg =
-  Arg.(
-    value
-    & opt (enum [ ("eig", `Eig); ("fd", `Fd); ("fd-direct", `Fd_direct) ]) `Eig
-    & info [ "solver" ] ~docv:"S"
-        ~doc:
-          "Substrate solver: eig (eigenfunction/DCT), fd (finite difference, PCG), or fd-direct \
-           (finite difference, sparse Cholesky).")
-
-(* A grid-friendly layered profile: h = 2 at nx = 64. *)
-let fd_profile =
-  Profile.make ~a:128.0 ~b:128.0
-    ~layers:
-      [
-        { Profile.thickness = 2.0; conductivity = 1.0 };
-        { Profile.thickness = 28.0; conductivity = 100.0 };
-        { Profile.thickness = 2.0; conductivity = 0.1 };
-      ]
-    ~backplane:Profile.Grounded
-
-(* The primary box plus its escalation ladder for --resilience: each rung is
-   lazy, so a ladder that is never climbed costs nothing (a re-plan or a
-   direct factorization is expensive). *)
-let solver_stack ~solver ~panels layout =
-  let profile = Profile.thesis_default () in
-  match solver with
-  | `Eig ->
-    let s = Eigsolver.Eig_solver.create profile layout ~panels_per_side:panels in
-    let fallbacks =
-      [
-        ( "eig tol=1e-11 4x iterations",
-          lazy
-            (Eigsolver.Eig_solver.blackbox
-               (Eigsolver.Eig_solver.with_tolerance ~tol:1e-11 ~max_iter:8000 s)) );
-        ( "eig re-plan tol=1e-11 16x iterations",
-          lazy
-            (Eigsolver.Eig_solver.blackbox
-               (Eigsolver.Eig_solver.create ~tol:1e-11 ~max_iter:32000 profile layout
-                  ~panels_per_side:panels)) );
-      ]
-    in
-    (Eigsolver.Eig_solver.blackbox s, fallbacks)
-  | `Fd ->
-    let s =
-      Fdsolver.Fd_solver.create
-        ~precond:(Fdsolver.Fd_solver.Fast_poisson (Fdsolver.Fd_solver.area_fraction layout))
-        fd_profile layout ~nx:64 ~nz:16
-    in
-    let fallbacks =
-      [
-        ( "fd tol=1e-11 4x iterations",
-          lazy
-            (Fdsolver.Fd_solver.blackbox (Fdsolver.Fd_solver.with_tolerance ~tol:1e-11 ~max_iter:20000 s))
-        );
-        ( "fd ICCG tol=1e-11",
-          lazy
-            (Fdsolver.Fd_solver.blackbox
-               (Fdsolver.Fd_solver.create ~precond:Fdsolver.Fd_solver.Ic0 ~tol:1e-11 ~max_iter:20000
-                  fd_profile layout ~nx:64 ~nz:16)) );
-        ( "fd direct (sparse Cholesky, coarse grid)",
-          lazy
-            (Fdsolver.Direct_solver.blackbox (Fdsolver.Direct_solver.create fd_profile layout ~nx:32 ~nz:8))
-        );
-      ]
-    in
-    (Fdsolver.Fd_solver.blackbox s, fallbacks)
-  | `Fd_direct ->
-    let s = Fdsolver.Direct_solver.create fd_profile layout ~nx:32 ~nz:8 in
-    (Fdsolver.Direct_solver.blackbox s, [])
-
-let blackbox_of ~solver ~panels layout = fst (solver_stack ~solver ~panels layout)
+open Cli_common
 
 (* ------------------------------------------------------------------ *)
 (* layouts *)
@@ -132,7 +25,7 @@ let run_layouts per_side seed =
   List.iter
     (fun name -> print_string (Layout.render ~width:64 (make_layout name per_side seed)))
     layout_names;
-  0
+  exit_ok
 
 let layouts_cmd =
   Cmd.v
@@ -171,14 +64,44 @@ let policy_of_resilience mode max_attempts =
   | `Degrade -> Some { Substrate.Resilient.degrade with max_attempts }
   | `Fail_fast -> Some Substrate.Resilient.fail_fast
 
-let run_extract layout_name per_side seed solver panels jobs method_ threshold verify estimate spy output
-    resilience max_attempts checkpoint chaos =
-  let layout = make_layout layout_name per_side seed in
+let method_name = function `Lowrank -> "lowrank" | `Wavelet -> "wavelet"
+
+(* --output FILE.sca persists the operator artifact; any other value keeps
+   the Matrix Market export of the two factors. *)
+let write_output repr ~problem ~layout ~method_ ~threshold path =
+  if Filename.check_suffix path ".sca" then begin
+    let source =
+      Printf.sprintf "substrate_extract --layout %s --per-side %d --seed %d --solver %s%s"
+        problem.layout_name problem.per_side problem.seed
+        (match problem.solver with `Eig -> "eig" | `Fd -> "fd" | `Fd_direct -> "fd-direct")
+        (if threshold > 1.0 then Printf.sprintf " --threshold %g" threshold else "")
+    in
+    Repr.save repr ~kind:(method_name method_) ~source ~path;
+    Printf.printf "wrote %s (operator artifact: n = %d, %d + %d stored nonzeros)\n" path
+      repr.Repr.n (Sparsemat.Csr.nnz repr.Repr.q) (Repr.nnz_gw repr)
+  end
+  else begin
+    let write suffix m comment =
+      let file = path ^ suffix in
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Sparsemat.Csr.to_matrix_market ~comment m oc);
+      Printf.printf "wrote %s\n" file
+    in
+    write ".q.mtx" repr.Repr.q (Printf.sprintf "change of basis Q for %s" layout.Layout.name);
+    write ".gw.mtx" repr.Repr.gw
+      (Printf.sprintf "transformed G_w for %s (G ~ Q G_w Q')" layout.Layout.name)
+  end
+
+let run_extract problem jobs method_ threshold verify estimate spy output probe_digest resilience
+    max_attempts checkpoint chaos =
+  let layout = layout_of_problem problem in
   let n = Layout.n_contacts layout in
   let jobs = resolve_jobs jobs in
   Printf.printf "layout: %s (%d contacts)\n%!" layout.Layout.name n;
   if jobs > 1 then Printf.printf "jobs: %d (batched solves run on a domain pool)\n%!" jobs;
-  let base_bb, fallbacks = solver_stack ~solver ~panels layout in
+  let base_bb, fallbacks = solver_stack problem layout in
   (* Wrapper stack, inside out: solver -> fault injection -> retry policy ->
      checkpoint -> extraction. *)
   let chaos_t =
@@ -237,7 +160,7 @@ let run_extract layout_name per_side seed solver panels jobs method_ threshold v
     finish_checkpoint ();
     report_resilience ();
     Printf.eprintf "extraction failed at solve %d: %s\n" index reason;
-    2
+    exit_solve_failed
   | repr ->
   let repr = if threshold > 1.0 then Repr.threshold repr ~target:threshold else repr in
   Printf.printf "solves: %d (%.1fx reduction over naive)\n" repr.Repr.solves
@@ -246,54 +169,50 @@ let run_extract layout_name per_side seed solver panels jobs method_ threshold v
   Printf.printf "Q: sparsity factor %.1f\n" (Repr.sparsity_q repr);
   if spy then Sparsemat.Spy.print ~width:64 repr.Repr.gw;
   if estimate then begin
-    let est = Metrics.estimate_apply_error ~blackbox:bb ~apply:(Repr.apply repr) () in
+    let est = Metrics.estimate_apply_error ~exact:(Blackbox.op bb) ~approx:(Repr.op repr) () in
     Printf.printf "probe estimate (%d probes, %d extra solves): mean rel residual %.2e, max %.2e\n"
       est.Metrics.probes est.Metrics.extra_solves est.Metrics.mean_rel_residual
       est.Metrics.max_rel_residual
   end;
   if verify then begin
     Printf.printf "verifying against exact G (%d naive solves)...\n%!" n;
-    let exact_bb = blackbox_of ~solver ~panels layout in
+    let exact_bb = blackbox_of problem layout in
     let g = Blackbox.extract_dense ~jobs exact_bb in
     let err = Metrics.error_dense ~exact:g ~approx:(Repr.to_dense repr) in
     Printf.printf "entrywise error: %s\n" (Fmt.str "%a" Metrics.pp_error err)
   end;
-  (match output with
-  | None -> ()
-  | Some base ->
-    let write suffix m comment =
-      let path = base ^ suffix in
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> Sparsemat.Csr.to_matrix_market ~comment m oc);
-      Printf.printf "wrote %s\n" path
-    in
-    write ".q.mtx" repr.Repr.q (Printf.sprintf "change of basis Q for %s" layout.Layout.name);
-    write ".gw.mtx" repr.Repr.gw (Printf.sprintf "transformed G_w for %s (G ~ Q G_w Q')" layout.Layout.name));
+  (* The digest covers exactly what --output persists (post-threshold), so
+     a fresh-process substrate_apply of the artifact must reproduce it. *)
+  if probe_digest then print_endline (probe_digest_line ~jobs (Repr.op repr));
+  Option.iter (write_output repr ~problem ~layout ~method_ ~threshold) output;
   finish_checkpoint ();
   report_resilience ();
   let health = Substrate.Health.summary (Blackbox.health base_bb) in
   Printf.printf "solver health: %s%s\n"
     (Fmt.str "%a" Substrate.Health.pp_summary health)
     (if Substrate.Health.healthy health then "" else "  [CHECK QUALITY]");
-  0
+  exit_ok
 
 let method_arg =
   Arg.(
     value
     & opt (enum [ ("lowrank", `Lowrank); ("wavelet", `Wavelet) ]) `Lowrank
-    & info [ "method"; "m" ] ~docv:"M" ~doc:"Sparsification method: lowrank (Chapter 4) or wavelet (Chapter 3).")
+    & info [ "method"; "m" ] ~docv:"M"
+        ~doc:"Sparsification method: lowrank (Chapter 4) or wavelet (Chapter 3).")
 
 let threshold_arg =
   Arg.(
     value & opt float 1.0
-    & info [ "threshold"; "t" ] ~docv:"X" ~doc:"Threshold G_w to roughly X times fewer nonzeros (1 = off).")
+    & info [ "threshold"; "t" ] ~docv:"X"
+        ~doc:"Threshold G_w to roughly X times fewer nonzeros (1 = off).")
 
-let verify_arg = Arg.(value & flag & info [ "verify" ] ~doc:"Extract the exact G naively and report entrywise error.")
+let verify_arg =
+  Arg.(value & flag & info [ "verify" ] ~doc:"Extract the exact G naively and report entrywise error.")
 
 let estimate_arg =
-  Arg.(value & flag & info [ "estimate" ] ~doc:"Cheap a-posteriori error estimate from a few random probe solves.")
+  Arg.(
+    value & flag
+    & info [ "estimate" ] ~doc:"Cheap a-posteriori error estimate from a few random probe solves.")
 
 let spy_arg = Arg.(value & flag & info [ "spy" ] ~doc:"Print an ASCII spy plot of G_w.")
 
@@ -301,7 +220,19 @@ let output_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "output"; "o" ] ~docv:"BASE" ~doc:"Write Q and G_w as Matrix Market files BASE.q.mtx / BASE.gw.mtx.")
+    & info [ "output"; "o" ] ~docv:"FILE"
+        ~doc:
+          "Persist the extracted operator. FILE.sca writes a checksummed operator artifact (servable \
+           by substrate_apply without a solver); any other value writes Q and G_w as Matrix Market \
+           files FILE.q.mtx / FILE.gw.mtx.")
+
+let probe_digest_arg =
+  Arg.(
+    value & flag
+    & info [ "probe-digest" ]
+        ~doc:
+          "Print a hex digest of the representation's responses to deterministic probe vectors. \
+           substrate_apply prints the same digest for an artifact that round-tripped bit-exactly.")
 
 let resilience_arg =
   Arg.(
@@ -344,31 +275,33 @@ let extract_cmd =
   Cmd.v
     (Cmd.info "extract" ~doc:"Extract a sparsified conductance representation G ~ Q G_w Q'.")
     Term.(
-      const run_extract $ layout_arg $ per_side_arg $ seed_arg $ solver_arg $ panels_arg $ jobs_arg
-      $ method_arg $ threshold_arg $ verify_arg $ estimate_arg $ spy_arg $ output_arg
-      $ resilience_arg $ max_attempts_arg $ checkpoint_arg $ chaos_arg)
+      const run_extract $ problem_term $ jobs_arg $ method_arg $ threshold_arg $ verify_arg
+      $ estimate_arg $ spy_arg $ output_arg $ probe_digest_arg $ resilience_arg $ max_attempts_arg
+      $ checkpoint_arg $ chaos_arg)
 
 (* ------------------------------------------------------------------ *)
 (* solve *)
 
-let run_solve layout_name per_side seed solver panels contact =
-  let layout = make_layout layout_name per_side seed in
+let run_solve problem contact =
+  let layout = layout_of_problem problem in
   let n = Layout.n_contacts layout in
   if contact < 0 || contact >= n then begin
     Printf.eprintf "contact index %d out of range (0..%d)\n" contact (n - 1);
-    1
+    exit_user_error
   end
   else begin
-    let bb = blackbox_of ~solver ~panels layout in
+    let bb = blackbox_of problem layout in
     let v = Array.make n 0.0 in
     v.(contact) <- 1.0;
     let currents = Blackbox.apply bb v in
     Printf.printf "currents with 1 V on contact %d (all others grounded):\n" contact;
-    Array.iteri (fun i c -> if i < 32 || i = contact then Printf.printf "  I[%d] = %+.5f\n" i c) currents;
+    Array.iteri
+      (fun i c -> if i < 32 || i = contact then Printf.printf "  I[%d] = %+.5f\n" i c)
+      currents;
     if n > 32 then Printf.printf "  ... (%d more)\n" (n - 32);
     Printf.printf "sum of currents: %+.5f (current escaping through the backplane)\n"
       (La.Vec.sum currents);
-    0
+    exit_ok
   end
 
 let contact_arg =
@@ -377,7 +310,7 @@ let contact_arg =
 let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Run one black-box substrate solve and print contact currents.")
-    Term.(const run_solve $ layout_arg $ per_side_arg $ seed_arg $ solver_arg $ panels_arg $ contact_arg)
+    Term.(const run_solve $ problem_term $ contact_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -37,8 +37,9 @@ let () =
   (* Driver conductances: strong digital drivers everywhere except the
      weakly tied analog victim. *)
   let g_driver = Array.init n (fun i -> if i = victim then 0.5 else 20.0) in
+  let apply_g = Subcouple_op.apply (Repr.op repr) in
   let system v =
-    let substrate = Repr.apply repr v in
+    let substrate = apply_g v in
     Array.mapi (fun i vi -> substrate.(i) +. (g_driver.(i) *. vi)) v
   in
   (* Time-step a two-phase clock on the digital block. *)

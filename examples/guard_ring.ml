@@ -91,7 +91,7 @@ let () =
   let n = Layout.n_contacts ringed in
   let v = Array.make n 0.0 in
   v.(0) <- 1.0;
-  let model = (Repr.apply repr v).(1) in
+  let model = (Subcouple_op.apply (Repr.op repr) v).(1) in
   Printf.printf "\nsparsified model reproduces the ringed coupling: %.5f vs %.5f (%.2f%% off),\n"
     (Float.abs model) (Float.abs i_ringed)
     (100.0 *. Float.abs ((model -. i_ringed) /. i_ringed));
@@ -111,7 +111,7 @@ let () =
         else 3 (* all fillers lumped as one grounded digital node *))
   in
   let grouping = Grouping.of_group_ids group_of in
-  let apply_elec = Grouping.lift grouping (Repr.apply repr) in
+  let apply_elec = Grouping.lift grouping (Subcouple_op.apply (Repr.op repr)) in
   let g_elec =
     La.Mat.init 4 4 (fun i j ->
         let e = Array.make 4 0.0 in

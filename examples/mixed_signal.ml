@@ -62,13 +62,14 @@ let () =
   (* Evaluate 100 random switching patterns of the digital block against the
      sparse model; each would otherwise cost a full substrate solve. *)
   let rng = La.Rng.create 42 in
+  let apply_repr = Subcouple_op.apply (Repr.op repr) in
   let worst = Array.make (Array.length analog) 0.0 in
   let check_pattern = 17 in
   let checked = ref [||] in
   for p = 0 to 99 do
     let v = Array.make n 0.0 in
     Array.iter (fun d -> if La.Rng.float rng < 0.5 then v.(d) <- 1.0) digital;
-    let currents = Repr.apply repr v in
+    let currents = apply_repr v in
     Array.iteri
       (fun k a -> worst.(k) <- Float.max worst.(k) (Float.abs currents.(a)))
       analog;

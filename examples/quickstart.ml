@@ -47,7 +47,7 @@ let () =
         let cx, _ = Geometry.Contact.centroid layout.Layout.contacts.(i) in
         if cx < 64.0 then 1.0 else 0.0)
   in
-  let currents_model = Repr.apply sparse v in
+  let currents_model = Subcouple_op.apply (Repr.op sparse) v in
   let currents_exact = Blackbox.apply blackbox v in
   let err =
     La.Vec.norm2 (La.Vec.sub currents_model currents_exact) /. La.Vec.norm2 currents_exact

@@ -301,12 +301,13 @@ let representation t =
       t.level_order.(level)
   done;
   (* Level-2 U interactions with everything, through the full phase-1
-     apply. *)
+     operator. *)
+  let apply_rb = Subcouple_op.apply (Rowbasis.op t.rb) in
   List.iter
     (fun (ix, iy) ->
       let s = Hashtbl.find t.squares (2, ix, iy) in
       for j = 0 to Mat.cols s.u - 1 do
-        let y = Rowbasis.apply t.rb (Regions.scatter ~n:t.n s.contacts (Mat.col s.u j)) in
+        let y = apply_rb (Regions.scatter ~n:t.n s.contacts (Mat.col s.u j)) in
         let col = s.u_offset + j in
         Hashtbl.iter
           (fun _ (a : phase2_square) ->

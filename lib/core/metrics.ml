@@ -60,10 +60,12 @@ let pp_error ppf e =
     (100.0 *. e.max_rel_error) (100.0 *. e.frac_above_10pct) (100.0 *. e.mean_rel_error)
 
 (* A-posteriori stochastic error estimate (the error-analysis direction of
-   thesis §5.2): compare the representation against the black box on a few
-   random probe vectors. For symmetric operators the relative 2-norm error
-   on Gaussian probes concentrates around the relative spectral error, so a
-   handful of probes gives a cheap certificate without extracting G. *)
+   thesis §5.2): compare an approximate operator against the exact one on a
+   few random probe vectors. For symmetric operators the relative 2-norm
+   error on Gaussian probes concentrates around the relative spectral
+   error, so a handful of probes gives a cheap certificate without
+   extracting G. Both sides are plain operators — the exact one is usually
+   [Substrate.Blackbox.op], but a dense reference works identically. *)
 
 type probe_estimate = {
   mean_rel_residual : float;
@@ -72,16 +74,20 @@ type probe_estimate = {
   extra_solves : int;
 }
 
-let estimate_apply_error ?(probes = 5) ?(seed = 99) ~blackbox ~apply () =
-  let n = Substrate.Blackbox.n blackbox in
+let estimate_apply_error ?(probes = 5) ?(seed = 99) ~exact ~approx () =
+  let n = Subcouple_op.n exact in
+  if Subcouple_op.n approx <> n then
+    invalid_arg
+      (Printf.sprintf "Metrics.estimate_apply_error: exact operator has n = %d, approximate %d" n
+         (Subcouple_op.n approx));
   let rng = La.Rng.create seed in
-  let before = Substrate.Blackbox.solve_count blackbox in
+  let before = Subcouple_op.solves_spent exact in
   let sum = ref 0.0 and worst = ref 0.0 in
   for _ = 1 to probes do
     let v = La.Rng.gaussian_array rng n in
-    let exact = Substrate.Blackbox.apply blackbox v in
-    let approx = apply v in
-    let err = La.Vec.norm2 (La.Vec.sub approx exact) /. La.Vec.norm2 exact in
+    let reference = Subcouple_op.apply exact v in
+    let candidate = Subcouple_op.apply approx v in
+    let err = La.Vec.norm2 (La.Vec.sub candidate reference) /. La.Vec.norm2 reference in
     sum := !sum +. err;
     worst := Float.max !worst err
   done;
@@ -89,5 +95,5 @@ let estimate_apply_error ?(probes = 5) ?(seed = 99) ~blackbox ~apply () =
     mean_rel_residual = !sum /. float_of_int probes;
     max_rel_residual = !worst;
     probes;
-    extra_solves = Substrate.Blackbox.solve_count blackbox - before;
+    extra_solves = Subcouple_op.solves_spent exact - before;
   }

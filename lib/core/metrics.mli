@@ -22,9 +22,11 @@ val solve_reduction : n:int -> solves:int -> float
 
 val pp_error : Format.formatter -> error_stats -> unit
 
-(** A-posteriori stochastic error estimate: relative 2-norm residual of the
-    approximate operator against the black box on random Gaussian probes
-    (thesis §5.2's error-analysis direction). *)
+(** A-posteriori stochastic error estimate: relative 2-norm residual of an
+    approximate operator against the exact one on random Gaussian probes
+    (thesis §5.2's error-analysis direction). [extra_solves] is how many
+    solves the probes cost on the exact side (0 when it is not a live
+    solver). *)
 type probe_estimate = {
   mean_rel_residual : float;
   max_rel_residual : float;
@@ -35,7 +37,7 @@ type probe_estimate = {
 val estimate_apply_error :
   ?probes:int ->
   ?seed:int ->
-  blackbox:Substrate.Blackbox.t ->
-  apply:(La.Vec.t -> La.Vec.t) ->
+  exact:Subcouple_op.t ->
+  approx:Subcouple_op.t ->
   unit ->
   probe_estimate

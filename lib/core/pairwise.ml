@@ -117,6 +117,27 @@ let storage_floats t =
 
 let block_count t = List.length t.blocks
 
+(* The baseline as an operator. Truncated per-block SVDs do not preserve
+   the symmetry of G, so [symmetric] is false; [solves_spent] is 0 — the
+   baseline is built from entry access, never from black-box solves. *)
+let op t =
+  Subcouple_op.make ~pure:true ~storage_floats:(storage_floats t)
+    ~describe:
+      {
+        Subcouple_op.kind = "pairwise";
+        source =
+          Printf.sprintf "IES3 pairwise truncated-SVD baseline (%d low-rank blocks)"
+            (List.length t.blocks);
+        symmetric = false;
+      }
+    ~n:t.n (apply t)
+
+module _ : Subcouple_op.S with type repr = t = struct
+  type repr = t
+
+  let op = op
+end
+
 (* Densify (for error measurement). *)
 let to_dense t =
   let g = Mat.create t.n t.n in

@@ -11,8 +11,9 @@ type t
     [max_rank]); finest-level local blocks stay dense. *)
 val build : ?sigma_rel_tol:float -> ?max_rank:int -> Geometry.Quadtree.t -> La.Mat.t -> t
 
-(** Apply the compressed operator. *)
-val apply : t -> La.Vec.t -> La.Vec.t
+(** The compressed baseline as a first-class operator (application sums
+    the per-pair low-rank and finest-level dense block contributions). *)
+val op : t -> Subcouple_op.t
 
 (** Floats stored by the representation. *)
 val storage_floats : t -> int

@@ -31,18 +31,6 @@ let to_dense t =
   done;
   g
 
-(* Selected columns of Q G_w Q' (for sampled error measurement on large
-   examples). *)
-let columns t indices =
-  let e = Array.make t.n 0.0 in
-  Array.map
-    (fun j ->
-      e.(j) <- 1.0;
-      let col = apply t e in
-      e.(j) <- 0.0;
-      col)
-    indices
-
 (* Thresholding (thesis §3.7): drop small entries of G_w so its nonzero
    count falls by roughly [target]; the threshold is found by binary
    search. *)
@@ -53,6 +41,39 @@ let threshold t ~target =
 let sparsity_gw t = Csr.sparsity_factor t.gw
 let sparsity_q t = Csr.sparsity_factor t.q
 let nnz_gw t = Csr.nnz t.gw
+let storage_floats t = Csr.nnz t.q + Csr.nnz t.gw
+
+(* The representation as an operator. [pure]: the three gemvs share no
+   mutable state, so batches may run on the Domain pool. [solves_spent]
+   reports the (fixed) build cost — the extract-once/apply-many split in
+   one number. *)
+let op t =
+  Subcouple_op.make ~pure:true ~storage_floats:(storage_floats t)
+    ~solves_spent:(fun () -> t.solves)
+    ~describe:
+      {
+        Subcouple_op.kind = "repr";
+        source = Printf.sprintf "sparsified representation Q G_w Q' (n = %d)" t.n;
+        symmetric = true;
+      }
+    ~n:t.n (apply t)
+
+module _ : Subcouple_op.S with type repr = t = struct
+  type repr = t
+
+  let op = op
+end
+
+(* --- persistence ------------------------------------------------------- *)
+
+module Artifact = Subcouple_op.Artifact
+
+let to_artifact ?(kind = "repr") ?(source = "") t =
+  { Artifact.n = t.n; solves = t.solves; kind; source; q = t.q; gw = t.gw }
+
+let of_artifact (a : Artifact.payload) = make ~q:a.Artifact.q ~gw:a.Artifact.gw ~solves:a.Artifact.solves
+let save ?kind ?source t ~path = Artifact.save ~path (to_artifact ?kind ?source t)
+let load ~path = of_artifact (Artifact.load ~path)
 
 (* Q' Q should be the identity; returns the largest deviation (testing). *)
 let orthogonality_defect t =

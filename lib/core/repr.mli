@@ -1,4 +1,9 @@
-(** The sparsified conductance representation [G ~ Q G_w Q']. *)
+(** The sparsified conductance representation [G ~ Q G_w Q'].
+
+    Application goes through the operator interface: {!op} turns a
+    representation into a {!Subcouple_op.t} (three sparse matvecs per
+    apply, pool-parallel batches), and {!save}/{!load} persist it as an
+    operator artifact so a later process can serve it without a solver. *)
 
 type t = {
   n : int;
@@ -9,14 +14,12 @@ type t = {
 
 val make : q:Sparsemat.Csr.t -> gw:Sparsemat.Csr.t -> solves:int -> t
 
-(** Apply the represented operator: three sparse matrix-vector products. *)
-val apply : t -> La.Vec.t -> La.Vec.t
+(** The representation as a first-class operator. [storage_floats] is
+    {!storage_floats}; [solves_spent] reports the (fixed) build cost. *)
+val op : t -> Subcouple_op.t
 
 (** Densify (for error measurement against an exact G). *)
 val to_dense : t -> La.Mat.t
-
-(** Selected columns of the represented operator. *)
-val columns : t -> int array -> La.Vec.t array
 
 (** Drop small entries of G_w to make it roughly [target] times sparser
     (binary-searched threshold, thesis §3.7). *)
@@ -26,5 +29,27 @@ val sparsity_gw : t -> float
 val sparsity_q : t -> float
 val nnz_gw : t -> int
 
+(** Nonzeros stored across both factors — the thesis's storage currency. *)
+val storage_floats : t -> int
+
 (** Largest deviation of Q'Q from the identity. *)
 val orthogonality_defect : t -> float
+
+(** {2 Persistence}
+
+    Conversion to and from {!Subcouple_op.Artifact} payloads, plus
+    file-level convenience wrappers. [kind] and [source] record
+    provenance (extraction method, layout, solver) in the artifact. *)
+
+val to_artifact : ?kind:string -> ?source:string -> t -> Subcouple_op.Artifact.payload
+val of_artifact : Subcouple_op.Artifact.payload -> t
+
+(** Write the representation to an artifact file (".sca").
+    @raise Subcouple_op.Artifact.Error on filesystem failure. *)
+val save : ?kind:string -> ?source:string -> t -> path:string -> unit
+
+(** Read a representation back from an artifact file. The result applies
+    bit-identically to the representation that was saved.
+    @raise Subcouple_op.Artifact.Error if the file is missing, torn,
+    corrupt, or from an unsupported format version. *)
+val load : path:string -> t

@@ -488,6 +488,43 @@ let apply t (v : Vec.t) : Vec.t =
     t.data;
   out
 
+(* Floats stored by the representation: per square the basis V_s and the
+   responses G(P_s, s) V_s, plus the finest level's complement W_s and
+   local block. This is the storage the thesis compares against the
+   pairwise baseline (Table 4.2). *)
+let storage_floats t =
+  let size m = Mat.rows m * Mat.cols m in
+  Hashtbl.fold
+    (fun _ (d : square_data) acc ->
+      acc + size d.v + size d.gpv
+      + (match d.w with Some w -> size w | None -> 0)
+      + (match d.g_local with Some g -> size g | None -> 0))
+    t.data 0
+
+(* Phase 1 as an operator. The read-only traversal of [data] is shared by
+   parallel batch applications; each right-hand side accumulates into its
+   own output vector, so batches stay bit-identical for every [jobs].
+   Without the (4.16)/(4.24) symmetric refinement the approximation is not
+   symmetric, and even with it symmetry is approximate — [symmetric] is
+   reported false. *)
+let op t =
+  Subcouple_op.make ~pure:true ~storage_floats:(storage_floats t)
+    ~solves_spent:(fun () -> t.solves)
+    ~describe:
+      {
+        Subcouple_op.kind = "rowbasis";
+        source =
+          Printf.sprintf "multilevel row-basis representation (phase 1, levels 2..%d)" t.max_level;
+        symmetric = false;
+      }
+    ~n:t.n (apply t)
+
+module _ : Subcouple_op.S with type repr = t = struct
+  type repr = t
+
+  let op = op
+end
+
 (* Expose the pair formula for phase 2. *)
 let interaction_block t ~(src : square_data) ~(dst : square_data) (x : Vec.t) : Vec.t =
   let alpha = Mat.gemv_t src.v x in

@@ -48,8 +48,13 @@ val tree : t -> Geometry.Quadtree.t
 (** Black-box solves consumed while building. *)
 val solves : t -> int
 
-(** Apply the represented operator G to a voltage vector (§4.3.2). *)
-val apply : t -> La.Vec.t -> La.Vec.t
+(** Floats stored by the representation (V_s, G(P_s, s) V_s, finest-level
+    complements and local blocks) — the Table 4.2 storage currency. *)
+val storage_floats : t -> int
+
+(** The phase-1 representation as a first-class operator: O(n log n)
+    application of the §4.3.2 pseudocode. *)
+val op : t -> Subcouple_op.t
 
 (** The approximate interaction block G(dst, src) applied to a vector in
     src coordinates (pair formula (4.16)); used by phase 2. *)

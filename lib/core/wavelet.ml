@@ -398,3 +398,20 @@ let factored_storage_floats t =
       | None -> acc + (Mat.rows b.v * (Mat.cols b.v + Mat.cols b.w))
       | Some tr -> acc + (Mat.rows tr * Mat.cols tr))
     t.bases 0
+
+(* The factored basis as operators: synthesis Q and analysis Q'. Each
+   application allocates its own coefficient tables, and the basis itself
+   is only read, so batches run on the Domain pool. Both operators report
+   the storage of the shared factored form [Q = Q^(L) ... Q^(1)]. *)
+let basis_op t ~kind ~direction app =
+  Subcouple_op.make ~pure:true ~storage_floats:(factored_storage_floats t)
+    ~describe:
+      {
+        Subcouple_op.kind;
+        source = Printf.sprintf "factored wavelet basis, %s (p = %d)" direction t.p;
+        symmetric = false;
+      }
+    ~n:t.n (app t)
+
+let q_op t = basis_op t ~kind:"wavelet-q" ~direction:"synthesis x = Q z" apply_q_factored
+let qt_op t = basis_op t ~kind:"wavelet-qt" ~direction:"analysis z = Q' x" apply_qt_factored

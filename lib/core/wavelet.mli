@@ -46,12 +46,14 @@ val extract :
 (** Exact Q' G Q from a known dense G (validation). *)
 val change_basis_dense : t -> La.Mat.t -> La.Mat.t
 
-(** Apply Q' (analysis) and Q (synthesis) through the factored
+(** The basis as operators, applied through the factored
     [Q = Q^(L) ... Q^(1)] form of thesis §3.4.3: O(n) work and O(n) stored
-    floats, against O(n log n) for the explicit sparse Q. *)
-val apply_qt_factored : t -> La.Vec.t -> La.Vec.t
+    floats, against O(n log n) for the explicit sparse Q. {!q_op} is
+    synthesis [x = Q z], {!qt_op} analysis [z = Q' x]; both report the
+    storage of the shared factored form. *)
+val q_op : t -> Subcouple_op.t
 
-val apply_q_factored : t -> La.Vec.t -> La.Vec.t
+val qt_op : t -> Subcouple_op.t
 
 (** Floats stored by the factored form (finest [V W] blocks plus the
     coarser (T | R) blocks). *)

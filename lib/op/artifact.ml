@@ -1,0 +1,238 @@
+(* Versioned, checksummed on-disk container for sparsified representations.
+
+   The discipline mirrors Substrate.Checkpoint: a magic string carrying the
+   format version, an explicit payload length, an MD5 digest over the exact
+   payload bytes, and typed rejection of anything that does not check out.
+   Unlike the checkpoint (which Marshals whole solver-response stages and
+   only ever talks to the process that wrote it), an artifact is a
+   long-lived interchange file, so the payload is written field by field —
+   integers as little-endian int64, floats by their IEEE-754 bit pattern —
+   and never Marshal'd: no closures, no abstract blocks, bit-exact float
+   round-trips. *)
+
+module Csr = Sparsemat.Csr
+
+type error =
+  | Not_an_artifact of string
+  | Unsupported_version of string
+  | Truncated of string
+  | Checksum_mismatch
+  | Malformed of string
+  | Io of string
+
+exception Error of { path : string; error : error }
+
+let error_message = function
+  | Not_an_artifact what -> Printf.sprintf "not a substrate operator artifact (%s)" what
+  | Unsupported_version v -> Printf.sprintf "unsupported artifact format version %S (this build reads \"A1\")" v
+  | Truncated what -> Printf.sprintf "truncated artifact: %s" what
+  | Checksum_mismatch -> "payload checksum mismatch: the file is corrupt"
+  | Malformed what -> Printf.sprintf "malformed artifact payload: %s" what
+  | Io msg -> Printf.sprintf "i/o failure: %s" msg
+
+let () =
+  Printexc.register_printer (function
+    | Error { path; error } -> Some (Printf.sprintf "Subcouple_op.Artifact.Error(%s: %s)" path (error_message error))
+    | _ -> None)
+
+type payload = {
+  n : int;
+  solves : int;
+  kind : string;
+  source : string;
+  q : Csr.t;
+  gw : Csr.t;
+}
+
+(* "SUBCOP" identifies the file family; the two bytes after it are the
+   format version. A future incompatible layout bumps the version, keeping
+   Not_an_artifact and Unsupported_version distinguishable. *)
+let magic_family = "SUBCOP"
+let format_version = "A1"
+let header_bytes = 8 + 8 + 16  (* magic+version, payload length, MD5 *)
+
+let fail path error = raise (Error { path; error })
+
+(* --- writing ----------------------------------------------------------- *)
+
+let add_int b i = Buffer.add_int64_le b (Int64.of_int i)
+let add_float b f = Buffer.add_int64_le b (Int64.bits_of_float f)
+
+let add_string_field b s =
+  add_int b (String.length s);
+  Buffer.add_string b s
+
+let add_int_array b a =
+  add_int b (Array.length a);
+  Array.iter (add_int b) a
+
+let add_float_array b a =
+  add_int b (Array.length a);
+  Array.iter (add_float b) a
+
+let add_csr b m =
+  let row_ptr, col_idx, values = Csr.unpack m in
+  add_int b (Csr.rows m);
+  add_int b (Csr.cols m);
+  add_int_array b row_ptr;
+  add_int_array b col_idx;
+  add_float_array b values
+
+let encode p =
+  let b = Buffer.create 4096 in
+  add_int b p.n;
+  add_int b p.solves;
+  add_string_field b p.kind;
+  add_string_field b p.source;
+  add_csr b p.q;
+  add_csr b p.gw;
+  Buffer.contents b
+
+let validate_payload path p =
+  let square_of_n what m =
+    if Csr.rows m <> p.n || Csr.cols m <> p.n then
+      fail path
+        (Malformed
+           (Printf.sprintf "%s is %dx%d but the operator dimension is %d" what (Csr.rows m) (Csr.cols m) p.n))
+  in
+  if p.n < 0 then fail path (Malformed (Printf.sprintf "negative operator dimension %d" p.n));
+  if p.solves < 0 then fail path (Malformed (Printf.sprintf "negative solve count %d" p.solves));
+  square_of_n "Q" p.q;
+  square_of_n "G_w" p.gw
+
+let save ~path p =
+  validate_payload path p;
+  let body = encode p in
+  let b = Buffer.create (header_bytes + String.length body) in
+  Buffer.add_string b magic_family;
+  Buffer.add_string b format_version;
+  add_int b (String.length body);
+  Buffer.add_string b (Digest.string body);
+  Buffer.add_string b body;
+  (* Temp file + rename: a crashed writer never leaves a torn file under
+     the target name. *)
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> Buffer.output_buffer oc b);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception Sys_error msg -> fail path (Io msg)
+
+(* --- reading ----------------------------------------------------------- *)
+
+type reader = { s : string; mutable pos : int; r_path : string }
+
+let need r k what =
+  if r.pos + k > String.length r.s then
+    fail r.r_path
+      (Malformed (Printf.sprintf "payload ends inside %s (offset %d, wanted %d more bytes)" what r.pos k))
+
+let read_int r what =
+  need r 8 what;
+  let v64 = String.get_int64_le r.s r.pos in
+  r.pos <- r.pos + 8;
+  let v = Int64.to_int v64 in
+  if not (Int64.equal (Int64.of_int v) v64) then
+    fail r.r_path (Malformed (Printf.sprintf "%s does not fit a native int (%Ld)" what v64));
+  v
+
+let read_length r what =
+  let v = read_int r what in
+  if v < 0 then fail r.r_path (Malformed (Printf.sprintf "negative %s (%d)" what v));
+  (* Every element needs at least one byte in the remaining payload, which
+     caps hostile lengths before any allocation happens. *)
+  if v > String.length r.s - r.pos then
+    fail r.r_path (Malformed (Printf.sprintf "%s (%d) exceeds the remaining payload" what v));
+  v
+
+let read_string_field r what =
+  let len = read_length r (what ^ " length") in
+  need r len what;
+  let s = String.sub r.s r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let read_int_array r what =
+  let len = read_length r (what ^ " length") in
+  need r (8 * len) what;
+  let a = Array.make len 0 in
+  for i = 0 to len - 1 do
+    a.(i) <- read_int r what
+  done;
+  a
+
+let read_float_array r what =
+  let len = read_length r (what ^ " length") in
+  need r (8 * len) what;
+  let a = Array.make len 0.0 in
+  for i = 0 to len - 1 do
+    a.(i) <- Int64.float_of_bits (String.get_int64_le r.s r.pos);
+    r.pos <- r.pos + 8
+  done;
+  a
+
+let read_csr r what =
+  let rows = read_int r (what ^ " rows") in
+  let cols = read_int r (what ^ " cols") in
+  let row_ptr = read_int_array r (what ^ " row_ptr") in
+  let col_idx = read_int_array r (what ^ " col_idx") in
+  let values = read_float_array r (what ^ " values") in
+  match Csr.pack ~rows ~cols ~row_ptr ~col_idx ~values with
+  | m -> m
+  | exception Invalid_argument msg -> fail r.r_path (Malformed (what ^ ": " ^ msg))
+
+let decode path body =
+  let r = { s = body; pos = 0; r_path = path } in
+  let n = read_int r "operator dimension" in
+  let solves = read_int r "solve count" in
+  let kind = read_string_field r "kind" in
+  let source = read_string_field r "source" in
+  let q = read_csr r "Q" in
+  let gw = read_csr r "G_w" in
+  if r.pos <> String.length body then
+    fail path (Malformed (Printf.sprintf "%d trailing payload bytes" (String.length body - r.pos)));
+  let p = { n; solves; kind; source; q; gw } in
+  validate_payload path p;
+  p
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | s -> s
+  | exception Sys_error msg -> fail path (Io msg)
+
+let load ~path =
+  let raw = read_file path in
+  let full_magic = magic_family ^ format_version in
+  if String.length raw < 8 then begin
+    if String.length raw > 0 && String.equal raw (String.sub full_magic 0 (String.length raw)) then
+      fail path (Truncated (Printf.sprintf "only %d of the 8 magic bytes present" (String.length raw)))
+    else fail path (Not_an_artifact (if String.length raw = 0 then "empty file" else "no magic header"))
+  end;
+  if not (String.equal (String.sub raw 0 6) magic_family) then
+    fail path (Not_an_artifact "no magic header");
+  let version = String.sub raw 6 2 in
+  if not (String.equal version format_version) then fail path (Unsupported_version version);
+  if String.length raw < header_bytes then
+    fail path
+      (Truncated
+         (Printf.sprintf "header is %d bytes, file has %d" header_bytes (String.length raw)));
+  let declared64 = String.get_int64_le raw 8 in
+  let declared = Int64.to_int declared64 in
+  if declared < 0 || not (Int64.equal (Int64.of_int declared) declared64) then
+    fail path (Malformed (Printf.sprintf "implausible payload length %Ld" declared64));
+  let present = String.length raw - header_bytes in
+  if present < declared then
+    fail path
+      (Truncated (Printf.sprintf "payload declares %d bytes, file holds %d" declared present));
+  if present > declared then
+    fail path (Malformed (Printf.sprintf "%d trailing bytes after the payload" (present - declared)));
+  let stored_digest = String.sub raw 16 16 in
+  let body = String.sub raw header_bytes declared in
+  if not (String.equal (Digest.string body) stored_digest) then fail path Checksum_mismatch;
+  decode path body

@@ -1,0 +1,69 @@
+(** Persisted operator artifacts (".sca" files): a versioned, checksummed
+    binary container for a sparsified representation [G ~ Q G_w Q'], so the
+    expensive extraction (many black-box solves) and the cheap serving
+    (three sparse matvecs per application) can live in different processes.
+
+    The format is explicit — every integer and float is written out field
+    by field; no closure or abstract value is ever [Marshal]ed — so a file
+    written today stays readable by future versions, and a reader can
+    reject damage with a precise, typed error instead of a segfault or a
+    silently wrong answer.
+
+    Layout (all integers little-endian 64-bit, floats as IEEE-754 bit
+    patterns):
+
+    {v
+    offset  0: magic  "SUBCOP"              (6 bytes)
+    offset  6: format version "A1"          (2 bytes)
+    offset  8: payload length               (int64)
+    offset 16: MD5 digest of the payload    (16 raw bytes)
+    offset 32: payload                      (payload-length bytes)
+    v}
+
+    The payload holds [n], [solves], the [kind]/[source] strings
+    (length-prefixed), then the two CSR blocks [q] and [gw] (rows, cols,
+    then the length-prefixed [row_ptr], [col_idx] and [values] arrays).
+
+    Failure modes, in the order the loader checks them: a file that does
+    not start with the magic is {!Not_an_artifact}; a recognized magic with
+    an unknown version tag is {!Unsupported_version}; a file shorter than
+    its header demands is {!Truncated}; payload bytes that do not hash to
+    the stored digest are {!Checksum_mismatch}; and a payload that passes
+    the checksum but is internally inconsistent (negative sizes, CSR
+    invariant violations, trailing bytes) is {!Malformed}. Writes go
+    through a temporary file renamed into place, so a crashed writer never
+    leaves a half-written artifact under the target name. *)
+
+type error =
+  | Not_an_artifact of string  (** no magic: not a substrate operator artifact *)
+  | Unsupported_version of string  (** artifact magic, but an unknown format version *)
+  | Truncated of string  (** file ends before the header or payload does *)
+  | Checksum_mismatch  (** payload does not hash to the stored digest *)
+  | Malformed of string  (** checksum passed but the payload is inconsistent *)
+  | Io of string  (** underlying file read/write failure *)
+
+exception Error of { path : string; error : error }
+
+(** One-line human-readable rendering of an {!error}. *)
+val error_message : error -> string
+
+(** What an artifact stores: the two sparse factors plus provenance. *)
+type payload = {
+  n : int;  (** operator dimension (contacts) *)
+  solves : int;  (** black-box solves spent building the representation *)
+  kind : string;  (** machine-readable family, e.g. ["wavelet"], ["lowrank"] *)
+  source : string;  (** human-readable provenance (layout, solver, thresholds) *)
+  q : Sparsemat.Csr.t;  (** n x n change of basis, orthonormal columns *)
+  gw : Sparsemat.Csr.t;  (** n x n transformed matrix, symmetric *)
+}
+
+(** Write the payload to [path] (atomically: temp file + rename). The CSR
+    values round-trip bit-exactly — {!load} returns the same floats to the
+    last bit.
+    @raise Error with {!Io} on filesystem failure. *)
+val save : path:string -> payload -> unit
+
+(** Read an artifact back, verifying magic, version, length and checksum
+    before parsing, and the CSR invariants after.
+    @raise Error on any of the failure modes above. *)
+val load : path:string -> payload

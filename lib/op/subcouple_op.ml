@@ -1,0 +1,90 @@
+(* The one operator abstraction every "apply G" path routes through.
+
+   An operator is a record of closures plus metadata; representations stay
+   whatever they are (black box, CSR factors, row bases, dense matrix) and
+   expose a constructor returning this type. The extraction pipelines spend
+   solves to build a representation; everything downstream — metrics,
+   benchmarks, serving — only ever sees the operator. *)
+
+module Artifact = Artifact
+
+type meta = {
+  kind : string;
+  source : string;
+  symmetric : bool;
+}
+
+type t = {
+  op_n : int;
+  op_apply : La.Vec.t -> La.Vec.t;
+  op_batch : jobs:int -> La.Vec.t array -> La.Vec.t array;
+  op_storage : int;
+  op_solves : unit -> int;
+  op_meta : meta;
+}
+
+module type S = sig
+  type repr
+
+  val op : repr -> t
+end
+
+let make ?batch ?(pure = false) ?(storage_floats = 0) ?(solves_spent = fun () -> 0) ~describe ~n
+    apply =
+  if n < 0 then invalid_arg "Subcouple_op.make: negative dimension";
+  if storage_floats < 0 then invalid_arg "Subcouple_op.make: negative storage";
+  let batch =
+    match batch with
+    | Some b -> b
+    | None ->
+      if pure then fun ~jobs vs -> Parallel.Pool.map_array ~jobs apply vs
+      else fun ~jobs:_ vs -> Array.map apply vs
+  in
+  { op_n = n; op_apply = apply; op_batch = batch; op_storage = storage_floats;
+    op_solves = solves_spent; op_meta = describe }
+
+let n t = t.op_n
+let describe t = t.op_meta
+let storage_floats t = t.op_storage
+let solves_spent t = t.op_solves ()
+
+let check_length t v =
+  if Array.length v <> t.op_n then
+    invalid_arg
+      (Printf.sprintf "Subcouple_op: expected a vector of %d components, got %d" t.op_n
+         (Array.length v))
+
+let apply t v =
+  check_length t v;
+  t.op_apply v
+
+let apply_batch ?(jobs = 1) t vs =
+  Array.iter (check_length t) vs;
+  let out = t.op_batch ~jobs vs in
+  if Array.length out <> Array.length vs then
+    invalid_arg "Subcouple_op: batch implementation returned a wrong-sized result";
+  out
+
+(* One fresh unit vector per column: a shared buffer would race under a
+   parallel batch, and even sequentially it aliases if an implementation
+   retains its argument. *)
+let unit_vector n i =
+  let e = Array.make n 0.0 in
+  e.(i) <- 1.0;
+  e
+
+let columns ?jobs t indices =
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= t.op_n then
+        invalid_arg
+          (Printf.sprintf "Subcouple_op.columns: column index %d out of range [0, %d)" i t.op_n))
+    indices;
+  apply_batch ?jobs t (Array.map (unit_vector t.op_n) indices)
+
+let of_dense ?(symmetric = false) ?(source = "dense matrix") g =
+  if La.Mat.rows g <> La.Mat.cols g then invalid_arg "Subcouple_op.of_dense: matrix must be square";
+  make ~pure:true
+    ~storage_floats:(La.Mat.rows g * La.Mat.cols g)
+    ~describe:{ kind = "dense"; source; symmetric }
+    ~n:(La.Mat.rows g) (La.Mat.gemv g)

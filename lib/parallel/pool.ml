@@ -178,3 +178,10 @@ let map_chunks ?chunk t f (input : 'a array) : 'b array =
     parallel_for ?chunk t n (fun i -> out.(i) <- Some (f input.(i)));
     Array.map (function Some v -> v | None -> assert false) out
   end
+
+(* One-shot map: spin a pool up for a single batch. Callers with [jobs]
+   as a knob rather than a pool in hand (operator batch implementations)
+   use this; with [jobs <= 1] or a single element no domain is spawned. *)
+let map_array ?(jobs = 1) f (input : 'a array) : 'b array =
+  if jobs <= 1 || Array.length input <= 1 then Array.map f input
+  else with_pool ~jobs (fun pool -> map_chunks pool f input)

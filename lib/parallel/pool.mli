@@ -42,3 +42,9 @@ val parallel_for : ?chunk:int -> t -> int -> (int -> unit) -> unit
     returning results in input order (slot [i] holds [f input.(i)]
     regardless of schedule). Exception behavior as for [parallel_for]. *)
 val map_chunks : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_array ~jobs f input] maps [f] over [input] with a pool created
+    (and shut down) for this one call; [jobs <= 1] (the default) or a
+    single-element input runs sequentially with no domain spawned.
+    Results are in input order, bit-identical for every [jobs]. *)
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array

@@ -168,6 +168,44 @@ let of_matrix_market ic =
   done;
   of_coo coo
 
+(* Build from raw CSR arrays, validating every structural invariant; the
+   operator-artifact loader funnels untrusted file contents through here so
+   a damaged file is rejected instead of producing out-of-bounds reads. *)
+let pack ~rows ~cols ~row_ptr ~col_idx ~values =
+  if rows < 0 || cols < 0 then invalid_arg "Csr.pack: negative dimensions";
+  if Array.length row_ptr <> rows + 1 then
+    invalid_arg
+      (Printf.sprintf "Csr.pack: row_ptr has %d entries, want rows + 1 = %d" (Array.length row_ptr)
+         (rows + 1));
+  let count = Array.length values in
+  if Array.length col_idx <> count then
+    invalid_arg
+      (Printf.sprintf "Csr.pack: col_idx has %d entries but values has %d" (Array.length col_idx)
+         count);
+  if row_ptr.(0) <> 0 then invalid_arg "Csr.pack: row_ptr must start at 0";
+  if row_ptr.(rows) <> count then
+    invalid_arg
+      (Printf.sprintf "Csr.pack: row_ptr ends at %d but there are %d stored entries" row_ptr.(rows)
+         count);
+  for i = 0 to rows - 1 do
+    if row_ptr.(i + 1) < row_ptr.(i) then
+      invalid_arg (Printf.sprintf "Csr.pack: row_ptr decreases at row %d" i)
+  done;
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= cols then
+        invalid_arg (Printf.sprintf "Csr.pack: column index %d out of range [0, %d)" j cols))
+    col_idx;
+  {
+    rows;
+    cols;
+    row_ptr = Array.copy row_ptr;
+    col_idx = Array.copy col_idx;
+    values = Array.copy values;
+  }
+
+let unpack t = (Array.copy t.row_ptr, Array.copy t.col_idx, Array.copy t.values)
+
 (* Visit the entries of one row. *)
 let iter_row t i f =
   for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do

@@ -39,3 +39,15 @@ val of_matrix_market : in_channel -> t
 
 (** Visit the entries of row [i]. *)
 val iter_row : t -> int -> (int -> float -> unit) -> unit
+
+(** [pack ~rows ~cols ~row_ptr ~col_idx ~values] builds a matrix directly
+    from raw CSR arrays (copied), validating every structural invariant —
+    pointer monotonicity, length consistency, column-index range. Meant
+    for deserialization paths that must not trust their input.
+    @raise Invalid_argument describing the violated invariant. *)
+val pack :
+  rows:int -> cols:int -> row_ptr:int array -> col_idx:int array -> values:float array -> t
+
+(** The raw CSR arrays [(row_ptr, col_idx, values)], as copies. Inverse of
+    {!pack}; values round-trip bit-exactly. *)
+val unpack : t -> int array * int array * float array

@@ -187,6 +187,28 @@ let solve_count t = Atomic.get t.counter
 let reset_count t = Atomic.set t.counter 0
 let health t = t.health
 
+(* The canonical exact operator: the box viewed through the one interface
+   every apply path shares. Applications still go through the counted,
+   validated, NaN-scanned wrappers, and [solves_spent] reads the live
+   counter — probing this operator is visible as solve cost. *)
+let op t =
+  Subcouple_op.make
+    ~batch:(fun ~jobs vs -> t.batch ~jobs vs)
+    ~solves_spent:(fun () -> Atomic.get t.counter)
+    ~describe:
+      {
+        Subcouple_op.kind = "blackbox";
+        source = Printf.sprintf "black-box substrate solver (%d contacts)" t.n;
+        symmetric = true;
+      }
+    ~n:t.n t.solve
+
+module _ : Subcouple_op.S with type repr = t = struct
+  type repr = t
+
+  let op = op
+end
+
 (* Wrap an explicitly known conductance matrix. Used to test the
    sparsification algorithms against exact arithmetic, and to re-serve an
    extracted G cheaply. gemv is pure, so the batch runs on a pool. *)

@@ -56,6 +56,12 @@ val apply_batch : ?jobs:int -> t -> La.Vec.t array -> La.Vec.t array
 val solve_count : t -> int
 val reset_count : t -> unit
 
+(** The box as the canonical exact {!Subcouple_op.t}: the reference
+    operator every sparsified representation is measured against.
+    Applications remain counted, validated and NaN-scanned;
+    [Subcouple_op.solves_spent] reads the live solve counter. *)
+val op : t -> Subcouple_op.t
+
 (** The box's aggregated solve-quality record: convergence failures, CG
     breakdowns, non-finite responses, iteration and wall-time totals. *)
 val health : t -> Health.t

@@ -102,8 +102,8 @@ let prop_wavelet_factored_matches =
       let n = Layout.n_contacts layout in
       let q = Sparsemat.Csr.to_dense (Wavelet.q_matrix basis) in
       let x = Rng.gaussian_array (Rng.create 77) n in
-      Vec.approx_equal ~tol:1e-8 (Wavelet.apply_qt_factored basis x) (Mat.gemv_t q x)
-      && Vec.approx_equal ~tol:1e-8 (Wavelet.apply_q_factored basis x) (Mat.gemv q x))
+      Vec.approx_equal ~tol:1e-8 (Subcouple_op.apply (Wavelet.qt_op basis) x) (Mat.gemv_t q x)
+      && Vec.approx_equal ~tol:1e-8 (Subcouple_op.apply (Wavelet.q_op basis) x) (Mat.gemv q x))
 
 let prop_lowrank_structural =
   qtest ~count:15 "low-rank structure on random layouts + synthetic G" layout_gen (fun layout ->

@@ -32,12 +32,12 @@ let test_apply_equals_dense () =
   let v = Rng.gaussian_array rng 12 in
   let dense = Repr.to_dense r in
   Alcotest.(check bool) "apply = densified" true
-    (Vec.approx_equal ~tol:1e-9 (Repr.apply r v) (Mat.gemv dense v))
+    (Vec.approx_equal ~tol:1e-9 (Subcouple_op.apply (Repr.op r) v) (Mat.gemv dense v))
 
 let test_columns_match_dense () =
   let r = synthetic 10 in
   let dense = Repr.to_dense r in
-  let cols = Repr.columns r [| 2; 7 |] in
+  let cols = Subcouple_op.columns (Repr.op r) [| 2; 7 |] in
   Alcotest.(check bool) "col 2" true (Vec.approx_equal ~tol:1e-10 cols.(0) (Mat.col dense 2));
   Alcotest.(check bool) "col 7" true (Vec.approx_equal ~tol:1e-10 cols.(1) (Mat.col dense 7))
 
@@ -108,12 +108,18 @@ let test_probe_estimate () =
   let g = Mat.add m (Mat.transpose m) in
   let bb = Blackbox.of_dense g in
   (* Exact model: estimate ~ 0. *)
-  let exact = Metrics.estimate_apply_error ~probes:3 ~blackbox:bb ~apply:(Mat.gemv g) () in
+  let exact =
+    Metrics.estimate_apply_error ~probes:3 ~exact:(Blackbox.op bb)
+      ~approx:(Subcouple_op.of_dense g) ()
+  in
   Alcotest.(check bool) "exact model" true (exact.Metrics.max_rel_residual < 1e-12);
   Alcotest.(check int) "counts solves" 3 exact.Metrics.extra_solves;
   (* Perturbed model: estimate near the spectral perturbation size. *)
   let perturbed = Mat.add g (Mat.scale (0.01 *. Mat.max_abs g) (Mat.identity n)) in
-  let est = Metrics.estimate_apply_error ~probes:5 ~blackbox:bb ~apply:(Mat.gemv perturbed) () in
+  let est =
+    Metrics.estimate_apply_error ~probes:5 ~exact:(Blackbox.op bb)
+      ~approx:(Subcouple_op.of_dense perturbed) ()
+  in
   Alcotest.(check bool)
     (Printf.sprintf "nonzero estimate %.2e" est.Metrics.mean_rel_residual)
     true

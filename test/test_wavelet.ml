@@ -113,9 +113,9 @@ let test_factored_transform_matches_explicit () =
   for _ = 1 to 3 do
     let x = Rng.gaussian_array rng 256 in
     Alcotest.(check bool) "Q' x" true
-      (Vec.approx_equal ~tol:1e-9 (Wavelet.apply_qt_factored b x) (Mat.gemv_t q x));
+      (Vec.approx_equal ~tol:1e-9 (Subcouple_op.apply (Wavelet.qt_op b) x) (Mat.gemv_t q x));
     Alcotest.(check bool) "Q z" true
-      (Vec.approx_equal ~tol:1e-9 (Wavelet.apply_q_factored b x) (Mat.gemv q x))
+      (Vec.approx_equal ~tol:1e-9 (Subcouple_op.apply (Wavelet.q_op b) x) (Mat.gemv q x))
   done
 
 let test_factored_storage_linear () =
@@ -211,7 +211,8 @@ let test_repr_apply_matches_dense () =
   let rng = Rng.create 5 in
   let v = Rng.gaussian_array rng 256 in
   let direct = Mat.gemv (Repr.to_dense repr) v in
-  Alcotest.(check bool) "apply consistent" true (Vec.approx_equal ~tol:1e-8 direct (Repr.apply repr v))
+  Alcotest.(check bool) "apply consistent" true
+    (Vec.approx_equal ~tol:1e-8 direct (Subcouple_op.apply (Repr.op repr) v))
 
 (* ------------------------------------------------------------------ *)
 (* Combine grouping *)
