@@ -80,6 +80,46 @@ let problem_term =
 (* ------------------------------------------------------------------ *)
 (* Parallelism. *)
 
+(* ------------------------------------------------------------------ *)
+(* Tracing. Both binaries expose the same two flags: --trace FILE writes
+   Chrome trace_event JSON (about:tracing / ui.perfetto.dev) covering the
+   pool, Krylov, black-box and extraction-phase spans; --trace-summary
+   prints the aggregate span/distribution/counter table. Either flag turns
+   recording on; without them the instrumentation stays on its disabled
+   (single atomic load) path. Tracing never changes results: probe digests
+   are bit-identical with tracing on or off, for every --jobs. *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans, counters and value distributions for the whole run and write them to \
+           $(docv) as Chrome trace_event JSON (loadable in about:tracing or ui.perfetto.dev). \
+           Results are bit-identical with or without tracing.")
+
+let trace_summary_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-summary" ]
+        ~doc:
+          "Record traces and print an aggregate summary (per span: count, total, mean, max \
+           seconds; plus distributions and counters) when the command finishes.")
+
+let trace_setup ~trace ~trace_summary =
+  if Option.is_some trace || trace_summary then Trace.set_enabled true
+
+let trace_finish ~trace ~trace_summary =
+  (match trace with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Trace.write_chrome oc);
+    Printf.printf "wrote %s (%d trace events; load in about:tracing or ui.perfetto.dev)\n" path
+      (Trace.event_count ()));
+  if trace_summary then Format.printf "%a@?" Trace.pp_summary (Trace.summary ())
+
 let jobs_arg =
   Arg.(
     value & opt int 1

@@ -67,7 +67,8 @@ let print_vector ~label v =
   if n > 32 then Printf.printf "  ... (%d more)\n" (n - 32);
   Printf.printf "  |I|_2 = %.6g\n" (La.Vec.norm2 v)
 
-let run_apply path jobs threshold columns probes seed digest =
+let run_apply path jobs threshold columns probes seed digest trace trace_summary =
+  trace_setup ~trace ~trace_summary;
   let a = load_or_exit path in
   let repr = Repr.of_artifact a in
   let repr = if threshold > 1.0 then Repr.threshold repr ~target:threshold else repr in
@@ -76,30 +77,36 @@ let run_apply path jobs threshold columns probes seed digest =
   if threshold > 1.0 then
     Printf.printf "thresholded G_w to %d nonzeros (sparsity factor %.1f)\n" (Repr.nnz_gw repr)
       (Repr.sparsity_gw repr);
-  match columns with
-  | _ :: _ ->
-    (match Op.columns ~jobs op (Array.of_list columns) with
-    | cols ->
-      List.iteri
-        (fun k j -> print_vector ~label:(Printf.sprintf "column %d of G (unit voltage on contact %d):" j j) cols.(k))
-        columns;
+  let code =
+    match columns with
+    | _ :: _ -> (
+      match Op.columns ~jobs op (Array.of_list columns) with
+      | cols ->
+        List.iteri
+          (fun k j ->
+            print_vector ~label:(Printf.sprintf "column %d of G (unit voltage on contact %d):" j j)
+              cols.(k))
+          columns;
+        exit_ok
+      | exception Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit_user_error)
+    | [] ->
+      let vs = probe_vectors ~n:(Op.n op) ~probes ~seed in
+      let responses = Op.apply_batch ~jobs op vs in
+      if digest then
+        print_endline (probe_digest_line ~probes ~seed ~jobs op)
+      else begin
+        Printf.printf "applied the operator to %d probe vector(s) (seed %d, jobs %d)\n"
+          (Array.length vs) seed jobs;
+        Array.iteri
+          (fun i r -> Printf.printf "  probe %d: |G v|_2 = %.6g\n" i (La.Vec.norm2 r))
+          responses
+      end;
       exit_ok
-    | exception Invalid_argument msg ->
-      Printf.eprintf "%s\n" msg;
-      exit_user_error)
-  | [] ->
-    let vs = probe_vectors ~n:(Op.n op) ~probes ~seed in
-    let responses = Op.apply_batch ~jobs op vs in
-    if digest then
-      print_endline (probe_digest_line ~probes ~seed ~jobs op)
-    else begin
-      Printf.printf "applied the operator to %d probe vector(s) (seed %d, jobs %d)\n"
-        (Array.length vs) seed jobs;
-      Array.iteri
-        (fun i r -> Printf.printf "  probe %d: |G v|_2 = %.6g\n" i (La.Vec.norm2 r))
-        responses
-    end;
-    exit_ok
+  in
+  trace_finish ~trace ~trace_summary;
+  code
 
 let columns_arg =
   Arg.(
@@ -138,7 +145,7 @@ let apply_cmd =
          "Apply a persisted operator: matvecs, column queries and thresholding, solver-free.")
     Term.(
       const run_apply $ artifact_arg $ jobs_arg $ threshold_arg $ columns_arg $ probes_arg
-      $ probe_seed_arg $ digest_arg)
+      $ probe_seed_arg $ digest_arg $ trace_arg $ trace_summary_arg)
 
 (* ------------------------------------------------------------------ *)
 

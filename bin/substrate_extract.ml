@@ -95,7 +95,8 @@ let write_output repr ~problem ~layout ~method_ ~threshold path =
   end
 
 let run_extract problem jobs method_ threshold verify estimate spy output probe_digest resilience
-    max_attempts checkpoint chaos =
+    max_attempts checkpoint chaos trace trace_summary =
+  trace_setup ~trace ~trace_summary;
   let layout = layout_of_problem problem in
   let n = Layout.n_contacts layout in
   let jobs = resolve_jobs jobs in
@@ -119,7 +120,12 @@ let run_extract problem jobs method_ threshold verify estimate spy output probe_
       (policy_of_resilience resilience max_attempts)
   in
   let bb = match resilient_t with Some r -> Substrate.Resilient.blackbox r | None -> bb in
-  let ck = Option.map Substrate.Checkpoint.create checkpoint in
+  match Option.map Substrate.Checkpoint.create checkpoint with
+  | exception Substrate.Checkpoint.Corrupt message ->
+    (* A mistyped --checkpoint path must not clobber the file it names. *)
+    Printf.eprintf "checkpoint: %s\n" message;
+    exit_user_error
+  | ck ->
   (match ck with
   | Some ck when Substrate.Checkpoint.stages_on_disk ck > 0 ->
     Printf.printf "checkpoint: %s holds %d completed stage(s)\n%!" (Substrate.Checkpoint.path ck)
@@ -159,6 +165,7 @@ let run_extract problem jobs method_ threshold verify estimate spy output probe_
        --checkpoint resumes where this one failed. *)
     finish_checkpoint ();
     report_resilience ();
+    trace_finish ~trace ~trace_summary;
     Printf.eprintf "extraction failed at solve %d: %s\n" index reason;
     exit_solve_failed
   | repr ->
@@ -191,6 +198,7 @@ let run_extract problem jobs method_ threshold verify estimate spy output probe_
   Printf.printf "solver health: %s%s\n"
     (Fmt.str "%a" Substrate.Health.pp_summary health)
     (if Substrate.Health.healthy health then "" else "  [CHECK QUALITY]");
+  trace_finish ~trace ~trace_summary;
   exit_ok
 
 let method_arg =
@@ -277,7 +285,7 @@ let extract_cmd =
     Term.(
       const run_extract $ problem_term $ jobs_arg $ method_arg $ threshold_arg $ verify_arg
       $ estimate_arg $ spy_arg $ output_arg $ probe_digest_arg $ resilience_arg $ max_attempts_arg
-      $ checkpoint_arg $ chaos_arg)
+      $ checkpoint_arg $ chaos_arg $ trace_arg $ trace_summary_arg)
 
 (* ------------------------------------------------------------------ *)
 (* solve *)

@@ -52,6 +52,7 @@ let keep_rule ~sigma_rel_tol ~max_rank (s : float array) =
 (* Fine-to-coarse sweep. *)
 
 let build ?(sigma_rel_tol = 0.01) ?(max_rank = 6) rb =
+  Trace.with_span "lowrank.phase2_sweep" @@ fun () ->
   let tree = Rowbasis.tree rb in
   let max_level = Quadtree.max_level tree in
   let n = Quadtree.squares_at_level tree 0 |> fun a -> Array.length a.(0).Quadtree.contacts in
@@ -267,6 +268,7 @@ let kept_targets t ~level ~ix ~iy ~level' =
 (* Fill G_w and assemble the representation. *)
 
 let representation t =
+  Trace.with_span "lowrank.fill_gw" @@ fun () ->
   let entries : (int * int, float) Hashtbl.t = Hashtbl.create (t.n * 8) in
   let set i j v =
     (* Exact-zero drop: keep structurally absent entries out of G_w. *)

@@ -95,6 +95,7 @@ let gpv_rows (d : square_data) sub = Regions.restrict_rows ~within:d.p_region ~s
    and combine-solves on the V_p-orthogonal remainders. *)
 
 let split_responses ctx ~level ~(vectors : (int * int) -> Mat.t option) =
+  Trace.with_span "rowbasis.split_responses" @@ fun () ->
   let squares = nonempty_squares ctx.c_tree level in
   let out : (int * int, Mat.t) Hashtbl.t = Hashtbl.create 64 in
   (* Prepare per-square decompositions. *)
@@ -287,7 +288,10 @@ let build ?(sigma_rel_tol = 0.01) ?(max_rank = 6) ?(seed = 20020524) ?(symmetric
             Regions.scatter ~n contacts m_s))
       level2
   in
-  let sample_ys = Blackbox.apply_batch ~jobs:ctx.c_jobs blackbox (Array.of_list sample_rhs) in
+  let sample_ys =
+    Trace.with_span "rowbasis.level2_samples" (fun () ->
+        Blackbox.apply_batch ~jobs:ctx.c_jobs blackbox (Array.of_list sample_rhs))
+  in
   (* [sample_rhs] holds each square's vectors consecutively, in square
      order; regroup the responses the same way. *)
   let idx = ref 0 in
@@ -320,7 +324,9 @@ let build ?(sigma_rel_tol = 0.01) ?(max_rank = 6) ?(seed = 20020524) ?(symmetric
   in
   let gpv_tasks = Array.of_list (List.rev !gpv_tasks) in
   let gpv_ys =
-    Blackbox.apply_batch ~jobs:ctx.c_jobs blackbox (Array.map (fun (_, _, _, rhs) -> rhs) gpv_tasks)
+    Trace.with_span "rowbasis.level2_responses" (fun () ->
+        Blackbox.apply_batch ~jobs:ctx.c_jobs blackbox
+          (Array.map (fun (_, _, _, rhs) -> rhs) gpv_tasks))
   in
   Array.iteri
     (fun k (gpv, j, p_region, _) -> Mat.set_col gpv j (Regions.gather p_region gpv_ys.(k)))
@@ -342,7 +348,10 @@ let build ?(sigma_rel_tol = 0.01) ?(max_rank = 6) ?(seed = 20020524) ?(symmetric
         Hashtbl.replace sample_vectors (ix, iy)
           (Mat.of_cols (List.init k (fun _ -> La.Rng.gaussian_array rng (Array.length contacts)))))
       squares;
-    let sample_resps = split_responses ctx ~level ~vectors:(Hashtbl.find_opt sample_vectors) in
+    let sample_resps =
+      Trace.with_span "rowbasis.level_sampling" (fun () ->
+          split_responses ctx ~level ~vectors:(Hashtbl.find_opt sample_vectors))
+    in
     (* Row bases from the sampled responses. *)
     let bases : (int * int, Mat.t) Hashtbl.t = Hashtbl.create 64 in
     List.iter
@@ -358,7 +367,10 @@ let build ?(sigma_rel_tol = 0.01) ?(max_rank = 6) ?(seed = 20020524) ?(symmetric
         Hashtbl.replace bases (ix, iy) v)
       squares;
     (* Responses to the row bases, again via splitting. *)
-    let gpvs = split_responses ctx ~level ~vectors:(Hashtbl.find_opt bases) in
+    let gpvs =
+      Trace.with_span "rowbasis.level_responses" (fun () ->
+          split_responses ctx ~level ~vectors:(Hashtbl.find_opt bases))
+    in
     List.iter
       (fun (ix, iy) ->
         let contacts = Quadtree.contacts_of tree ~level ~ix ~iy in
@@ -406,14 +418,19 @@ let build ?(sigma_rel_tol = 0.01) ?(max_rank = 6) ?(seed = 20020524) ?(symmetric
       finest;
     let w_tasks = Array.of_list (List.rev !w_tasks) in
     let w_ys =
-      Blackbox.apply_batch ~jobs:ctx.c_jobs blackbox (Array.map (fun (_, _, _, rhs) -> rhs) w_tasks)
+      Trace.with_span "rowbasis.finest_complements" (fun () ->
+          Blackbox.apply_batch ~jobs:ctx.c_jobs blackbox
+            (Array.map (fun (_, _, _, rhs) -> rhs) w_tasks))
     in
     Array.iteri
       (fun k (resp, j, p_region, _) -> Mat.set_col resp j (Regions.gather p_region w_ys.(k)))
       w_tasks
   end
   else begin
-    let resps = split_responses ctx ~level:max_level ~vectors:(Hashtbl.find_opt complements) in
+    let resps =
+      Trace.with_span "rowbasis.finest_complements" (fun () ->
+          split_responses ctx ~level:max_level ~vectors:(Hashtbl.find_opt complements))
+    in
     List.iter
       (fun (ix, iy) ->
         Hashtbl.replace w_resps (ix, iy)

@@ -236,19 +236,21 @@ let extract ?(combine = true) ?(jobs = 1) ?checkpoint t blackbox =
   in
   (* Step 1: responses to the root's V columns give every entry involving a
      non-vanishing basis vector (eqs. (3.21)-(3.23)). *)
-  let root_cols = Mat.cols t.root.v in
-  let root_ys =
-    Blackbox.apply_batch ~jobs blackbox
-      (Array.init root_cols (fun j -> Regions.scatter ~n:t.n t.root.contacts (Mat.col t.root.v j)))
-  in
-  Array.iteri
-    (fun j y ->
-      for j' = 0 to root_cols - 1 do
-        let v = Vec.dot (Regions.gather t.root.contacts y) (Mat.col t.root.v j') in
-        set j' j v
-      done;
-      Hashtbl.iter (fun _ b -> if Mat.cols b.w > 0 then project_w b y ~col:j) t.bases)
-    root_ys;
+  Trace.with_span "wavelet.root_projection" (fun () ->
+      let root_cols = Mat.cols t.root.v in
+      let root_ys =
+        Blackbox.apply_batch ~jobs blackbox
+          (Array.init root_cols (fun j ->
+               Regions.scatter ~n:t.n t.root.contacts (Mat.col t.root.v j)))
+      in
+      Array.iteri
+        (fun j y ->
+          for j' = 0 to root_cols - 1 do
+            let v = Vec.dot (Regions.gather t.root.contacts y) (Mat.col t.root.v j') in
+            set j' j v
+          done;
+          Hashtbl.iter (fun _ b -> if Mat.cols b.w > 0 then project_w b y ~col:j) t.bases)
+        root_ys);
   (* Step 2: per level, combine same-level W vectors from squares >= 3
      apart into shared solves and extract their kept interactions. *)
   let max_level = Quadtree.max_level t.tree in
@@ -261,7 +263,7 @@ let extract ?(combine = true) ?(jobs = 1) ?checkpoint t blackbox =
           | _ -> None)
         t.level_squares.(level)
     in
-    if squares <> [] then begin
+    if squares <> [] then Trace.with_span "wavelet.level_combine" (fun () ->
       let max_m = List.fold_left (fun acc b -> max acc (Mat.cols b.w)) 0 squares in
       let groups =
         if combine then
@@ -306,8 +308,7 @@ let extract ?(combine = true) ?(jobs = 1) ?checkpoint t blackbox =
                 List.iter (fun target -> project_w target y ~col) (kept_targets t ~level ~ix ~iy ~level')
               done)
             members)
-        tasks
-    end
+        tasks)
   done;
   let coo = Coo.create t.n t.n in
   Hashtbl.iter (fun (i, j) v -> Coo.add coo i j v) entries;

@@ -128,14 +128,16 @@ let solve_into ~stats t (v : La.Vec.t) : La.Vec.t =
   if result.La.Krylov.breakdown then
     Logs.warn (fun m ->
         m
-          "eigenfunction solve: CG breakdown on a non-positive-definite direction (residual %.2e \
-           after %d iterations%s)"
+          "eigenfunction solve: CG breakdown on a non-positive-definite direction (true residual \
+           %.2e after %d iterations%s%s)"
           result.La.Krylov.residual_norm result.La.Krylov.iterations
-          (if result.La.Krylov.converged then ", accepted at relaxed threshold" else ""))
+          (if result.La.Krylov.converged then ", accepted at relaxed threshold" else "")
+          (if result.La.Krylov.residual_mismatch then ", recurrence residual off by >10x" else ""))
   else if not result.La.Krylov.converged then
     Logs.warn (fun m ->
-        m "eigenfunction solve: CG not converged (residual %.2e after %d iterations)"
-          result.La.Krylov.residual_norm result.La.Krylov.iterations);
+        m "eigenfunction solve: CG not converged (true residual %.2e after %d iterations%s)"
+          result.La.Krylov.residual_norm result.La.Krylov.iterations
+          (if result.La.Krylov.residual_mismatch then ", recurrence residual off by >10x" else ""));
   Blackbox.report_solve t.health
     {
       Substrate.Health.converged = result.La.Krylov.converged;

@@ -95,13 +95,15 @@ let run_cg t ~apply b =
   let wall = Substrate.Health.now () -. t0 in
   if result.La.Krylov.breakdown then
     Logs.warn (fun m ->
-        m "fd solve: CG breakdown on a non-positive-definite direction (residual %.2e after %d iterations%s)"
+        m "fd solve: CG breakdown on a non-positive-definite direction (true residual %.2e after %d iterations%s%s)"
           result.La.Krylov.residual_norm result.La.Krylov.iterations
-          (if result.La.Krylov.converged then ", accepted at relaxed threshold" else ""))
+          (if result.La.Krylov.converged then ", accepted at relaxed threshold" else "")
+          (if result.La.Krylov.residual_mismatch then ", recurrence residual off by >10x" else ""))
   else if not result.La.Krylov.converged then
     Logs.warn (fun m ->
-        m "fd solve: CG not converged (residual %.2e after %d iterations)" result.La.Krylov.residual_norm
-          result.La.Krylov.iterations);
+        m "fd solve: CG not converged (true residual %.2e after %d iterations%s)"
+          result.La.Krylov.residual_norm result.La.Krylov.iterations
+          (if result.La.Krylov.residual_mismatch then ", recurrence residual off by >10x" else ""));
   Blackbox.report_solve t.health
     {
       Substrate.Health.converged = result.La.Krylov.converged;

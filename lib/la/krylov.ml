@@ -13,6 +13,8 @@ type result = {
   converged : bool;
   breakdown : bool;
   residual_norm : float;
+  recurrence_residual : float;
+  residual_mismatch : bool;
 }
 
 type stats = {
@@ -34,10 +36,16 @@ let merge_stats ~into s =
   into.total_iterations <- into.total_iterations + s.total_iterations;
   into.breakdowns <- into.breakdowns + s.breakdowns
 
+let cg_span = "krylov.cg"
+let iterations_dist = Trace.dist "krylov.iterations"
+let breakdown_counter = Trace.counter "krylov.breakdowns"
+let mismatch_counter = Trace.counter "krylov.residual_mismatches"
+
 (* Solve A x = b for SPD A given [apply : v -> A v].
    [precond] applies M^{-1}; default is the identity.
    Convergence: ||r|| <= tol * ||b|| (or absolute 1e-300 floor for b = 0). *)
 let cg ?precond ?(tol = 1e-9) ?(max_iter = 10_000) ?x0 ?stats ~apply b =
+  Trace.with_span cg_span (fun () ->
   let n = Array.length b in
   let precond = match precond with Some p -> p | None -> Vec.copy in
   let x = match x0 with Some x -> Vec.copy x | None -> Vec.create n in
@@ -55,17 +63,16 @@ let cg ?precond ?(tol = 1e-9) ?(max_iter = 10_000) ?x0 ?stats ~apply b =
     incr iterations;
     let ap = apply p in
     let pap = Vec.dot p ap in
-    if pap <= 0.0 then begin
+    if pap <= 0.0 then
       (* Operator not positive definite along p (or exact convergence in
          exact arithmetic). The direction cannot be used — repeating it
          would divide by ~0 and every further iteration would reuse the
          same bad p — so stop immediately and flag the breakdown. The
-         stale iterate is accepted only at a 10x relaxed threshold, and
-         callers can now see that this happened instead of mistaking it
-         for ordinary convergence. *)
-      breakdown := true;
-      converged := !rnorm <= threshold *. 10.0
-    end
+         stale iterate is accepted only at a 10x relaxed threshold
+         (decided below against the *true* residual, recomputed on this
+         exit path), and callers can now see that this happened instead
+         of mistaking it for ordinary convergence. *)
+      breakdown := true
     else begin
       let alpha = !rz /. pap in
       Vec.axpy ~alpha p x;
@@ -83,10 +90,42 @@ let cg ?precond ?(tol = 1e-9) ?(max_iter = 10_000) ?x0 ?stats ~apply b =
       end
     end
   done;
+  (* Exit diagnostics. On the happy path the recurrence residual just
+     crossed the threshold and is trusted as-is. After a breakdown or a
+     max-iteration exit the recurrence value can drift arbitrarily far
+     from ||b - A x|| (the recurrence keeps subtracting alpha*Ap from a
+     stale r), so recompute the true residual — one extra apply, on the
+     failure path only — and report *that* as [residual_norm]. A >10x
+     disagreement between the two is flagged: it means the recurrence
+     itself lost accuracy and iteration counts should be distrusted. *)
+  let recurrence_residual = !rnorm in
+  let residual_norm, residual_mismatch =
+    if !converged && not !breakdown then (recurrence_residual, false)
+    else begin
+      let true_norm = Vec.norm2 (Vec.sub b (apply x)) in
+      let mismatch =
+        true_norm > 10.0 *. recurrence_residual || recurrence_residual > 10.0 *. true_norm
+      in
+      (true_norm, mismatch)
+    end
+  in
+  (* The relaxed breakdown acceptance now judges the trustworthy number. *)
+  if !breakdown then converged := residual_norm <= threshold *. 10.0;
   (match stats with
   | Some s ->
     s.solves <- s.solves + 1;
     s.total_iterations <- s.total_iterations + !iterations;
     if !breakdown then s.breakdowns <- s.breakdowns + 1
   | None -> ());
-  { x; iterations = !iterations; converged = !converged; breakdown = !breakdown; residual_norm = !rnorm }
+  Trace.observe iterations_dist (float_of_int !iterations);
+  if !breakdown then Trace.incr breakdown_counter;
+  if residual_mismatch then Trace.incr mismatch_counter;
+  {
+    x;
+    iterations = !iterations;
+    converged = !converged;
+    breakdown = !breakdown;
+    residual_norm;
+    recurrence_residual;
+    residual_mismatch;
+  })

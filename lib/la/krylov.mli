@@ -11,6 +11,19 @@ type result = {
           operator (or preconditioner) is not SPD along the Krylov space,
           and more iterations would not have helped. *)
   residual_norm : float;
+      (** The trustworthy residual: on ordinary convergence this is the
+          recurrence residual that crossed the threshold; after a breakdown
+          or a max-iteration exit it is the {e true} residual
+          [||b - A x||], recomputed with one extra operator application on
+          that exit path only (the recurrence value can drift arbitrarily
+          far once the iteration misbehaves). *)
+  recurrence_residual : float;
+      (** The residual the PCG recurrence tracked at exit. Equal to
+          [residual_norm] on ordinary convergence. *)
+  residual_mismatch : bool;
+      (** The recurrence and true residuals disagree by more than 10x:
+          the recurrence lost accuracy and per-iteration numbers should
+          be distrusted. Always [false] on ordinary convergence. *)
 }
 
 (** Accumulates per-solve iteration counts across many solves, for the

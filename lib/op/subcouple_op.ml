@@ -58,9 +58,13 @@ let apply t v =
   check_length t v;
   t.op_apply v
 
+let apply_batch_span = "op.apply_batch"
+let apply_batch_size_dist = Trace.dist "op.batch_size"
+
 let apply_batch ?(jobs = 1) t vs =
   Array.iter (check_length t) vs;
-  let out = t.op_batch ~jobs vs in
+  Trace.observe apply_batch_size_dist (float_of_int (Array.length vs));
+  let out = Trace.with_span apply_batch_span (fun () -> t.op_batch ~jobs vs) in
   if Array.length out <> Array.length vs then
     invalid_arg "Subcouple_op: batch implementation returned a wrong-sized result";
   out

@@ -86,6 +86,9 @@ type batch_state = {
   mutable error : (exn * Printexc.raw_backtrace) option;
 }
 
+let chunk_span = "pool.chunk"
+let queue_wait_dist = Trace.dist "pool.queue_wait_s"
+
 let run_chunks pool (chunks : task array) =
   let nchunks = Array.length chunks in
   if nchunks = 0 then ()
@@ -94,8 +97,22 @@ let run_chunks pool (chunks : task array) =
     let state =
       { b_mutex = Mutex.create (); b_done = Condition.create (); remaining = nchunks; error = None }
     in
+    (* One timestamp for the whole batch: every chunk is enqueued together
+       below, so dequeue-time minus this is each chunk's queue wait. 0L
+       (tracing off at enqueue) suppresses the observation — a toggle
+       between enqueue and run must not fabricate a huge wait. *)
+    let enqueued_ns = if Trace.enabled () then Trace.now_ns () else 0L in
+    let run_traced chunk =
+      if not (Trace.enabled ()) then chunk ()
+      else begin
+        if enqueued_ns <> 0L then
+          Trace.observe queue_wait_dist
+            (Int64.to_float (Int64.sub (Trace.now_ns ()) enqueued_ns) *. 1e-9);
+        Trace.with_span chunk_span chunk
+      end
+    in
     let guarded chunk () =
-      (try chunk ()
+      (try run_traced chunk
        with e ->
          let bt = Printexc.get_raw_backtrace () in
          Mutex.lock state.b_mutex;

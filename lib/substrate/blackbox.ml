@@ -47,6 +47,11 @@ type t = {
 let total = Atomic.make 0
 let total_solve_count () = Atomic.get total
 
+let solve_span = "blackbox.solve"
+let batch_span = "blackbox.batch"
+let batch_size_dist = Trace.dist "blackbox.batch_size"
+let solves_counter = Trace.counter "blackbox.solves"
+
 (* --- domain-local side channels -------------------------------------------
 
    The [t] record's solve signature (vec -> vec) cannot carry metadata, and
@@ -115,7 +120,15 @@ let non_finite_reason v =
   (try
      Array.iteri (fun i x -> if not (Float.is_finite x) then begin k := i; raise Exit end) v
    with Exit -> ());
-  Printf.sprintf "non-finite response (first bad component %d = %h)" !k v.(!k)
+  if !k < 0 then
+    (* Reachable when a caller flags a response as non-finite but the
+       vector scans clean (e.g. fault injection repaired it, or the report
+       and the response disagree). Indexing v.(!k) here used to raise
+       Invalid_argument — the diagnostic itself crashed and masked the
+       real failure. *)
+    Printf.sprintf "non-finite response reported, but a re-scan found all %d components finite"
+      (Array.length v)
+  else Printf.sprintf "non-finite response (first bad component %d = %h)" !k v.(!k)
 
 (* [make_batch ~n ~batch solve] wraps a solver that also supplies a
    (possibly parallel) multi-RHS implementation. The wrappers validate,
@@ -139,8 +152,11 @@ let make_batch ?health ?(count_total = true) ~n ~batch solve =
     let ordinal = Atomic.fetch_and_add counter 1 in
     if count_total then Atomic.incr total;
     ignore (take_pending ());  (* discard any stale report from a prior solve *)
+    (* Wrapper boxes (count_total = false) delegate to an inner counted
+       box; tallying them too would double-count, exactly as for [total]. *)
+    if count_total then Trace.incr solves_counter;
     let t0 = Health.now () in
-    let y = solve v in
+    let y = Trace.with_span solve_span (fun () -> solve v) in
     let wall = Health.now () -. t0 in
     let finite = all_finite y in
     let report =
@@ -157,8 +173,12 @@ let make_batch ?health ?(count_total = true) ~n ~batch solve =
     Array.iter (check_length n) vs;
     let base = Atomic.fetch_and_add counter (Array.length vs) in
     if count_total then ignore (Atomic.fetch_and_add total (Array.length vs));
+    if count_total then begin
+      Trace.incr ~by:(Array.length vs) solves_counter;
+      Trace.observe batch_size_dist (float_of_int (Array.length vs))
+    end;
     let t0 = Health.now () in
-    let out = batch ~jobs vs in
+    let out = Trace.with_span batch_span (fun () -> batch ~jobs vs) in
     let wall = Health.now () -. t0 in
     if Array.length out <> Array.length vs then
       invalid_arg "Blackbox: batch implementation returned a wrong-sized result";

@@ -66,6 +66,12 @@ val op : t -> Subcouple_op.t
     breakdowns, non-finite responses, iteration and wall-time totals. *)
 val health : t -> Health.t
 
+(** The diagnostic attached to {!Solve_failed} for a response [v]: names
+    the first non-finite component, or states explicitly that a re-scan
+    found every component finite (a response can be {e reported} bad by a
+    wrapper while scanning clean — the diagnostic must not crash then). *)
+val non_finite_reason : La.Vec.t -> string
+
 (** Process-wide solve tally across every black box ever constructed (never
     reset). Benchmarks diff it around an experiment to report total solve
     cost; wrapper boxes built with [~count_total:false] do not contribute,

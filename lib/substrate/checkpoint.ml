@@ -55,8 +55,19 @@ let load_entries path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let len = in_channel_length ic in
-      if len < String.length magic then (* empty or torn header: treat as fresh *)
+      if len = 0 then (* an empty file is a fresh checkpoint *)
         ([], 0)
+      else if len < String.length magic then
+        (* A non-empty file too short to even hold the magic is not a
+           checkpoint. Treating it as fresh used to truncate and overwrite
+           it — a mistyped --checkpoint path destroyed an arbitrary small
+           file. Refuse instead, like any other bad-magic file. *)
+        raise
+          (Corrupt
+             (Printf.sprintf
+                "%s: not a checkpoint file (%d bytes, shorter than the magic; refusing to \
+                 overwrite)"
+                path len))
       else begin
         let header = really_input_string ic (String.length magic) in
         if header <> magic then
@@ -110,6 +121,10 @@ let create path =
 
 let digest_stage ~stage rhs = Digest.to_hex (Digest.string (Marshal.to_string (stage, rhs) []))
 
+let replay_span = "checkpoint.stage.replay"
+let solve_span = "checkpoint.stage.solve"
+let replay_counter = Trace.counter "checkpoint.replay_hits"
+
 let append t ~stage_digest responses =
   match t.oc with
   | None -> ()  (* closed: keep solving, stop persisting *)
@@ -125,28 +140,29 @@ let stage t ~rhs solve =
   Mutex.protect t.mutex (fun () ->
       let stage = t.cursor in
       let stage_digest = digest_stage ~stage rhs in
-      if stage < Array.length t.completed then begin
-        let e = t.completed.(stage) in
-        if e.stage_digest <> stage_digest then
-          raise
-            (Mismatch
-               {
-                 stage;
-                 message =
-                   Printf.sprintf
-                     "%s was written by a different run (layout/solver/seed changed?)" t.path;
-               });
-        t.cursor <- stage + 1;
-        t.hits <- t.hits + 1;
-        t.cached_solves <- t.cached_solves + Array.length e.responses;
-        e.responses
-      end
-      else begin
-        let responses = solve () in
-        append t ~stage_digest responses;
-        t.cursor <- stage + 1;
-        responses
-      end)
+      if stage < Array.length t.completed then
+        Trace.with_span replay_span (fun () ->
+            let e = t.completed.(stage) in
+            if e.stage_digest <> stage_digest then
+              raise
+                (Mismatch
+                   {
+                     stage;
+                     message =
+                       Printf.sprintf
+                         "%s was written by a different run (layout/solver/seed changed?)" t.path;
+                   });
+            t.cursor <- stage + 1;
+            t.hits <- t.hits + 1;
+            t.cached_solves <- t.cached_solves + Array.length e.responses;
+            Trace.incr replay_counter;
+            e.responses)
+      else
+        Trace.with_span solve_span (fun () ->
+            let responses = solve () in
+            append t ~stage_digest responses;
+            t.cursor <- stage + 1;
+            responses))
 
 (* Wrap a box so every apply/apply_batch becomes a checkpointed stage.
    [~count_total:false]: replayed stages must not inflate the process-wide

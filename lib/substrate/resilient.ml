@@ -94,6 +94,10 @@ let box_for t k =
 let record_failure t f =
   Mutex.protect t.mutex (fun () -> t.failures <- f :: t.failures)
 
+let attempt_span = "resilient.attempt"
+let retry_counter = Trace.counter "resilient.retries"
+let degraded_counter = Trace.counter "resilient.degraded"
+
 let describe_soft (r : Health.report) =
   Printf.sprintf "not converged (residual %.3e after %d iterations%s)" r.residual r.iterations
     (if r.breakdown then ", CG breakdown" else "")
@@ -103,7 +107,10 @@ let solve_indexed t index v =
      hard failures contribute nothing. *)
   let rec attempt k ~best ~log_lines =
     let label, box = box_for t k in
-    match Blackbox.with_context ~index ~attempt:k (fun () -> Blackbox.apply box v) with
+    match
+      Blackbox.with_context ~index ~attempt:k (fun () ->
+          Trace.with_span attempt_span (fun () -> Blackbox.apply box v))
+    with
     | y ->
       let report = Blackbox.last_report () in
       let soft =
@@ -131,6 +138,7 @@ let solve_indexed t index v =
   and next k ~best ~log_lines =
     if k < t.policy.max_attempts then begin
       Atomic.incr t.retries;
+      Trace.incr retry_counter;
       attempt (k + 1) ~best ~log_lines
     end
     else exhausted ~best ~log_lines
@@ -152,6 +160,7 @@ let solve_indexed t index v =
         { solve_index = index; attempts = t.policy.max_attempts; degraded = true; reason };
       Log.warn (fun m ->
           m "solve %d degraded after %d attempt(s): %s" index t.policy.max_attempts reason);
+      Trace.incr degraded_counter;
       (* Flag the substitution in the wrapper box's health record: the
          synthesized report below is what [make_batch] picks up. *)
       Blackbox.set_pending_report

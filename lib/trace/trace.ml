@@ -1,0 +1,319 @@
+(* Tracing and metrics. See trace.mli for the model.
+
+   Hot-path discipline: every recording entry point first reads one
+   [Atomic] and branches away when tracing is off — no closure, no clock
+   read, no allocation on the disabled path. When on, a domain only ever
+   appends to its own buffer (reached through [Domain.DLS]), so recording
+   never takes a lock; the single mutex below guards only the registry of
+   buffers and counter cells, touched once per domain / per handle. *)
+
+(* One recorded event. A flat record (rather than a variant per kind)
+   keeps pushes to a single allocation. *)
+type ev = {
+  ev_name : string;
+  ev_span : bool;  (* true: span with duration; false: distribution sample *)
+  ev_t0 : int64;  (* ns, monotonic *)
+  ev_dur : int64;  (* ns; 0 for samples *)
+  ev_value : float;  (* sample value; 0 for spans *)
+  ev_depth : int;  (* span-nesting depth on the recording domain *)
+}
+
+let dummy_ev =
+  { ev_name = ""; ev_span = false; ev_t0 = 0L; ev_dur = 0L; ev_value = 0.0; ev_depth = 0 }
+
+type buffer = {
+  buf_domain : int;
+  mutable buf_events : ev array;
+  mutable buf_len : int;
+  mutable buf_depth : int;  (* live span nesting; transient, not merged *)
+}
+
+let enabled_flag = Atomic.make false
+let registry_mutex = Mutex.create ()
+
+(* Every buffer ever handed out, including those of joined domains: events
+   must survive the worker that recorded them, exactly like the per-domain
+   [Krylov.stats] records merged after a batch. Mutated only under
+   [registry_mutex]; the buffers inside are single-writer (their owning
+   domain) by construction. *)
+let registered_buffers : buffer list ref = ref []
+
+(* Counter cells by name, so equally-named handles share one cell. The
+   cells are [Atomic]; only the list spine needs the registry mutex. *)
+let registered_counters : (string * int Atomic.t) list ref = ref []
+
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let buf =
+        {
+          buf_domain = (Domain.self () :> int);
+          buf_events = Array.make 256 dummy_ev;
+          buf_len = 0;
+          buf_depth = 0;
+        }
+      in
+      Mutex.protect registry_mutex (fun () -> registered_buffers := buf :: !registered_buffers);
+      buf)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+let now_ns () = Monotonic_clock.now ()
+
+let reset () =
+  Mutex.protect registry_mutex (fun () ->
+      List.iter (fun b -> b.buf_len <- 0) !registered_buffers;
+      List.iter (fun (_, c) -> Atomic.set c 0) !registered_counters)
+
+(* ------------------------------------------------------------------ *)
+(* Recording *)
+
+let push buf e =
+  let cap = Array.length buf.buf_events in
+  if buf.buf_len = cap then begin
+    let bigger = Array.make (2 * cap) dummy_ev in
+    Array.blit buf.buf_events 0 bigger 0 cap;
+    buf.buf_events <- bigger
+  end;
+  buf.buf_events.(buf.buf_len) <- e;
+  buf.buf_len <- buf.buf_len + 1
+
+let with_span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let buf = Domain.DLS.get buffer_key in
+    let depth = buf.buf_depth in
+    buf.buf_depth <- depth + 1;
+    let t0 = Monotonic_clock.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Monotonic_clock.now () in
+        buf.buf_depth <- depth;
+        push buf
+          {
+            ev_name = name;
+            ev_span = true;
+            ev_t0 = t0;
+            ev_dur = Int64.sub t1 t0;
+            ev_value = 0.0;
+            ev_depth = depth;
+          })
+      f
+  end
+
+type counter = int Atomic.t
+
+let counter name =
+  Mutex.protect registry_mutex (fun () ->
+      match List.assoc_opt name !registered_counters with
+      | Some cell -> cell
+      | None ->
+        let cell = Atomic.make 0 in
+        registered_counters := (name, cell) :: !registered_counters;
+        cell)
+
+let incr ?(by = 1) cell =
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add cell by)
+
+type dist = string
+
+let dist name : dist = name
+
+let observe (name : dist) value =
+  if Atomic.get enabled_flag then begin
+    let buf = Domain.DLS.get buffer_key in
+    push buf
+      {
+        ev_name = name;
+        ev_span = false;
+        ev_t0 = Monotonic_clock.now ();
+        ev_dur = 0L;
+        ev_value = value;
+        ev_depth = buf.buf_depth;
+      }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Merging *)
+
+type event = {
+  name : string;
+  kind : [ `Span | `Value ];
+  domain : int;
+  t0_ns : int64;
+  dur_ns : int64;
+  value : float;
+  depth : int;
+}
+
+(* Snapshot under the registry mutex: buffer lengths are read once, so a
+   domain recording concurrently can at worst be missed, never torn. The
+   sort key (t0, domain, name, dur) is total for any one run, making the
+   merged order independent of registration order. *)
+let events () =
+  let snap =
+    Mutex.protect registry_mutex (fun () ->
+        List.map (fun b -> (b.buf_domain, Array.sub b.buf_events 0 b.buf_len)) !registered_buffers)
+  in
+  let all =
+    List.concat_map
+      (fun (domain, evs) ->
+        Array.to_list
+          (Array.map
+             (fun e ->
+               {
+                 name = e.ev_name;
+                 kind = (if e.ev_span then `Span else `Value);
+                 domain;
+                 t0_ns = e.ev_t0;
+                 dur_ns = e.ev_dur;
+                 value = e.ev_value;
+                 depth = e.ev_depth;
+               })
+             evs))
+      snap
+  in
+  List.sort
+    (fun a b ->
+      let c = Int64.compare a.t0_ns b.t0_ns in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.domain b.domain in
+        if c <> 0 then c
+        else
+          let c = String.compare a.name b.name in
+          if c <> 0 then c else Int64.compare b.dur_ns a.dur_ns)
+    all
+
+let event_count () =
+  Mutex.protect registry_mutex (fun () ->
+      List.fold_left (fun acc b -> acc + b.buf_len) 0 !registered_buffers)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation *)
+
+type agg = {
+  agg_name : string;
+  count : int;
+  total : float;
+  mean : float;
+  max : float;
+  min : float;
+}
+
+type summary = {
+  spans : agg list;
+  dists : agg list;
+  counters : (string * int) list;
+}
+
+let aggregate rows =
+  let tbl : (string, int ref * float ref * float ref * float ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt tbl name with
+      | Some (n, sum, mx, mn) ->
+        Stdlib.incr n;
+        sum := !sum +. v;
+        if v > !mx then mx := v;
+        if v < !mn then mn := v
+      | None -> Hashtbl.add tbl name (ref 1, ref v, ref v, ref v))
+    rows;
+  Hashtbl.fold
+    (fun agg_name (n, sum, mx, mn) acc ->
+      {
+        agg_name;
+        count = !n;
+        total = !sum;
+        mean = !sum /. float_of_int !n;
+        max = !mx;
+        min = !mn;
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> String.compare a.agg_name b.agg_name)
+
+let summary () =
+  let evs = events () in
+  let span_rows =
+    List.filter_map
+      (fun e ->
+        match e.kind with
+        | `Span -> Some (e.name, Int64.to_float e.dur_ns *. 1e-9)
+        | `Value -> None)
+      evs
+  in
+  let dist_rows =
+    List.filter_map
+      (fun e -> match e.kind with `Value -> Some (e.name, e.value) | `Span -> None)
+      evs
+  in
+  let counters =
+    Mutex.protect registry_mutex (fun () ->
+        List.map (fun (name, cell) -> (name, Atomic.get cell)) !registered_counters)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { spans = aggregate span_rows; dists = aggregate dist_rows; counters }
+
+let pp_summary ppf s =
+  let header kind = Format.fprintf ppf "%-40s %8s %12s %12s %12s@," kind "count" "total" "mean" "max" in
+  let row a = Format.fprintf ppf "%-40s %8d %12.6g %12.6g %12.6g@," a.agg_name a.count a.total a.mean a.max in
+  Format.fprintf ppf "@[<v>";
+  if s.spans <> [] then begin
+    header "span (seconds)";
+    List.iter row s.spans
+  end;
+  if s.dists <> [] then begin
+    header "distribution (values)";
+    List.iter row s.dists
+  end;
+  if s.counters <> [] then begin
+    Format.fprintf ppf "%-40s %8s@," "counter" "value";
+    List.iter (fun (name, v) -> Format.fprintf ppf "%-40s %8d@," name v) s.counters
+  end;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let chrome_string () =
+  let evs = events () in
+  let t_min = List.fold_left (fun acc e -> Int64.min acc e.t0_ns) Int64.max_int evs in
+  let us_of ns = Int64.to_float (Int64.sub ns t_min) /. 1e3 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      (match e.kind with
+      | `Span ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"subcouple\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"depth\":%d}}"
+             (json_escape e.name) (us_of e.t0_ns)
+             (Int64.to_float e.dur_ns /. 1e3)
+             e.domain e.depth)
+      | `Value ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"subcouple\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"value\":%.17g}}"
+             (json_escape e.name) (us_of e.t0_ns) e.domain e.value)))
+    evs;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let write_chrome oc = output_string oc (chrome_string ())

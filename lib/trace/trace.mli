@@ -1,0 +1,124 @@
+(** Process-wide, Domain-safe tracing and metrics.
+
+    Three instruments, all cheap enough to leave in production code:
+
+    - {b spans} ({!with_span}): named, nested, monotonic-clock-timed
+      intervals ("one CG solve", "one pool chunk", "the root projection
+      stage");
+    - {b counters} ({!counter} / {!incr}): monotonically increasing event
+      tallies ("CG breakdowns", "checkpoint replay hits");
+    - {b distributions} ({!dist} / {!observe}): streams of sampled values
+      ("CG iterations per solve", "batch sizes", "pool queue wait").
+
+    Tracing is {e disabled by default}. When disabled, every instrument is
+    a single [Atomic.get] and a branch — no allocation, no clock read — so
+    instrumented hot paths cost nothing measurable. Instrumentation must
+    never change results: spans only time; they carry no data dependency.
+
+    Concurrency model (the same shape as [Krylov.merge_stats]): each domain
+    appends events to its own buffer obtained through [Domain.DLS] — no
+    mutex, no contention on the hot path. A global registry (the only
+    mutexed structure, touched once per domain) keeps every buffer alive so
+    {!events}, {!summary} and the exporters can merge them after the
+    parallel section. Merging while other domains are still recording is
+    safe but may miss their latest events; dump after joining workers.
+
+    Exporters: {!write_chrome} emits Chrome [trace_event] JSON — load it in
+    [about:tracing] or {{:https://ui.perfetto.dev}Perfetto} — and
+    {!summary} / {!pp_summary} aggregate spans and distributions into
+    count/total/mean/max rows with deterministic (name-sorted) order. *)
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+
+(** Turn recording on or off. Off (the default) is the zero-cost path. *)
+val set_enabled : bool -> unit
+
+(** Drop every recorded event and zero every counter. Buffers stay
+    registered, so domains that already traced keep working. Call only
+    while no other domain is recording. *)
+val reset : unit -> unit
+
+(** The monotonic clock used for spans, in nanoseconds. Exposed so callers
+    can time an interval that does not fit a lexical scope (e.g. the pool's
+    enqueue-to-dequeue wait). *)
+val now_ns : unit -> int64
+
+(** {1 Recording} *)
+
+(** [with_span name f] runs [f], recording a span covering its execution
+    (exceptional exits included) on the calling domain. Spans on one domain
+    nest lexically; the recorded depth says how deep. *)
+val with_span : string -> (unit -> 'a) -> 'a
+
+type counter
+
+(** Counters and distributions are cheap handles; create them once at
+    module level and reuse. Two handles with the same name aggregate
+    together. *)
+val counter : string -> counter
+
+val incr : ?by:int -> counter -> unit
+
+type dist
+
+val dist : string -> dist
+
+(** Record one sample of the distribution on the calling domain. *)
+val observe : dist -> float -> unit
+
+(** {1 Inspection and export} *)
+
+(** One merged event, as recorded. [kind] is [`Span] (with [dur_ns]) or
+    [`Value] (with [value]); [domain] is the recording domain's id;
+    [depth] is the span-nesting depth at record time. *)
+type event = {
+  name : string;
+  kind : [ `Span | `Value ];
+  domain : int;
+  t0_ns : int64;
+  dur_ns : int64;
+  value : float;
+  depth : int;
+}
+
+(** Snapshot of every recorded event across all domains, sorted by
+    (start time, domain, name) — a deterministic order for any merge. *)
+val events : unit -> event list
+
+(** Total recorded events across all domains (0 while disabled: the no-op
+    regression tests assert on this). *)
+val event_count : unit -> int
+
+(** Aggregate row: [count] events named [name]; [total]/[mean]/[max]/[min]
+    are seconds for spans and raw sample values for distributions. *)
+type agg = {
+  agg_name : string;
+  count : int;
+  total : float;
+  mean : float;
+  max : float;
+  min : float;
+}
+
+type summary = {
+  spans : agg list;  (** name-sorted *)
+  dists : agg list;  (** name-sorted *)
+  counters : (string * int) list;  (** name-sorted *)
+}
+
+val summary : unit -> summary
+
+(** Render the aggregate summary as an aligned table. *)
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Write the merged events as Chrome [trace_event] JSON
+    ([{"traceEvents": [...]}]); spans become complete (["ph":"X"]) events,
+    distribution samples become counter (["ph":"C"]) events, [tid] is the
+    recording domain. Timestamps are microseconds relative to the earliest
+    recorded event. *)
+val write_chrome : out_channel -> unit
+
+(** {!write_chrome} into a string. *)
+val chrome_string : unit -> string

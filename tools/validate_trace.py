@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Schema check for Chrome trace_event JSON written by --trace.
+
+Validates the structural contract the exporters promise (stdlib only, no
+third-party deps):
+
+  * top level: {"traceEvents": [...]} with a list value;
+  * every event: name (non-empty str), cat, ph in {"X", "C"}, numeric
+    ts >= 0, int pid/tid, args a dict;
+  * "X" (complete span) events: numeric dur >= 0 and an int args.depth >= 0;
+  * "C" (counter/distribution sample) events: a numeric args.value.
+
+Usage: validate_trace.py FILE [--require-span NAME]...
+Exits non-zero with a message on the first violation; with --require-span,
+also fails unless a span with that exact name is present (CI uses this to
+assert the pool/Krylov/blackbox/extraction phases were actually covered).
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    sys.exit(f"validate_trace: {msg}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("file")
+    ap.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        help="fail unless a ph=X event with this exact name exists",
+    )
+    ap.add_argument(
+        "--min-events", type=int, default=1, help="fail if fewer events than this"
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.file, "rb") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.file}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents must be a list")
+    if len(events) < args.min_events:
+        fail(f"expected at least {args.min_events} events, found {len(events)}")
+
+    span_names = set()
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for key in ("name", "cat", "ph", "ts", "pid", "tid", "args"):
+            if key not in ev:
+                fail(f"{where}: missing {key!r}")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(f"{where}: name must be a non-empty string")
+        if ev["ph"] not in ("X", "C"):
+            fail(f"{where}: ph must be 'X' or 'C', got {ev['ph']!r}")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            fail(f"{where}: ts must be a non-negative number")
+        if not isinstance(ev["pid"], int) or not isinstance(ev["tid"], int):
+            fail(f"{where}: pid and tid must be integers")
+        if not isinstance(ev["args"], dict):
+            fail(f"{where}: args must be an object")
+        if ev["ph"] == "X":
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+                fail(f"{where}: X event needs a non-negative numeric dur")
+            depth = ev["args"].get("depth")
+            if not isinstance(depth, int) or depth < 0:
+                fail(f"{where}: X event needs a non-negative integer args.depth")
+            span_names.add(ev["name"])
+        else:
+            if not isinstance(ev["args"].get("value"), (int, float)):
+                fail(f"{where}: C event needs a numeric args.value")
+
+    for name in args.require_span:
+        if name not in span_names:
+            fail(
+                f"required span {name!r} not found "
+                f"(spans present: {', '.join(sorted(span_names)) or 'none'})"
+            )
+
+    print(
+        f"validate_trace: {args.file} OK "
+        f"({len(events)} events, {len(span_names)} distinct spans)"
+    )
+
+
+if __name__ == "__main__":
+    main()
