@@ -910,6 +910,204 @@ let bench_trace ~full () =
     :: !trace_records
 
 (* ------------------------------------------------------------------ *)
+(* Kernel layer: boxed vs Bigarray, fused vs looped spmv, blocked vs plain *)
+
+type kernel_record = {
+  kr_name : string;  (* what is being compared *)
+  kr_n : int;  (* problem size *)
+  kr_baseline : string;
+  kr_baseline_s : float;
+  kr_candidate : string;
+  kr_candidate_s : float;
+  kr_bit_identical : bool;
+  kr_gated : bool;  (* gated records must show candidate <= baseline *)
+}
+
+let kernel_records : kernel_record list ref = ref []
+
+let bench_kernels ~full () =
+  section "Kernel layer — boxed vs Bigarray, fused vs looped spmv (bechamel)";
+  (* Earlier experiments can leave a large, fragmented live heap (dense
+     reference matrices, DCT tables); compact so kernel timings measure
+     the kernels, not the allocator state another experiment left behind. *)
+  Gc.compact ();
+  let vec_bits_equal a b =
+    Array.length a = Array.length b
+    && Array.for_all2 (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)) a b
+  in
+  let batch_bits_equal a b =
+    Array.length a = Array.length b && Array.for_all2 vec_bits_equal a b
+  in
+  let time name f =
+    bechamel_time_per_run (Bechamel.Test.make ~name (Bechamel.Staged.stage f))
+  in
+  let record ~gated name n (bl_name, bl_s) (cd_name, cd_s) identical =
+    Printf.printf "  %-34s n=%-7d %-10s %.3e s   %-10s %.3e s   %5.2fx%s%s\n%!" name n bl_name
+      bl_s cd_name cd_s (bl_s /. cd_s)
+      (if identical then "  [bit-identical]" else "  [MISMATCH]")
+      (if gated then "  (gated)" else "");
+    if not identical then failwith (name ^ ": candidate kernel is not bit-identical");
+    kernel_records :=
+      {
+        kr_name = name;
+        kr_n = n;
+        kr_baseline = bl_name;
+        kr_baseline_s = bl_s;
+        kr_candidate = cd_name;
+        kr_candidate_s = cd_s;
+        kr_bit_identical = identical;
+        kr_gated = gated;
+      }
+      :: !kernel_records
+  in
+  (* --- BLAS-1: boxed Vec vs Bvec ----------------------------------- *)
+  let n1 = if full then 262_144 else 65_536 in
+  let a = La.Rng.gaussian_array (La.Rng.create 101) n1 in
+  let b = La.Rng.gaussian_array (La.Rng.create 102) n1 in
+  let ba = La.Bvec.of_array a and bb = La.Bvec.of_array b in
+  record ~gated:false "dot" n1
+    ("Vec.dot", time "vec dot" (fun () -> ignore (Vec.dot a b)))
+    ("Bvec.dot", time "bvec dot" (fun () -> ignore (La.Bvec.dot ba bb)))
+    (Int64.equal (Int64.bits_of_float (Vec.dot a b)) (Int64.bits_of_float (La.Bvec.dot ba bb)));
+  let y_boxed = Vec.copy b in
+  let y_big = La.Bvec.of_array b in
+  record ~gated:false "axpy" n1
+    ("Vec.axpy", time "vec axpy" (fun () -> Vec.axpy ~alpha:0.5 a y_boxed))
+    ("Bvec.axpy", time "bvec axpy" (fun () -> La.Bvec.axpy ~alpha:0.5 ba y_big))
+    (let y1 = Vec.copy b and y2 = La.Bvec.of_array b in
+     Vec.axpy ~alpha:0.5 a y1;
+     La.Bvec.axpy ~alpha:0.5 ba y2;
+     vec_bits_equal y1 (La.Bvec.to_array y2));
+  (* --- dense gemv: Mat vs Bmat -------------------------------------- *)
+  let nd = if full then 768 else 512 in
+  let dm = Mat.random (La.Rng.create 103) nd nd in
+  let bm = La.Bmat.of_mat dm in
+  let xv = La.Rng.gaussian_array (La.Rng.create 104) nd in
+  record ~gated:false "dense gemv" nd
+    ("Mat.gemv", time "mat gemv" (fun () -> ignore (Mat.gemv dm xv)))
+    ("Bmat.gemv", time "bmat gemv" (fun () -> ignore (La.Bmat.gemv bm xv)))
+    (vec_bits_equal (Mat.gemv dm xv) (La.Bmat.gemv bm xv));
+  (* --- CSR: fused multi-RHS vs per-column loop, blocked vs plain ----- *)
+  (* A grid Laplacian large enough (~190k nnz reduced, ~65k nodes at full
+     scale) that the matrix no longer fits in L2: the regime where reading
+     it once per block instead of once per column pays. *)
+  let nx = if full then 64 else 48 in
+  let nz = nx / 4 in
+  let layout = Layout.regular_grid ~size:128.0 ~per_side:8 ~fill:0.5 () in
+  let grid = Fdsolver.Grid.create fd_profile_resolved layout ~nx ~nz in
+  let acsr = Fdsolver.Grid.to_csr grid in
+  let ncsr = Sparsemat.Csr.rows acsr in
+  let width = if full then 32 else 16 in
+  let xs =
+    Array.init width (fun i -> La.Rng.gaussian_array (La.Rng.create (200 + i)) ncsr)
+  in
+  let looped () = Array.map (Sparsemat.Csr.gemv acsr) xs in
+  let fused () = Sparsemat.Csr.apply_batch acsr xs in
+  record ~gated:true
+    (Printf.sprintf "csr spmv x%d rhs" width)
+    ncsr
+    ("per-column", time "looped spmv" (fun () -> ignore (looped ())))
+    ("fused", time "fused spmv" (fun () -> ignore (fused ())))
+    (batch_bits_equal (looped ()) (fused ()));
+  record ~gated:false "csr spmv blocked" ncsr
+    ("plain", time "plain spmv" (fun () -> ignore (Sparsemat.Csr.gemv acsr xs.(0))))
+    ("blocked", time "blocked spmv" (fun () -> ignore (Sparsemat.Csr.gemv_blocked acsr xs.(0))))
+    (vec_bits_equal (Sparsemat.Csr.gemv acsr xs.(0)) (Sparsemat.Csr.gemv_blocked acsr xs.(0)));
+  (* --- CG: Bigarray working vectors vs the boxed reference ----------- *)
+  (* Par-workload recurrence: the par experiment's CG runs
+     unpreconditioned on packed contact-panel dofs (the eigenfunction
+     solver's A_cc system). The real A_cc apply is DCT-dominated, so an
+     end-to-end timing would measure the transform, not the solver; here
+     the operator is a fixed-spectrum diagonal costing one O(n) sweep —
+     cheap enough that the measurement isolates the CG recurrence, which
+     is the part the kernel layer rewrote (three fewer vector passes and
+     one fewer allocation per iteration). [tol 0.0] pins both sides to
+     exactly [max_iter] iterations of identical work. End-to-end par
+     results (real operator) stay covered by the par experiment and the
+     probe digests. *)
+  let par_layout = Layout.regular_grid ~size:128.0 ~per_side:16 ~fill:0.5 () in
+  let par_eig = Eigsolver.Eig_solver.create profile par_layout ~panels_per_side:64 in
+  let ncg = Eigsolver.Eig_solver.panel_count par_eig in
+  let diag =
+    Array.init ncg (fun i -> 1.0 +. (9.0 *. float_of_int i /. float_of_int (max 1 (ncg - 1))))
+  in
+  let dbuf = Array.make ncg 0.0 in
+  let apply_diag v =
+    for i = 0 to ncg - 1 do
+      dbuf.(i) <- diag.(i) *. v.(i)
+    done;
+    dbuf
+  in
+  let bcg = La.Rng.gaussian_array (La.Rng.create 105) ncg in
+  let cg_iters = 80 in
+  record ~gated:true "cg recurrence (par panel dofs)" ncg
+    ( "cg_boxed",
+      time "cg boxed" (fun () ->
+          ignore (La.Krylov.cg_boxed ~apply:apply_diag ~tol:0.0 ~max_iter:cg_iters bcg)) )
+    ( "cg bigarray",
+      time "cg bigarray" (fun () ->
+          ignore (La.Krylov.cg ~apply:apply_diag ~tol:0.0 ~max_iter:cg_iters bcg)) )
+    (vec_bits_equal
+       (La.Krylov.cg ~apply:apply_diag ~tol:0.0 ~max_iter:cg_iters bcg).La.Krylov.x
+       (La.Krylov.cg_boxed ~apply:apply_diag ~tol:0.0 ~max_iter:cg_iters bcg).La.Krylov.x);
+  (* Dense-operator shape: O(n^2) apply dominates, so this records how
+     little headroom the solver rewrite has when the operator is the
+     cost — an honest upper-bound-context row, not a gate. *)
+  let nds = 128 in
+  let c = Mat.random (La.Rng.create 107) nds nds in
+  let spd =
+    Mat.add (Mat.mul (Mat.transpose c) c) (Mat.scale (float_of_int nds) (Mat.identity nds))
+  in
+  let apply_spd = Mat.gemv spd in
+  let rhs = Array.init 8 (fun i -> La.Rng.gaussian_array (La.Rng.create (300 + i)) nds) in
+  let cg_all solver = Array.iter (fun b -> ignore (solver ~apply:apply_spd b)) rhs in
+  record ~gated:false "cg (dense operator)" nds
+    ("cg_boxed", time "cg boxed" (fun () -> cg_all (fun ~apply b -> La.Krylov.cg_boxed ~apply b)))
+    ("cg bigarray", time "cg bigarray" (fun () -> cg_all (fun ~apply b -> La.Krylov.cg ~apply b)))
+    (Array.for_all
+       (fun b ->
+         vec_bits_equal (La.Krylov.cg ~apply:apply_spd b).La.Krylov.x
+           (La.Krylov.cg_boxed ~apply:apply_spd b).La.Krylov.x)
+       rhs);
+  (* FD-workload shape: grid-node vectors (the heavy BLAS-1 path), with
+     the allocation-free [Grid.apply_into] closure on both sides and a
+     fixed iteration count (tol 0 runs exactly max_iter iterations), so
+     the measured delta is again the vector layer. *)
+  let nxf = 32 in
+  let gridf = Fdsolver.Grid.create fd_profile_resolved layout ~nx:nxf ~nz:(nxf / 4) in
+  let nf = Fdsolver.Grid.node_count gridf in
+  let buf = Array.make nf 0.0 in
+  let apply_grid v =
+    Fdsolver.Grid.apply_into gridf ~src:v ~dst:buf;
+    buf
+  in
+  let bf = La.Rng.gaussian_array (La.Rng.create 106) nf in
+  let iters = 60 in
+  record ~gated:true "cg (fd grid stencil)" nf
+    ( "cg_boxed",
+      time "cg boxed fd" (fun () ->
+          ignore (La.Krylov.cg_boxed ~apply:apply_grid ~tol:0.0 ~max_iter:iters bf)) )
+    ( "cg bigarray",
+      time "cg bigarray fd" (fun () ->
+          ignore (La.Krylov.cg ~apply:apply_grid ~tol:0.0 ~max_iter:iters bf)) )
+    (vec_bits_equal
+       (La.Krylov.cg ~apply:apply_grid ~tol:0.0 ~max_iter:iters bf).La.Krylov.x
+       (La.Krylov.cg_boxed ~apply:apply_grid ~tol:0.0 ~max_iter:iters bf).La.Krylov.x);
+  (* --- Repr: fused three-sweep batch vs per-column apply ------------- *)
+  let rlayout = Layout.alternating ~size:128.0 ~per_side:16 () in
+  let nrep = Layout.n_contacts rlayout in
+  let repr =
+    Repr.threshold (Lowrank.extract rlayout (eig_blackbox ~panels:64 rlayout)) ~target:6.0
+  in
+  let rop = Repr.op repr in
+  let rxs = Array.init 16 (fun i -> La.Rng.gaussian_array (La.Rng.create (400 + i)) nrep) in
+  record ~gated:false "repr batch x16 rhs" nrep
+    ( "per-column",
+      time "repr looped" (fun () -> ignore (Array.map (Subcouple_op.apply rop) rxs)) )
+    ("fused", time "repr fused" (fun () -> ignore (Repr.apply_batch repr ~jobs:1 rxs)))
+    (batch_bits_equal (Array.map (Subcouple_op.apply rop) rxs) (Repr.apply_batch repr ~jobs:1 rxs))
+
+(* ------------------------------------------------------------------ *)
 (* JSON results (--json FILE): hand-rolled writer, no JSON dependency *)
 
 let json_escape s =
@@ -927,12 +1125,37 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Run metadata for bench-history comparisons.  Deliberately hostname-free:
+   snapshots are committed, and two runs on the same platform triple should
+   be comparable without leaking machine identities into the repo. *)
+let first_line_of_command cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some l when l <> "" -> Some l
+    | _ -> None
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let git_rev () =
+  Option.value ~default:"unknown" (first_line_of_command "git rev-parse HEAD 2>/dev/null")
+
+let platform_triple () =
+  let os_arch = Option.value ~default:"unknown" (first_line_of_command "uname -sm 2>/dev/null") in
+  os_arch ^ " ocaml-" ^ Sys.ocaml_version
+
+let schema_version = 1
+
 let write_json path ~full records =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"schema_version\": %d,\n" schema_version;
+      Printf.fprintf oc "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
+      Printf.fprintf oc "  \"platform\": \"%s\",\n" (json_escape (platform_triple ()));
+      Printf.fprintf oc "  \"domains_recommended\": %d,\n" (Domain.recommended_domain_count ());
       Printf.fprintf oc "  \"full\": %b,\n" full;
       Printf.fprintf oc "  \"jobs\": %d,\n" (effective_jobs ());
       Printf.fprintf oc "  \"experiments\": [\n";
@@ -978,6 +1201,21 @@ let write_json path ~full records =
             t.tr_events t.tr_identical
             (if i = List.length trs - 1 then "" else ","))
         trs;
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc "  \"kernels\": [\n";
+      let krs = List.rev !kernel_records in
+      List.iteri
+        (fun i k ->
+          Printf.fprintf oc
+            "    {\"name\": \"%s\", \"n\": %d, \"baseline\": \"%s\", \"baseline_s\": %.6e, \
+             \"candidate\": \"%s\", \"candidate_s\": %.6e, \"speedup\": %.4f, \
+             \"bit_identical\": %b, \"gated\": %b}%s\n"
+            (json_escape k.kr_name) k.kr_n (json_escape k.kr_baseline) k.kr_baseline_s
+            (json_escape k.kr_candidate) k.kr_candidate_s
+            (k.kr_baseline_s /. k.kr_candidate_s)
+            k.kr_bit_identical k.kr_gated
+            (if i = List.length krs - 1 then "" else ","))
+        krs;
       Printf.fprintf oc "  ]\n";
       Printf.fprintf oc "}\n");
   Printf.printf "\nwrote %s\n" path
@@ -987,6 +1225,12 @@ let write_json path ~full records =
 
 let experiments =
   [
+    (* Kernel microbenches run first: experiments run in list order, and a
+       large live heap left by an earlier experiment (dense reference
+       matrices, DCT tables) taxes every boxed large-array allocation with
+       major-GC marking work, distorting the boxed-vs-bigarray baselines
+       by 5-6x. First place + Gc.compact = a pristine, reproducible heap. *)
+    ("kernels", "Kernel layer: boxed vs Bigarray, fused vs looped spmv", bench_kernels);
     ("t2.1", "Table 2.1: preconditioner effectiveness", bench_table_2_1);
     ("t2.2", "Table 2.2: FD vs eigenfunction solve speed", bench_table_2_2);
     ("t3.1", "Table 3.1: wavelet sparsity/accuracy", bench_table_3_1);
@@ -1016,13 +1260,22 @@ let run only full list_only json jobs =
     0
   end
   else begin
-    let to_run =
+    let to_run, unknown =
       match only with
-      | None -> experiments
-      | Some id -> List.filter (fun (eid, _, _) -> eid = id) experiments
+      | None -> (experiments, [])
+      | Some ids ->
+        let wanted =
+          List.filter (fun s -> s <> "") (List.map String.trim (String.split_on_char ',' ids))
+        in
+        let known = List.filter (fun (eid, _, _) -> List.mem eid wanted) experiments in
+        let unknown =
+          List.filter (fun w -> not (List.exists (fun (eid, _, _) -> eid = w) experiments)) wanted
+        in
+        (known, unknown)
     in
-    if to_run = [] then begin
-      Printf.eprintf "unknown experiment id; use --list\n";
+    if to_run = [] || unknown <> [] then begin
+      Printf.eprintf "unknown experiment id%s; use --list\n"
+        (match unknown with [] -> "" | ids -> ": " ^ String.concat ", " ids);
       1
     end
     else begin
@@ -1055,7 +1308,10 @@ let run only full list_only json jobs =
 let () =
   let open Cmdliner in
   let only =
-    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment.")
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"IDS" ~doc:"Run only the listed experiments (comma-separated ids).")
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Use paper-scale problem sizes.") in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids.") in

@@ -14,6 +14,13 @@ type t = {
 
 val make : q:Sparsemat.Csr.t -> gw:Sparsemat.Csr.t -> solves:int -> t
 
+(** Apply to a whole block of right-hand sides with each of the three CSR
+    products fused across the block (one matrix sweep per product);
+    [jobs > 1] splits the block into contiguous chunks on the Domain
+    pool. Responses are bit-identical to per-column {!op} application,
+    for every [jobs]. This is the [batch] implementation behind {!op}. *)
+val apply_batch : t -> jobs:int -> La.Vec.t array -> La.Vec.t array
+
 (** The representation as a first-class operator. [storage_floats] is
     {!storage_floats}; [solves_spent] reports the (fixed) build cost. *)
 val op : t -> Subcouple_op.t

@@ -133,7 +133,14 @@ let solve_inside t (u : La.Vec.t) : La.Vec.t =
   Array.iteri (fun c nodes -> Array.iter (fun k -> v_fix.(k) <- u.(c)) nodes) grid.Grid.contact_nodes;
   (* Reduced system A_ff x = -A v_fix. *)
   let b = zero_fixed grid (Array.map (fun x -> -.x) (Grid.apply grid v_fix)) in
-  let apply v = zero_fixed grid (Grid.apply grid v) in
+  (* One output buffer for the whole solve: CG consumes each apply result
+     before the next call (the Krylov contract), so the closure may hand
+     back the same array every iteration. *)
+  let buf = Array.make n 0.0 in
+  let apply v =
+    Grid.apply_into grid ~src:v ~dst:buf;
+    zero_fixed grid buf
+  in
   let result = run_cg t ~apply b in
   let v = La.Vec.add v_fix result.La.Krylov.x in
   Array.map
@@ -149,7 +156,13 @@ let solve_outside t (u : La.Vec.t) : La.Vec.t =
   Array.iteri
     (fun c nodes -> Array.iter (fun k -> b.(k) <- grid.Grid.g_contact *. u.(c)) nodes)
     grid.Grid.contact_nodes;
-  let result = run_cg t ~apply:(Grid.apply grid) b in
+  (* Same per-solve buffer reuse as [solve_inside]. *)
+  let buf = Array.make n 0.0 in
+  let apply v =
+    Grid.apply_into grid ~src:v ~dst:buf;
+    buf
+  in
+  let result = run_cg t ~apply b in
   let v = result.La.Krylov.x in
   (* Current through each contact's Dirichlet resistors. *)
   Array.mapi

@@ -125,21 +125,55 @@ let fold_neighbors t ~ix ~iy ~iz f =
   in
   extra
 
-(* Apply the full grid operator A (node voltages -> node net currents),
-   including the extra diagonal terms of eliminated attachments. *)
-let apply t (v : float array) : float array =
-  if Array.length v <> node_count t then invalid_arg "Grid.apply: dimension mismatch";
-  let out = Array.make (node_count t) 0.0 in
-  for iz = 0 to t.nz - 1 do
-    for iy = 0 to t.ny - 1 do
-      for ix = 0 to t.nx - 1 do
-        let i = index t ~ix ~iy ~iz in
+(* Apply the full grid operator A (node voltages -> node net currents)
+   into a caller-supplied buffer, allocation-free. This is the flattened
+   hot-loop version of the [fold_neighbors] traversal: the neighbor visit
+   order (ix-1, ix+1, iy-1, iy+1, iz-1, iz+1, then the extra diagonal) and
+   every accumulation are identical to the closure-based loop, so results
+   are bit-identical; the per-plane conductances are hoisted and the
+   stencil reads use precomputed strides. [dst] must not alias [src]
+   (every read of [src] would otherwise see partially written output). *)
+let apply_into t ~(src : float array) ~(dst : float array) =
+  let n = node_count t in
+  if Array.length src <> n then invalid_arg "Grid.apply_into: dimension mismatch";
+  if Array.length dst <> n then invalid_arg "Grid.apply_into: dimension mismatch";
+  if src == dst then invalid_arg "Grid.apply_into: src and dst must be distinct";
+  let nx = t.nx and ny = t.ny and nz = t.nz in
+  let nxy = nx * ny in
+  for iz = 0 to nz - 1 do
+    let g_plane = Array.unsafe_get t.sigma_plane iz *. t.h in
+    let g_dn = if iz > 0 then Array.unsafe_get t.gz (iz - 1) else 0.0 in
+    let g_up = if iz < nz - 1 then Array.unsafe_get t.gz iz else 0.0 in
+    let base_extra = if iz = nz - 1 then t.g_backplane else 0.0 in
+    let outside_contacts = iz = 0 && t.placement = Outside in
+    for iy = 0 to ny - 1 do
+      for ix = 0 to nx - 1 do
+        let i = ix + (nx * (iy + (ny * iz))) in
+        let vi = Array.unsafe_get src i in
         let acc = ref 0.0 in
-        let extra = fold_neighbors t ~ix ~iy ~iz (fun ~neighbor ~g -> acc := !acc +. (g *. (v.(i) -. v.(neighbor)))) in
-        out.(i) <- !acc +. (extra *. v.(i))
+        if ix > 0 then acc := !acc +. (g_plane *. (vi -. Array.unsafe_get src (i - 1)));
+        if ix < nx - 1 then acc := !acc +. (g_plane *. (vi -. Array.unsafe_get src (i + 1)));
+        if iy > 0 then acc := !acc +. (g_plane *. (vi -. Array.unsafe_get src (i - nx)));
+        if iy < ny - 1 then acc := !acc +. (g_plane *. (vi -. Array.unsafe_get src (i + nx)));
+        if iz > 0 then acc := !acc +. (g_dn *. (vi -. Array.unsafe_get src (i - nxy)));
+        if iz < nz - 1 then acc := !acc +. (g_up *. (vi -. Array.unsafe_get src (i + nxy)));
+        let extra =
+          if outside_contacts && Array.unsafe_get t.is_contact_node i then
+            base_extra +. t.g_contact
+          else base_extra
+        in
+        Array.unsafe_set dst i (!acc +. (extra *. vi))
       done
     done
-  done;
+  done
+[@@lint.hotpath
+  "lengths checked on entry; i and every guarded stencil offset stay inside [0, nx*ny*nz) by the \
+   boundary tests"]
+
+(* Allocating wrapper over [apply_into]. *)
+let apply t (v : float array) : float array =
+  let out = Array.make (node_count t) 0.0 in
+  apply_into t ~src:v ~dst:out;
   out
 
 (* Assemble the operator as a CSR matrix (for the IC(0) preconditioner and

@@ -41,6 +41,12 @@ val index : t -> ix:int -> iy:int -> iz:int -> int
 (** Apply the grid operator: node voltages to node net currents. *)
 val apply : t -> float array -> float array
 
+(** [apply_into t ~src ~dst] is {!apply} into a caller-supplied buffer —
+    allocation-free and bit-identical to {!apply}; the CG driver reuses
+    one output buffer per solve. [dst] must not alias [src].
+    @raise Invalid_argument on a length mismatch or aliased buffers. *)
+val apply_into : t -> src:float array -> dst:float array -> unit
+
 (** Visit the resistors incident to a node; returns the extra diagonal
     conductance from eliminated attachments (backplane, Outside-placement
     contact resistors). *)

@@ -1,0 +1,68 @@
+(* Dense row-major matrix kernels on Bigarray storage.
+
+   The Array2 counterpart of [Bvec]: float64 C-layout storage kept off the
+   OCaml heap, bounds-check-free inner loops under [@@lint.hotpath], and
+   bit-identical accumulation order against the boxed [Mat] kernels
+   (per-row left-to-right in [gemv]; per-input-row scatter with the same
+   exact-zero skip in [gemv_t]). Boundaries stay on [Mat.t]/[Vec.t];
+   convert once with [of_mat] and keep the [Bmat.t] for repeated
+   products. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array2.t
+
+let create rows cols : t =
+  if rows < 0 || cols < 0 then invalid_arg "Bmat.create: negative dimension";
+  let m = Bigarray.Array2.create Bigarray.float64 Bigarray.c_layout rows cols in
+  Bigarray.Array2.fill m 0.0;
+  m
+
+let rows (m : t) = Bigarray.Array2.dim1 m
+let cols (m : t) = Bigarray.Array2.dim2 m
+let get (m : t) i j = Bigarray.Array2.get m i j
+let set (m : t) i j x = Bigarray.Array2.set m i j x
+
+let of_mat (a : Mat.t) : t =
+  let r = Mat.rows a and c = Mat.cols a in
+  let m = Bigarray.Array2.create Bigarray.float64 Bigarray.c_layout r c in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      Bigarray.Array2.unsafe_set m i j (Mat.get a i j)
+    done
+  done;
+  m
+[@@lint.hotpath "i, j bounded by the loops over Mat.rows/Mat.cols = dim1/dim2"]
+
+let to_mat (m : t) : Mat.t = Mat.init (rows m) (cols m) (fun i j -> get m i j)
+
+(* y = A * x: per-row accumulator, left-to-right — same order as
+   [Mat.gemv]. *)
+let gemv (m : t) (x : Vec.t) : Vec.t =
+  if cols m <> Array.length x then invalid_arg "Bmat.gemv: dimension mismatch";
+  let r = rows m and c = cols m in
+  let y = Array.make r 0.0 in
+  for i = 0 to r - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to c - 1 do
+      acc := !acc +. (Bigarray.Array2.unsafe_get m i j *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set y i !acc
+  done;
+  y
+[@@lint.hotpath "length x = cols checked on entry; i, j bounded by the loops"]
+
+(* y = A' * x without forming the transpose; exact-zero skip as in
+   [Mat.gemv_t] (pure work saving — and it preserves -0.0 outputs that a
+   [+. 0.0 *. a] would flip to +0.0). *)
+let gemv_t (m : t) (x : Vec.t) : Vec.t =
+  if rows m <> Array.length x then invalid_arg "Bmat.gemv_t: dimension mismatch";
+  let r = rows m and c = cols m in
+  let y = Array.make c 0.0 in
+  for i = 0 to r - 1 do
+    let xi = Array.unsafe_get x i in
+    if not (Float.equal xi 0.0) then
+      for j = 0 to c - 1 do
+        Array.unsafe_set y j (Array.unsafe_get y j +. (Bigarray.Array2.unsafe_get m i j *. xi))
+      done
+  done;
+  y
+[@@lint.hotpath "length x = rows checked on entry; i, j bounded by the loops"]

@@ -1,0 +1,25 @@
+(** Dense row-major matrix kernels on [Bigarray.Array2] float64 C-layout
+    storage — the matrix side of the hot-kernel layer (see {!Bvec}).
+
+    [gemv]/[gemv_t] accumulate in exactly the same operation order as the
+    boxed {!Mat} kernels, so products are bit-identical; convert a matrix
+    once with {!of_mat} and reuse the handle for repeated products. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array2.t
+
+(** Zero-initialized. *)
+val create : int -> int -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val of_mat : Mat.t -> t
+val to_mat : t -> Mat.t
+
+(** [gemv m x = m * x], bit-identical to [Mat.gemv]. *)
+val gemv : t -> Vec.t -> Vec.t
+
+(** [gemv_t m x = m' * x] without forming the transpose, bit-identical to
+    [Mat.gemv_t] (including its exact-zero input skip). *)
+val gemv_t : t -> Vec.t -> Vec.t

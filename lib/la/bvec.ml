@@ -1,0 +1,170 @@
+(* Unboxed vector kernels on Bigarray storage.
+
+   The kernel layer of the raw-speed pass: float64 C-layout
+   [Bigarray.Array1] buffers are GC-quiet (the payload lives outside the
+   OCaml heap, so major collections never scan or move it) and admit
+   bounds-check-free inner loops. Every public boundary in the repo stays
+   on [Vec.t] (= [float array]); callers that migrate a hot loop onto
+   [Bvec.t] cross the boundary through the explicit conversion shims below
+   ([of_array]/[to_array]/[blit_*]) and through the mixed-operand kernels
+   ([dot_a], [axpy_a], ...) that read one side directly from a float array
+   without a copy.
+
+   Every kernel accumulates in exactly the same operation order as its
+   boxed [Vec] counterpart, so results are bit-identical — the equivalence
+   tests in test/test_la.ml and the probe-digest machinery both rely on
+   this. Inner loops use [Bigarray.Array1.unsafe_get]/[unsafe_set] under
+   [@@lint.hotpath]; each kernel validates dimensions up front. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let dim (v : t) = Bigarray.Array1.dim v
+
+let create n : t =
+  (* Array1.create leaves the buffer uninitialized; zero-fill to match
+     [Vec.create]. *)
+  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill v 0.0;
+  v
+
+let get (v : t) i = Bigarray.Array1.get v i
+let set (v : t) i x = Bigarray.Array1.set v i x
+let fill (v : t) x = Bigarray.Array1.fill v x
+
+let check_same_dim_bb (a : t) (b : t) name =
+  if dim a <> dim b then
+    invalid_arg (Printf.sprintf "Bvec.%s: dimension mismatch (%d vs %d)" name (dim a) (dim b))
+
+let check_same_dim_ba (a : t) (b : float array) name =
+  if dim a <> Array.length b then
+    invalid_arg
+      (Printf.sprintf "Bvec.%s: dimension mismatch (%d vs %d)" name (dim a) (Array.length b))
+
+(* --- boundary shims --------------------------------------------------- *)
+
+let of_array (a : float array) : t =
+  let n = Array.length a in
+  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set v i (Array.unsafe_get a i)
+  done;
+  v
+[@@lint.hotpath "i ranges over 0 .. n - 1 with n = length a = dim v by construction"]
+
+let to_array (v : t) : float array =
+  let n = dim v in
+  let a = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set a i (Bigarray.Array1.unsafe_get v i)
+  done;
+  a
+[@@lint.hotpath "i ranges over 0 .. n - 1 with n = dim v = length a by construction"]
+
+let blit_from_array (a : float array) (v : t) =
+  check_same_dim_ba v a "blit_from_array";
+  for i = 0 to dim v - 1 do
+    Bigarray.Array1.unsafe_set v i (Array.unsafe_get a i)
+  done
+[@@lint.hotpath "equal dimensions checked on entry; i bounded by the loop"]
+
+let blit_to_array (v : t) (a : float array) =
+  check_same_dim_ba v a "blit_to_array";
+  for i = 0 to dim v - 1 do
+    Array.unsafe_set a i (Bigarray.Array1.unsafe_get v i)
+  done
+[@@lint.hotpath "equal dimensions checked on entry; i bounded by the loop"]
+
+let copy (v : t) : t =
+  let w = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (dim v) in
+  Bigarray.Array1.blit v w;
+  w
+
+let blit (src : t) (dst : t) =
+  check_same_dim_bb src dst "blit";
+  Bigarray.Array1.blit src dst
+
+(* --- BLAS-1 kernels --------------------------------------------------- *)
+
+let dot (a : t) (b : t) =
+  check_same_dim_bb a b "dot";
+  let acc = ref 0.0 in
+  for i = 0 to dim a - 1 do
+    acc := !acc +. (Bigarray.Array1.unsafe_get a i *. Bigarray.Array1.unsafe_get b i)
+  done;
+  !acc
+[@@lint.hotpath "equal dimensions checked on entry; i bounded by the loop"]
+
+(* Mixed-operand dot: the [a] side stays a plain float array (e.g. the
+   result of a boxed [apply] callback), no copy. Same accumulation order
+   as [Vec.dot]. *)
+let dot_a (a : t) (b : float array) =
+  check_same_dim_ba a b "dot_a";
+  let acc = ref 0.0 in
+  for i = 0 to dim a - 1 do
+    acc := !acc +. (Bigarray.Array1.unsafe_get a i *. Array.unsafe_get b i)
+  done;
+  !acc
+[@@lint.hotpath "equal dimensions checked on entry; i bounded by the loop"]
+
+(* y <- y + alpha * x, in place. *)
+let axpy ~alpha (x : t) (y : t) =
+  check_same_dim_bb x y "axpy";
+  for i = 0 to dim x - 1 do
+    Bigarray.Array1.unsafe_set y i
+      (Bigarray.Array1.unsafe_get y i +. (alpha *. Bigarray.Array1.unsafe_get x i))
+  done
+[@@lint.hotpath "equal dimensions checked on entry; i bounded by the loop"]
+
+let axpy_a ~alpha (x : float array) (y : t) =
+  check_same_dim_ba y x "axpy_a";
+  for i = 0 to dim y - 1 do
+    Bigarray.Array1.unsafe_set y i
+      (Bigarray.Array1.unsafe_get y i +. (alpha *. Array.unsafe_get x i))
+  done
+[@@lint.hotpath "equal dimensions checked on entry; i bounded by the loop"]
+
+let scale_inplace alpha (v : t) =
+  for i = 0 to dim v - 1 do
+    Bigarray.Array1.unsafe_set v i (alpha *. Bigarray.Array1.unsafe_get v i)
+  done
+[@@lint.hotpath "i bounded by the loop over dim v"]
+
+(* p <- z + beta * p: the CG direction update, with [z] on either side of
+   the storage boundary. Same per-component expression as the boxed loop
+   [p.(i) <- z.(i) +. (beta *. p.(i))]. *)
+let xpby ~beta (z : t) (p : t) =
+  check_same_dim_bb z p "xpby";
+  for i = 0 to dim p - 1 do
+    Bigarray.Array1.unsafe_set p i
+      (Bigarray.Array1.unsafe_get z i +. (beta *. Bigarray.Array1.unsafe_get p i))
+  done
+[@@lint.hotpath "equal dimensions checked on entry; i bounded by the loop"]
+
+let xpby_a ~beta (z : float array) (p : t) =
+  check_same_dim_ba p z "xpby_a";
+  for i = 0 to dim p - 1 do
+    Bigarray.Array1.unsafe_set p i
+      (Array.unsafe_get z i +. (beta *. Bigarray.Array1.unsafe_get p i))
+  done
+[@@lint.hotpath "equal dimensions checked on entry; i bounded by the loop"]
+
+(* p <- z + beta * p with the direction [p] on the boxed side — the shape
+   of a CG whose direction vector crosses the black-box boundary every
+   iteration and therefore stays a float array. *)
+let xpby_into_array ~beta (z : t) (p : float array) =
+  check_same_dim_ba z p "xpby_into_array";
+  for i = 0 to dim z - 1 do
+    Array.unsafe_set p i (Bigarray.Array1.unsafe_get z i +. (beta *. Array.unsafe_get p i))
+  done
+[@@lint.hotpath "equal dimensions checked on entry; i bounded by the loop"]
+
+(* dst <- a - b, both plain arrays (residual initialization). *)
+let sub_arrays_into (a : float array) (b : float array) (dst : t) =
+  check_same_dim_ba dst a "sub_arrays_into";
+  check_same_dim_ba dst b "sub_arrays_into";
+  for i = 0 to dim dst - 1 do
+    Bigarray.Array1.unsafe_set dst i (Array.unsafe_get a i -. Array.unsafe_get b i)
+  done
+[@@lint.hotpath "equal dimensions checked on entry; i bounded by the loop"]
+
+let norm2 (v : t) = sqrt (dot v v)

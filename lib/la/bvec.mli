@@ -1,0 +1,70 @@
+(** Unboxed vector kernels on [Bigarray.Array1] float64 C-layout storage.
+
+    The storage convention for the hot-kernel layer: buffers live outside
+    the OCaml heap (GC never scans or moves them) and inner loops run
+    bounds-check-free under audited [@@lint.hotpath] scopes. Public module
+    boundaries in the rest of the repo stay on {!Vec.t} ([float array]);
+    cross into [Bvec] storage through the explicit shims
+    ({!of_array}/{!to_array}/{!blit_from_array}/{!blit_to_array}) or,
+    copy-free, through the mixed-operand kernels ([*_a] variants) that read
+    one side directly from a float array.
+
+    Every kernel performs its floating-point operations in exactly the
+    same order as the boxed {!Vec} counterpart, so results are
+    bit-identical — test/test_la.ml asserts this across sizes. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** Zero-initialized, matching [Vec.create] (Bigarray leaves fresh buffers
+    uninitialized; this fills them). *)
+val create : int -> t
+
+val dim : t -> int
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+val fill : t -> float -> unit
+
+(** {1 Boundary shims} *)
+
+val of_array : float array -> t
+val to_array : t -> float array
+
+(** [blit_from_array a v] copies [a] into [v]; dimensions must match. *)
+val blit_from_array : float array -> t -> unit
+
+(** [blit_to_array v a] copies [v] into [a]; dimensions must match. *)
+val blit_to_array : t -> float array -> unit
+
+val copy : t -> t
+
+(** [blit src dst] copies [src] into [dst]; dimensions must match. *)
+val blit : t -> t -> unit
+
+(** {1 BLAS-1 kernels}
+
+    The [*_a] variants take one operand as a plain [float array] — the
+    shape of a black-box [apply] result — avoiding a conversion copy. *)
+
+val dot : t -> t -> float
+val dot_a : t -> float array -> float
+
+(** [axpy ~alpha x y] does [y <- y + alpha * x] in place. *)
+val axpy : alpha:float -> t -> t -> unit
+
+val axpy_a : alpha:float -> float array -> t -> unit
+val scale_inplace : float -> t -> unit
+
+(** [xpby ~beta z p] does [p <- z + beta * p] in place — the CG direction
+    update, component order identical to the boxed loop. *)
+val xpby : beta:float -> t -> t -> unit
+
+val xpby_a : beta:float -> float array -> t -> unit
+
+(** [xpby_into_array ~beta z p] does [p <- z + beta * p] with the
+    direction [p] as a plain array (the boundary-crossing side). *)
+val xpby_into_array : beta:float -> t -> float array -> unit
+
+(** [sub_arrays_into a b dst] does [dst <- a - b]. *)
+val sub_arrays_into : float array -> float array -> t -> unit
+
+val norm2 : t -> float

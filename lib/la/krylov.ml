@@ -5,7 +5,24 @@
    finite-difference grid Laplacian with a fast-Poisson or incomplete-Cholesky
    preconditioner, and the eigenfunction solver's contact-panel operator.
    The implementation is the standard PCG recurrence that only needs
-   applications of M^{-1}, not M^{-1/2} (Golub & Van Loan §11.5). *)
+   applications of M^{-1}, not M^{-1/2} (Golub & Van Loan §11.5).
+
+   [cg] keeps the iterate x and residual r in unboxed [Bvec] storage and
+   the search direction p as a plain float array: p is the one vector
+   that crosses the black-box boundary every iteration (it is the
+   argument of [apply]), so keeping it boxed makes that crossing free —
+   no per-iteration conversion copy — while the mixed-operand [Bvec]
+   kernels ([axpy_a], [xpby_into_array]) read it in place. Relative to
+   the boxed reference the per-iteration work drops three vector passes
+   and one allocation: with no preconditioner z is r (the identity
+   "preconditioner" of the boxed recurrence was a per-iteration
+   [Vec.copy]; [dot r z] = [dot r r] and [z.(i) + beta * p.(i)] =
+   [r.(i) + beta * p.(i)] on the alias), and the residual-norm and rz
+   reductions collapse into ONE dot product since
+   [norm2 r = sqrt (dot r r)] exactly. Every kernel call preserves the
+   boxed operation order, so results are bit-identical to [cg_boxed] —
+   the original float-array implementation, kept as the reference for
+   the equivalence tests in test/test_la.ml and the kernels bench. *)
 
 type result = {
   x : Vec.t;
@@ -41,22 +58,27 @@ let iterations_dist = Trace.dist "krylov.iterations"
 let breakdown_counter = Trace.counter "krylov.breakdowns"
 let mismatch_counter = Trace.counter "krylov.residual_mismatches"
 
-(* Solve A x = b for SPD A given [apply : v -> A v].
-   [precond] applies M^{-1}; default is the identity.
-   Convergence: ||r|| <= tol * ||b|| (or absolute 1e-300 floor for b = 0). *)
 let cg ?precond ?(tol = 1e-9) ?(max_iter = 10_000) ?x0 ?stats ~apply b =
   Trace.with_span cg_span (fun () ->
   let n = Array.length b in
-  let precond = match precond with Some p -> p | None -> Vec.copy in
-  let x = match x0 with Some x -> Vec.copy x | None -> Vec.create n in
-  let r = Vec.sub b (apply x) in
+  let x = match x0 with Some x -> Bvec.of_array x | None -> Bvec.create n in
+  let r = Bvec.create n in
+  (* [apply] receives the solver's working direction vector directly
+     (exactly as the boxed reference always did): it is read-only and
+     only valid for the duration of the call. Results of [apply] are
+     consumed before the next call, so callbacks may reuse their own
+     output buffer (see the .mli contract). *)
+  Bvec.sub_arrays_into b (apply (Bvec.to_array x)) r;
   let bnorm = Vec.norm2 b in
   let threshold = if bnorm > 0.0 then tol *. bnorm else 1e-300 in
-  let z = precond r in
-  let p = Vec.copy z in
-  let rz = ref (Vec.dot r z) in
+  (* With a preconditioner, z crosses the boundary as a fresh array (the
+     callback may retain it, as the boxed reference allowed); without one,
+     z aliases r and the rz reduction doubles as the residual norm. *)
+  let z0 = match precond with Some f -> Some (f (Bvec.to_array r)) | None -> None in
+  let p = match z0 with Some z -> Vec.copy z | None -> Bvec.to_array r in
+  let rz = ref (match z0 with Some z -> Bvec.dot_a r z | None -> Bvec.dot r r) in
   let iterations = ref 0 in
-  let rnorm = ref (Vec.norm2 r) in
+  let rnorm = ref (match z0 with Some _ -> Bvec.norm2 r | None -> sqrt !rz) in
   let converged = ref (!rnorm <= threshold) in
   let breakdown = ref false in
   while (not !converged) && (not !breakdown) && !iterations < max_iter do
@@ -75,19 +97,34 @@ let cg ?precond ?(tol = 1e-9) ?(max_iter = 10_000) ?x0 ?stats ~apply b =
       breakdown := true
     else begin
       let alpha = !rz /. pap in
-      Vec.axpy ~alpha p x;
-      Vec.axpy ~alpha:(-.alpha) ap r;
-      rnorm := Vec.norm2 r;
-      if !rnorm <= threshold then converged := true
-      else begin
-        let z = precond r in
-        let rz' = Vec.dot r z in
-        let beta = rz' /. !rz in
-        rz := rz';
-        for i = 0 to n - 1 do
-          p.(i) <- z.(i) +. (beta *. p.(i))
-        done
-      end
+      Bvec.axpy_a ~alpha p x;
+      Bvec.axpy_a ~alpha:(-.alpha) ap r;
+      match precond with
+      | Some f ->
+        rnorm := Bvec.norm2 r;
+        if !rnorm <= threshold then converged := true
+        else begin
+          let z = f (Bvec.to_array r) in
+          let rz' = Bvec.dot_a r z in
+          let beta = rz' /. !rz in
+          rz := rz';
+          for i = 0 to n - 1 do
+            p.(i) <- z.(i) +. (beta *. p.(i))
+          done
+        end
+      | None ->
+        (* One reduction serves both exits: [sqrt d] is bitwise
+           [norm2 r], and [d] is the [dot r z] of the boxed recurrence
+           (z = copy of r). The boxed reference sweeps r three times
+           here (norm2, copy, dot); this sweeps once. *)
+        let d = Bvec.dot r r in
+        rnorm := sqrt d;
+        if !rnorm <= threshold then converged := true
+        else begin
+          let beta = d /. !rz in
+          rz := d;
+          Bvec.xpby_into_array ~beta r p
+        end
     end
   done;
   (* Exit diagnostics. On the happy path the recurrence residual just
@@ -102,7 +139,7 @@ let cg ?precond ?(tol = 1e-9) ?(max_iter = 10_000) ?x0 ?stats ~apply b =
   let residual_norm, residual_mismatch =
     if !converged && not !breakdown then (recurrence_residual, false)
     else begin
-      let true_norm = Vec.norm2 (Vec.sub b (apply x)) in
+      let true_norm = Vec.norm2 (Vec.sub b (apply (Bvec.to_array x))) in
       let mismatch =
         true_norm > 10.0 *. recurrence_residual || recurrence_residual > 10.0 *. true_norm
       in
@@ -121,7 +158,7 @@ let cg ?precond ?(tol = 1e-9) ?(max_iter = 10_000) ?x0 ?stats ~apply b =
   if !breakdown then Trace.incr breakdown_counter;
   if residual_mismatch then Trace.incr mismatch_counter;
   {
-    x;
+    x = Bvec.to_array x;
     iterations = !iterations;
     converged = !converged;
     breakdown = !breakdown;
@@ -129,3 +166,72 @@ let cg ?precond ?(tol = 1e-9) ?(max_iter = 10_000) ?x0 ?stats ~apply b =
     recurrence_residual;
     residual_mismatch;
   })
+
+(* The original boxed implementation, byte for byte the same recurrence on
+   plain float arrays. Kept as the reference the Bigarray [cg] must match
+   bitwise (test/test_la.ml) and as the baseline side of the kernels bench.
+   Not trace-instrumented: bench comparisons against [cg] should measure
+   storage, not span overhead. *)
+let cg_boxed ?precond ?(tol = 1e-9) ?(max_iter = 10_000) ?x0 ?stats ~apply b =
+  let n = Array.length b in
+  let precond = match precond with Some p -> p | None -> Vec.copy in
+  let x = match x0 with Some x -> Vec.copy x | None -> Vec.create n in
+  let r = Vec.sub b (apply x) in
+  let bnorm = Vec.norm2 b in
+  let threshold = if bnorm > 0.0 then tol *. bnorm else 1e-300 in
+  let z = precond r in
+  let p = Vec.copy z in
+  let rz = ref (Vec.dot r z) in
+  let iterations = ref 0 in
+  let rnorm = ref (Vec.norm2 r) in
+  let converged = ref (!rnorm <= threshold) in
+  let breakdown = ref false in
+  while (not !converged) && (not !breakdown) && !iterations < max_iter do
+    incr iterations;
+    let ap = apply p in
+    let pap = Vec.dot p ap in
+    if pap <= 0.0 then breakdown := true
+    else begin
+      let alpha = !rz /. pap in
+      Vec.axpy ~alpha p x;
+      Vec.axpy ~alpha:(-.alpha) ap r;
+      rnorm := Vec.norm2 r;
+      if !rnorm <= threshold then converged := true
+      else begin
+        let z = precond r in
+        let rz' = Vec.dot r z in
+        let beta = rz' /. !rz in
+        rz := rz';
+        for i = 0 to n - 1 do
+          p.(i) <- z.(i) +. (beta *. p.(i))
+        done
+      end
+    end
+  done;
+  let recurrence_residual = !rnorm in
+  let residual_norm, residual_mismatch =
+    if !converged && not !breakdown then (recurrence_residual, false)
+    else begin
+      let true_norm = Vec.norm2 (Vec.sub b (apply x)) in
+      let mismatch =
+        true_norm > 10.0 *. recurrence_residual || recurrence_residual > 10.0 *. true_norm
+      in
+      (true_norm, mismatch)
+    end
+  in
+  if !breakdown then converged := residual_norm <= threshold *. 10.0;
+  (match stats with
+  | Some s ->
+    s.solves <- s.solves + 1;
+    s.total_iterations <- s.total_iterations + !iterations;
+    if !breakdown then s.breakdowns <- s.breakdowns + 1
+  | None -> ());
+  {
+    x;
+    iterations = !iterations;
+    converged = !converged;
+    breakdown = !breakdown;
+    residual_norm;
+    recurrence_residual;
+    residual_mismatch;
+  }

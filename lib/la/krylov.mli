@@ -45,8 +45,32 @@ val merge_stats : into:stats -> stats -> unit
 
 (** [cg ~apply b] solves [A x = b] where [apply v = A v].
     [precond] applies an SPD preconditioner inverse M^{-1}.
-    Converges when the 2-norm residual falls below [tol * ||b||]. *)
+    Converges when the 2-norm residual falls below [tol * ||b||].
+
+    The iterate and residual live in unboxed {!Bvec} storage; the search
+    direction stays a [float array] because it crosses the black-box
+    boundary every iteration, and the callbacks keep their [float array]
+    signatures. The array passed to [apply] is the solver's working
+    direction vector: read-only, and only valid for the duration of the
+    call — [apply] must not retain or mutate it. Symmetrically, [cg]
+    consumes each [apply] result before the next call, so a callback may
+    reuse its own output buffer. Results are bit-identical to
+    {!cg_boxed}. *)
 val cg :
+  ?precond:(Vec.t -> Vec.t) ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:Vec.t ->
+  ?stats:stats ->
+  apply:(Vec.t -> Vec.t) ->
+  Vec.t ->
+  result
+
+(** The original float-array implementation of the same recurrence, kept
+    as the bit-identity reference for {!cg} (asserted in test/test_la.ml)
+    and as the boxed baseline of the [kernels] bench experiment. Fresh
+    arrays per call, no trace instrumentation. *)
+val cg_boxed :
   ?precond:(Vec.t -> Vec.t) ->
   ?tol:float ->
   ?max_iter:int ->

@@ -91,11 +91,12 @@ let gemv a (x : Vec.t) : Vec.t =
     let base = i * a.cols in
     let acc = ref 0.0 in
     for j = 0 to a.cols - 1 do
-      acc := !acc +. (a.data.(base + j) *. x.(j))
+      acc := !acc +. (Array.unsafe_get a.data (base + j) *. Array.unsafe_get x j)
     done;
-    y.(i) <- !acc
+    Array.unsafe_set y i !acc
   done;
   y
+[@@lint.hotpath "length x = cols checked on entry; base + j < rows * cols by the loop bounds"]
 
 (* y = A' * x without forming the transpose *)
 let gemv_t a (x : Vec.t) : Vec.t =
@@ -103,14 +104,15 @@ let gemv_t a (x : Vec.t) : Vec.t =
   let y = Array.make a.cols 0.0 in
   for i = 0 to a.rows - 1 do
     let base = i * a.cols in
-    let xi = x.(i) in
+    let xi = Array.unsafe_get x i in
     (* Exact-zero skip, as in [mul]. *)
     if not (Float.equal xi 0.0) then
       for j = 0 to a.cols - 1 do
-        y.(j) <- y.(j) +. (a.data.(base + j) *. xi)
+        Array.unsafe_set y j (Array.unsafe_get y j +. (Array.unsafe_get a.data (base + j) *. xi))
       done
   done;
   y
+[@@lint.hotpath "length x = rows checked on entry; base + j < rows * cols by the loop bounds"]
 
 let sub_matrix m ~row ~col ~rows ~cols =
   if row < 0 || col < 0 || row + rows > m.rows || col + cols > m.cols then

@@ -16,16 +16,18 @@ let dot a b =
   check_same_dim a b "dot";
   let acc = ref 0.0 in
   for i = 0 to Array.length a - 1 do
-    acc := !acc +. (a.(i) *. b.(i))
+    acc := !acc +. (Array.unsafe_get a i *. Array.unsafe_get b i)
   done;
   !acc
+[@@lint.hotpath "equal lengths checked on entry; i bounded by the loop"]
 
 (* y <- y + alpha * x, in place. *)
 let axpy ~alpha x y =
   check_same_dim x y "axpy";
   for i = 0 to Array.length x - 1 do
-    y.(i) <- y.(i) +. (alpha *. x.(i))
+    Array.unsafe_set y i (Array.unsafe_get y i +. (alpha *. Array.unsafe_get x i))
   done
+[@@lint.hotpath "equal lengths checked on entry; i bounded by the loop"]
 
 let scale alpha v = Array.map (fun x -> alpha *. x) v
 

@@ -76,10 +76,16 @@ let poly_compare lid =
 (* no_unsafe / no_stdout_in_lib                                        *)
 (* ------------------------------------------------------------------ *)
 
+let unsafe_prefixed m = String.length m >= 7 && String.equal (String.sub m 0 7) "unsafe_"
+
 let unsafe_ident lid =
   match flatten lid with
-  | [ ("Array" | "Bytes" | "String" | "Bigarray"); m ] ->
-    String.length m >= 7 && String.equal (String.sub m 0 7) "unsafe_"
+  | [ ("Array" | "Bytes" | "String" | "Bigarray"); m ] -> unsafe_prefixed m
+  (* Bigarray accessors, fully qualified ([Bigarray.Array1.unsafe_get])
+     or through an opened/aliased [Bigarray] ([Array1.unsafe_get]). *)
+  | [ "Bigarray"; ("Array0" | "Array1" | "Array2" | "Array3" | "Genarray"); m ]
+  | [ ("Array0" | "Array1" | "Array2" | "Array3" | "Genarray"); m ] ->
+    unsafe_prefixed m
   | [ "Obj"; "magic" ] -> true
   | _ -> false
 

@@ -74,30 +74,200 @@ let to_dense t =
   done;
   m
 
+(* Column indices are in range [0, cols) by construction ([of_coo] builds
+   them, [pack] validates them), and [row_ptr] is monotone with
+   [row_ptr.(rows) = nnz] — so every unsafe access in the product kernels
+   below is bounded once the input vector length is checked on entry. *)
+
 let gemv t (x : La.Vec.t) : La.Vec.t =
   if Array.length x <> t.cols then invalid_arg "Csr.gemv: dimension mismatch";
   let y = Array.make t.rows 0.0 in
   for i = 0 to t.rows - 1 do
     let acc = ref 0.0 in
     for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+      acc :=
+        !acc +. (Array.unsafe_get t.values k *. Array.unsafe_get x (Array.unsafe_get t.col_idx k))
     done;
-    y.(i) <- !acc
+    Array.unsafe_set y i !acc
   done;
   y
+[@@lint.hotpath "length x = cols checked on entry; k and col_idx bounded by the CSR invariants"]
 
 let gemv_t t (x : La.Vec.t) : La.Vec.t =
   if Array.length x <> t.rows then invalid_arg "Csr.gemv_t: dimension mismatch";
   let y = Array.make t.cols 0.0 in
   for i = 0 to t.rows - 1 do
-    let xi = x.(i) in
+    let xi = Array.unsafe_get x i in
     (* Exact-zero skip: purely a work-saving test. *)
     if not (Float.equal xi 0.0) then
       for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-        y.(t.col_idx.(k)) <- y.(t.col_idx.(k)) +. (t.values.(k) *. xi)
+        let j = Array.unsafe_get t.col_idx k in
+        Array.unsafe_set y j (Array.unsafe_get y j +. (Array.unsafe_get t.values k *. xi))
       done
   done;
   y
+[@@lint.hotpath "length x = rows checked on entry; k and col_idx bounded by the CSR invariants"]
+
+let batch_width_dist = Trace.dist "csr.batch_width"
+
+(* Fused multi-RHS product: ys.(c) = A * xs.(c) for the whole block in ONE
+   sweep over the matrix. Each CSR entry is read once per block instead of
+   once per column, turning the dominant memory traffic (the matrix) into
+   the amortized term. Per column the contributions accumulate in exactly
+   the per-row k order of [gemv], so each output column is bit-identical
+   to the per-column loop — test/test_sparse.ml asserts this across
+   patterns and widths. *)
+let apply_batch t (xs : La.Vec.t array) : La.Vec.t array =
+  let w = Array.length xs in
+  Array.iter
+    (fun x -> if Array.length x <> t.cols then invalid_arg "Csr.apply_batch: dimension mismatch")
+    xs;
+  Trace.with_span "csr.apply_batch" (fun () ->
+      Trace.observe batch_width_dist (float_of_int w);
+      let ys = Array.init w (fun _ -> Array.make t.rows 0.0) in
+      (* Columns are consumed in register-blocked groups of four: the
+         group's input pointers and accumulators stay in registers, and the
+         row's entries are re-read from L1 across the group passes — one
+         sweep over the matrix from memory's point of view. Each column's
+         contributions still accumulate in the per-row k order of [gemv],
+         so every output column is bit-identical to the per-column loop. *)
+      for i = 0 to t.rows - 1 do
+        let k0 = Array.unsafe_get t.row_ptr i and k1 = Array.unsafe_get t.row_ptr (i + 1) in
+        let c = ref 0 in
+        while !c + 4 <= w do
+          let x0 = Array.unsafe_get xs !c
+          and x1 = Array.unsafe_get xs (!c + 1)
+          and x2 = Array.unsafe_get xs (!c + 2)
+          and x3 = Array.unsafe_get xs (!c + 3) in
+          let a0 = ref 0.0 and a1 = ref 0.0 and a2 = ref 0.0 and a3 = ref 0.0 in
+          for k = k0 to k1 - 1 do
+            let v = Array.unsafe_get t.values k in
+            let j = Array.unsafe_get t.col_idx k in
+            a0 := !a0 +. (v *. Array.unsafe_get x0 j);
+            a1 := !a1 +. (v *. Array.unsafe_get x1 j);
+            a2 := !a2 +. (v *. Array.unsafe_get x2 j);
+            a3 := !a3 +. (v *. Array.unsafe_get x3 j)
+          done;
+          Array.unsafe_set (Array.unsafe_get ys !c) i !a0;
+          Array.unsafe_set (Array.unsafe_get ys (!c + 1)) i !a1;
+          Array.unsafe_set (Array.unsafe_get ys (!c + 2)) i !a2;
+          Array.unsafe_set (Array.unsafe_get ys (!c + 3)) i !a3;
+          c := !c + 4
+        done;
+        while !c < w do
+          let x = Array.unsafe_get xs !c in
+          let acc = ref 0.0 in
+          for k = k0 to k1 - 1 do
+            acc := !acc +. (Array.unsafe_get t.values k *. Array.unsafe_get x (Array.unsafe_get t.col_idx k))
+          done;
+          Array.unsafe_set (Array.unsafe_get ys !c) i !acc;
+          incr c
+        done
+      done;
+      ys)
+[@@lint.hotpath
+  "every xs column length-checked on entry; c < w, i < rows, k and col_idx bounded by the CSR \
+   invariants"]
+
+(* Fused transposed product, one matrix sweep for the block. The per-row
+   input values are hoisted into [xis] so each CSR entry is read once; the
+   exact-zero skip of [gemv_t] is applied per column (it saves work AND
+   preserves -0.0 outputs that adding 0.0 would flip to +0.0). Per column
+   the scatter order is the (i, k) order of [gemv_t] — bit-identical. *)
+let apply_batch_t t (xs : La.Vec.t array) : La.Vec.t array =
+  let w = Array.length xs in
+  Array.iter
+    (fun x ->
+      if Array.length x <> t.rows then invalid_arg "Csr.apply_batch_t: dimension mismatch")
+    xs;
+  Trace.with_span "csr.apply_batch_t" (fun () ->
+      Trace.observe batch_width_dist (float_of_int w);
+      let ys = Array.init w (fun _ -> Array.make t.cols 0.0) in
+      (* Same register-blocked grouping as [apply_batch]; the per-column
+         exact-zero skip is kept (and a whole group of zero inputs skips
+         the row scan entirely — pure work saving, no additions either way). *)
+      for i = 0 to t.rows - 1 do
+        let k0 = Array.unsafe_get t.row_ptr i and k1 = Array.unsafe_get t.row_ptr (i + 1) in
+        let c = ref 0 in
+        while !c + 4 <= w do
+          let xi0 = Array.unsafe_get (Array.unsafe_get xs !c) i
+          and xi1 = Array.unsafe_get (Array.unsafe_get xs (!c + 1)) i
+          and xi2 = Array.unsafe_get (Array.unsafe_get xs (!c + 2)) i
+          and xi3 = Array.unsafe_get (Array.unsafe_get xs (!c + 3)) i in
+          let z0 = Float.equal xi0 0.0
+          and z1 = Float.equal xi1 0.0
+          and z2 = Float.equal xi2 0.0
+          and z3 = Float.equal xi3 0.0 in
+          if not (z0 && z1 && z2 && z3) then begin
+            let y0 = Array.unsafe_get ys !c
+            and y1 = Array.unsafe_get ys (!c + 1)
+            and y2 = Array.unsafe_get ys (!c + 2)
+            and y3 = Array.unsafe_get ys (!c + 3) in
+            for k = k0 to k1 - 1 do
+              let v = Array.unsafe_get t.values k in
+              let j = Array.unsafe_get t.col_idx k in
+              if not z0 then Array.unsafe_set y0 j (Array.unsafe_get y0 j +. (v *. xi0));
+              if not z1 then Array.unsafe_set y1 j (Array.unsafe_get y1 j +. (v *. xi1));
+              if not z2 then Array.unsafe_set y2 j (Array.unsafe_get y2 j +. (v *. xi2));
+              if not z3 then Array.unsafe_set y3 j (Array.unsafe_get y3 j +. (v *. xi3))
+            done
+          end;
+          c := !c + 4
+        done;
+        while !c < w do
+          let xi = Array.unsafe_get (Array.unsafe_get xs !c) i in
+          if not (Float.equal xi 0.0) then begin
+            let y = Array.unsafe_get ys !c in
+            for k = k0 to k1 - 1 do
+              let j = Array.unsafe_get t.col_idx k in
+              Array.unsafe_set y j (Array.unsafe_get y j +. (Array.unsafe_get t.values k *. xi))
+            done
+          end;
+          incr c
+        done
+      done;
+      ys)
+[@@lint.hotpath
+  "every xs column length-checked on entry; c < w, i < rows, k and col_idx bounded by the CSR \
+   invariants"]
+
+(* Cache-blocked single-RHS product: sweep the matrix in column bands of
+   [block] so the active slice of [x] stays resident while every row's
+   entries for that band are consumed. Per-row cursors resume each row
+   where the previous band stopped; entries are consumed in ascending k
+   order regardless of banding (an out-of-order column merely waits for a
+   later band), so the per-row partial sums telescope into exactly the
+   [gemv] accumulation sequence — bit-identical output, banding affects
+   locality only. *)
+let gemv_blocked ?(block = 4096) t (x : La.Vec.t) : La.Vec.t =
+  if Array.length x <> t.cols then invalid_arg "Csr.gemv_blocked: dimension mismatch";
+  if block <= 0 then invalid_arg "Csr.gemv_blocked: block must be positive";
+  Trace.with_span "csr.gemv_blocked" (fun () ->
+      let y = Array.make t.rows 0.0 in
+      let cursor = Array.init t.rows (fun i -> t.row_ptr.(i)) in
+      let band_lo = ref 0 in
+      while !band_lo < t.cols do
+        let band_hi = min t.cols (!band_lo + block) in
+        for i = 0 to t.rows - 1 do
+          let stop = Array.unsafe_get t.row_ptr (i + 1) in
+          let k = ref (Array.unsafe_get cursor i) in
+          let acc = ref (Array.unsafe_get y i) in
+          while !k < stop && Array.unsafe_get t.col_idx !k < band_hi do
+            acc :=
+              !acc
+              +. (Array.unsafe_get t.values !k
+                 *. Array.unsafe_get x (Array.unsafe_get t.col_idx !k));
+            incr k
+          done;
+          Array.unsafe_set y i !acc;
+          Array.unsafe_set cursor i !k
+        done;
+        band_lo := band_hi
+      done;
+      y)
+[@@lint.hotpath
+  "length x = cols checked on entry; cursors start at row_ptr and only advance while k < \
+   row_ptr.(i + 1)"]
 
 let transpose t =
   let coo = Coo.create t.cols t.rows in

@@ -19,6 +19,23 @@ val of_dense : ?threshold:float -> La.Mat.t -> t
 val to_dense : t -> La.Mat.t
 val gemv : t -> La.Vec.t -> La.Vec.t
 val gemv_t : t -> La.Vec.t -> La.Vec.t
+
+(** Fused multi-RHS product: [apply_batch t xs] returns [|A xs.(0); ...|]
+    computed in one sweep over the matrix — each CSR entry is read once
+    per block instead of once per column. Every output column is
+    bit-identical to [gemv t xs.(c)]. *)
+val apply_batch : t -> La.Vec.t array -> La.Vec.t array
+
+(** Fused transposed multi-RHS product; each output column bit-identical
+    to [gemv_t t xs.(c)] (including the exact-zero input skip). *)
+val apply_batch_t : t -> La.Vec.t array -> La.Vec.t array
+
+(** Cache-blocked single-RHS product: sweeps the matrix in column bands of
+    [block] (default 4096) so the active slice of [x] stays cache-resident.
+    Bit-identical to {!gemv} for any [block]; banding affects locality
+    only. *)
+val gemv_blocked : ?block:int -> t -> La.Vec.t -> La.Vec.t
+
 val transpose : t -> t
 
 (** Drop entries with magnitude at most the given threshold. *)

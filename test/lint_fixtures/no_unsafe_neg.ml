@@ -6,3 +6,11 @@ let dot a b n =
   done;
   !acc
 [@@lint.hotpath "caller checks n <= min (length a) (length b); saves a bounds check per flop"]
+
+let bdot (a : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t) b n =
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (Bigarray.Array1.unsafe_get a i *. Bigarray.Array1.unsafe_get b i)
+  done;
+  !acc
+[@@lint.hotpath "caller checks n <= min (dim a) (dim b); saves a bounds check per flop"]

@@ -1,3 +1,11 @@
 (* Fixture: unchecked accessors outside any annotated hot path. *)
 let peek a = Array.unsafe_get a 0
 let poke b = Bytes.unsafe_set b 0 'x'
+
+(* Bigarray accessors must be recognized too, qualified or not. *)
+let bpeek (v : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t) =
+  Bigarray.Array1.unsafe_get v 0
+
+open Bigarray
+
+let bpoke (m : (float, float64_elt, c_layout) Array2.t) = Array2.unsafe_set m 0 0 1.0

@@ -317,6 +317,145 @@ let test_cg_stats () =
   Alcotest.(check bool) "avg iterations positive" true (Krylov.average_iterations stats > 0.0)
 
 (* ------------------------------------------------------------------ *)
+(* Bigarray kernels: bit-identity against the boxed references *)
+
+let float_bits_equal x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+
+let vec_bits_equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec loop i = i >= Array.length a || (float_bits_equal a.(i) b.(i) && loop (i + 1)) in
+  loop 0
+
+let vec_pair_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 64 in
+    let* a = list_repeat n (float_range (-10.0) 10.0) in
+    let* b = list_repeat n (float_range (-10.0) 10.0) in
+    return (Array.of_list a, Array.of_list b))
+
+let prop_bvec_dot =
+  qtest "Bvec.dot/dot_a bit-identical to Vec.dot" vec_pair_gen (fun (a, b) ->
+      let want = Vec.dot a b in
+      float_bits_equal want (Bvec.dot (Bvec.of_array a) (Bvec.of_array b))
+      && float_bits_equal want (Bvec.dot_a (Bvec.of_array a) b)
+      && float_bits_equal (Vec.norm2 a) (Bvec.norm2 (Bvec.of_array a)))
+
+let prop_bvec_updates =
+  let gen =
+    QCheck2.Gen.(
+      let* pair = vec_pair_gen in
+      let* alpha = float_range (-3.0) 3.0 in
+      return (pair, alpha))
+  in
+  qtest "Bvec axpy/xpby/sub bit-identical to boxed loops" gen (fun ((a, b), alpha) ->
+      let n = Array.length a in
+      (* axpy *)
+      let y_ref = Vec.copy b in
+      Vec.axpy ~alpha a y_ref;
+      let y_big = Bvec.of_array b in
+      Bvec.axpy ~alpha (Bvec.of_array a) y_big;
+      let y_big_a = Bvec.of_array b in
+      Bvec.axpy_a ~alpha a y_big_a;
+      (* xpby: p <- z + beta * p, boxed reference loop from the CG body *)
+      let p_ref = Vec.copy b in
+      for i = 0 to n - 1 do
+        p_ref.(i) <- a.(i) +. (alpha *. p_ref.(i))
+      done;
+      let p_big = Bvec.of_array b in
+      Bvec.xpby ~beta:alpha (Bvec.of_array a) p_big;
+      let p_big_a = Bvec.of_array b in
+      Bvec.xpby_a ~beta:alpha a p_big_a;
+      (* sub_arrays_into vs Vec.sub *)
+      let d_big = Bvec.create n in
+      Bvec.sub_arrays_into a b d_big;
+      vec_bits_equal y_ref (Bvec.to_array y_big)
+      && vec_bits_equal y_ref (Bvec.to_array y_big_a)
+      && vec_bits_equal p_ref (Bvec.to_array p_big)
+      && vec_bits_equal p_ref (Bvec.to_array p_big_a)
+      && vec_bits_equal (Vec.sub a b) (Bvec.to_array d_big)
+      && vec_bits_equal a (Bvec.to_array (Bvec.of_array a)))
+
+let mat_vec_gen =
+  (* Matrix plus conforming vectors; some exact zeros in the row vector to
+     exercise the gemv_t skip. *)
+  QCheck2.Gen.(
+    let* m = mat_small_gen in
+    let* x = list_repeat (Mat.cols m) (float_range (-5.0) 5.0) in
+    let* xr = list_repeat (Mat.rows m) (float_range (-5.0) 5.0) in
+    let* mask = list_repeat (Mat.rows m) bool in
+    let xr = List.map2 (fun v keep -> if keep then v else 0.0) xr mask in
+    return (m, Array.of_list x, Array.of_list xr))
+
+let prop_bmat_gemv =
+  qtest "Bmat gemv/gemv_t bit-identical to Mat" mat_vec_gen (fun (m, x, xr) ->
+      let bm = Bmat.of_mat m in
+      vec_bits_equal (Mat.gemv m x) (Bmat.gemv bm x)
+      && vec_bits_equal (Mat.gemv_t m xr) (Bmat.gemv_t bm xr)
+      && Mat.approx_equal ~tol:0.0 m (Bmat.to_mat bm))
+
+(* Full-result equality of the two CG implementations. *)
+let cg_results_equal (a : Krylov.result) (b : Krylov.result) =
+  vec_bits_equal a.Krylov.x b.Krylov.x
+  && a.Krylov.iterations = b.Krylov.iterations
+  && a.Krylov.converged = b.Krylov.converged
+  && a.Krylov.breakdown = b.Krylov.breakdown
+  && float_bits_equal a.Krylov.residual_norm b.Krylov.residual_norm
+  && float_bits_equal a.Krylov.recurrence_residual b.Krylov.recurrence_residual
+  && a.Krylov.residual_mismatch = b.Krylov.residual_mismatch
+
+let spd_system_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 12 in
+    let* entries = list_repeat (n * n) (float_range (-2.0) 2.0) in
+    let* b = list_repeat n (float_range (-5.0) 5.0) in
+    let* x0 = list_repeat n (float_range (-1.0) 1.0) in
+    let c = Mat.init n n (fun i j -> List.nth entries ((i * n) + j)) in
+    (* A = C'C + n I: SPD by construction. *)
+    let a = Mat.mul (Mat.transpose c) c in
+    let a = Mat.add a (Mat.scale (float_of_int n) (Mat.identity n)) in
+    return (a, Array.of_list b, Array.of_list x0))
+
+let prop_cg_matches_boxed =
+  qtest ~count:60 "cg bit-identical to cg_boxed (plain, precond, x0)" spd_system_gen
+    (fun (a, b, x0) ->
+      let apply = Mat.gemv a in
+      let jacobi v = Array.mapi (fun i x -> x /. Mat.get a i i) v in
+      cg_results_equal (Krylov.cg ~apply b) (Krylov.cg_boxed ~apply b)
+      && cg_results_equal (Krylov.cg ~apply ~precond:jacobi b)
+           (Krylov.cg_boxed ~apply ~precond:jacobi b)
+      && cg_results_equal (Krylov.cg ~apply ~x0 b) (Krylov.cg_boxed ~apply ~x0 b)
+      && cg_results_equal
+           (Krylov.cg ~apply ~max_iter:2 b)
+           (Krylov.cg_boxed ~apply ~max_iter:2 b))
+
+let test_cg_matches_boxed_breakdown () =
+  (* Negative-definite operator: p'Ap < 0 on the first iteration, the
+     breakdown path recomputes the true residual — both implementations
+     must agree on every field. *)
+  let apply v = Array.map (fun x -> -.x) v in
+  let b = Array.init 9 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check bool) "breakdown results identical" true
+    (cg_results_equal (Krylov.cg ~apply b) (Krylov.cg_boxed ~apply b));
+  Alcotest.(check bool) "breakdown flagged" true (Krylov.cg ~apply b).Krylov.breakdown
+
+let test_cg_scratch_not_retained () =
+  (* The .mli contract: the array handed to [apply] is a reused scratch
+     buffer, and the callback may reuse its own output buffer. A callback
+     doing both (like the FD solver's apply_into closure) must still see
+     bit-identical results. *)
+  let a = spd_of rng 16 in
+  let b = Array.init 16 (fun i -> cos (float_of_int i)) in
+  let out = Array.make 16 0.0 in
+  let reusing v =
+    let y = Mat.gemv a v in
+    Array.blit y 0 out 0 16;
+    out
+  in
+  Alcotest.(check bool) "buffer-reusing apply matches fresh-array apply" true
+    (cg_results_equal (Krylov.cg ~apply:reusing b) (Krylov.cg ~apply:(Mat.gemv a) b))
+
+(* ------------------------------------------------------------------ *)
 (* Rng *)
 
 let test_rng_deterministic () =
@@ -398,6 +537,17 @@ let () =
           Alcotest.test_case "preconditioning helps" `Quick test_cg_preconditioned_faster;
           Alcotest.test_case "zero rhs" `Quick test_cg_zero_rhs;
           Alcotest.test_case "stats accumulate" `Quick test_cg_stats;
+        ] );
+      ( "kernels",
+        [
+          prop_bvec_dot;
+          prop_bvec_updates;
+          prop_bmat_gemv;
+          prop_cg_matches_boxed;
+          Alcotest.test_case "cg breakdown path matches boxed" `Quick
+            test_cg_matches_boxed_breakdown;
+          Alcotest.test_case "cg tolerates buffer-reusing apply" `Quick
+            test_cg_scratch_not_retained;
         ] );
       ( "rng",
         [

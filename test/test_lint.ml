@@ -55,12 +55,12 @@ let test_no_catch_all_pos () =
 let test_no_catch_all_neg () =
   check_counts "explicit cases and re-raise" "no_catch_all_neg.ml" Finding.No_catch_all 0
 
-let test_no_unsafe_pos () = check_counts "unsafe accessors" "no_unsafe_pos.ml" Finding.No_unsafe 2
+let test_no_unsafe_pos () = check_counts "unsafe accessors" "no_unsafe_pos.ml" Finding.No_unsafe 4
 
 let test_no_unsafe_neg () =
   let r = Driver.lint_file (fixture "no_unsafe_neg.ml") in
   Alcotest.(check int) ("hotpath-annotated: " ^ show r) 0 (count Finding.No_unsafe r);
-  Alcotest.(check int) "both accesses counted as suppressed" 2 r.Driver.suppressed
+  Alcotest.(check int) "all four accesses counted as suppressed" 4 r.Driver.suppressed
 
 let test_no_stdout_pos () =
   check_counts "stdout from lib" ~in_lib:true "no_stdout_pos.ml" Finding.No_stdout_in_lib 2

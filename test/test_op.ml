@@ -82,6 +82,29 @@ let test_blackbox_op_counts_solves () =
   Alcotest.(check int) "live counter" (before + 2) (Op.solves_spent op);
   Alcotest.(check string) "kind" "blackbox" (Op.describe op).Op.kind
 
+let test_fused_batch_matches_apply () =
+  (* [Repr.op]'s batches now go through the fused three-sweep CSR kernel;
+     every response must stay bit-identical to a per-column [apply] loop,
+     across batch widths and jobs. *)
+  let r = synthetic 17 in
+  let op = Repr.op r in
+  List.iter
+    (fun width ->
+      let vs = Array.init width (fun i -> Rng.gaussian_array (Rng.create (900 + i)) 17) in
+      let want = Array.map (Op.apply op) vs in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check bool)
+            (Printf.sprintf "width %d, jobs %d" width jobs)
+            true
+            (batch_bits_equal want (Repr.apply_batch r ~jobs vs)))
+        [ 1; 2; 3; 4 ];
+      Alcotest.(check bool)
+        (Printf.sprintf "op batch, width %d" width)
+        true
+        (batch_bits_equal want (Op.apply_batch ~jobs:1 op vs)))
+    [ 0; 1; 2; 5; 17 ]
+
 let test_jobs_bitwise_identical () =
   let r = synthetic 16 in
   let op = Repr.op r in
@@ -320,6 +343,7 @@ let () =
           Alcotest.test_case "all paths agree" `Quick test_all_paths_agree;
           Alcotest.test_case "columns" `Quick test_columns_match_dense;
           Alcotest.test_case "blackbox solves_spent live" `Quick test_blackbox_op_counts_solves;
+          Alcotest.test_case "fused batch = per-column apply" `Quick test_fused_batch_matches_apply;
           Alcotest.test_case "jobs bitwise identical" `Quick test_jobs_bitwise_identical;
           Alcotest.test_case "validation" `Quick test_apply_validates_length;
           Alcotest.test_case "map_array deterministic" `Quick test_map_array_deterministic;

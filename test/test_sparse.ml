@@ -131,6 +131,67 @@ let test_matrix_market_header () =
   Sys.remove path;
   Alcotest.(check string) "banner" "%%MatrixMarket matrix coordinate real general" first
 
+(* ------------------------------------------------------------------ *)
+(* Fused / blocked product kernels: bit-identity against gemv/gemv_t *)
+
+let float_bits_equal x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+
+let vec_bits_equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec loop i = i >= Array.length a || (float_bits_equal a.(i) b.(i) && loop (i + 1)) in
+  loop 0
+
+let batch_bits_equal xs ys =
+  Array.length xs = Array.length ys && Array.for_all2 vec_bits_equal xs ys
+
+(* Sparse matrix of a random shape/density plus a block of right-hand
+   sides (with exact zeros salted in, so the gemv_t skip is exercised). *)
+let sparse_batch_gen =
+  QCheck2.Gen.(
+    let* m = int_range 1 24 in
+    let* n = int_range 1 24 in
+    let* density = float_range 0.05 0.6 in
+    let* seed = int_range 0 10_000 in
+    let* width = int_range 0 9 in
+    let rng = Rng.create seed in
+    let d = random_sparse_dense rng m n density in
+    let a = Csr.of_dense d in
+    let block rows =
+      Array.init width (fun _ ->
+          Array.init rows (fun _ -> if Rng.float rng < 0.2 then 0.0 else Rng.gaussian rng))
+    in
+    return (a, block n, block m))
+
+let prop_apply_batch_matches_gemv =
+  qtest "apply_batch bit-identical to per-column gemv" sparse_batch_gen (fun (a, xs, _) ->
+      batch_bits_equal (Array.map (Csr.gemv a) xs) (Csr.apply_batch a xs))
+
+let prop_apply_batch_t_matches_gemv_t =
+  qtest "apply_batch_t bit-identical to per-column gemv_t" sparse_batch_gen (fun (a, _, xs) ->
+      batch_bits_equal (Array.map (Csr.gemv_t a) xs) (Csr.apply_batch_t a xs))
+
+let prop_gemv_blocked_matches_gemv =
+  let gen =
+    QCheck2.Gen.(
+      let* t = sparse_batch_gen in
+      let* block = int_range 1 30 in
+      return (t, block))
+  in
+  qtest "gemv_blocked bit-identical to gemv for any band size" gen (fun ((a, xs, _), block) ->
+      Array.for_all (fun x -> vec_bits_equal (Csr.gemv a x) (Csr.gemv_blocked ~block a x)) xs)
+
+let test_apply_batch_empty () =
+  let a = Csr.of_dense (Mat.identity 4) in
+  Alcotest.(check int) "empty block" 0 (Array.length (Csr.apply_batch a [||]));
+  Alcotest.(check int) "empty block (transposed)" 0 (Array.length (Csr.apply_batch_t a [||]))
+
+let test_apply_batch_mismatch () =
+  let a = Csr.of_dense (random_sparse_dense rng 3 5 0.5) in
+  Alcotest.check_raises "wrong column length"
+    (Invalid_argument "Csr.apply_batch: dimension mismatch") (fun () ->
+      ignore (Csr.apply_batch a [| Array.make 5 1.0; Array.make 4 1.0 |]))
+
 let () =
   Alcotest.run "sparse"
     [
@@ -153,6 +214,14 @@ let () =
           Alcotest.test_case "threshold search" `Quick test_threshold_for_sparsity;
           Alcotest.test_case "matrix market roundtrip" `Quick test_matrix_market_roundtrip;
           Alcotest.test_case "matrix market header" `Quick test_matrix_market_header;
+        ] );
+      ( "kernels",
+        [
+          prop_apply_batch_matches_gemv;
+          prop_apply_batch_t_matches_gemv_t;
+          prop_gemv_blocked_matches_gemv;
+          Alcotest.test_case "empty batch" `Quick test_apply_batch_empty;
+          Alcotest.test_case "ragged batch rejected" `Quick test_apply_batch_mismatch;
         ] );
       ("spy", [ Alcotest.test_case "render" `Quick test_spy_render ]);
     ]
