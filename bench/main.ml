@@ -820,6 +820,92 @@ let bench_chaos ~full () =
   if not recovered then failwith "chaos recovery is not bit-identical to the fault-free run"
 
 (* ------------------------------------------------------------------ *)
+(* Sharded extraction: fault-domain overhead, resume cost, composed parity *)
+
+type shard_record = {
+  sh_layout : string;
+  sh_n : int;
+  sh_level : int;
+  sh_shards : int;
+  sh_fresh_s : float;
+  sh_resume_s : float;
+  sh_total_solves : int;
+  sh_resume_live : int;
+  sh_identical : bool;
+}
+
+let shard_records : shard_record list ref = ref []
+
+let bench_shard ~full () =
+  section "Sharded extraction — fault domains, resume cost, composed parity";
+  let per_side = if full then 16 else 8 in
+  let layout = Layout.alternating ~size:128.0 ~per_side () in
+  let n = Layout.n_contacts layout in
+  let bb = eig_blackbox layout in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let dir = Filename.temp_file "bench_shard" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let level = 1 in
+      let (m, fresh), t_fresh =
+        time (fun () -> Sharded.extract ~method_:`Lowrank ~shard_level:level ~dir layout bb)
+      in
+      let op_fresh, _ = Subcouple_op.of_manifest ~dir m in
+      let (m2, resumed), t_resume =
+        time (fun () -> Sharded.extract ~method_:`Lowrank ~shard_level:level ~dir layout bb)
+      in
+      let op_resumed, _ = Subcouple_op.of_manifest ~dir m2 in
+      (* A clean resume must be pure bookkeeping: every shard skipped, zero
+         live solves, and the composed operator bit-identical. *)
+      let columns op =
+        Subcouple_op.columns op (Array.init n Fun.id)
+      in
+      let same_bits =
+        Array.for_all2
+          (fun a b ->
+            Array.for_all2
+              (fun (x : float) y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+              a b)
+          (columns op_fresh) (columns op_resumed)
+      in
+      let identical =
+        same_bits
+        && resumed.Substrate.Shard.skipped = fresh.Substrate.Shard.planned
+        && resumed.Substrate.Shard.live_solves = 0
+        && resumed.Substrate.Shard.total_solves = fresh.Substrate.Shard.total_solves
+      in
+      Printf.printf "  layout %s, n = %d, %d shard(s) at level %d\n" layout.Layout.name n
+        fresh.Substrate.Shard.planned level;
+      Printf.printf "    fresh extraction   %8.3f s   (%d solves)\n" t_fresh
+        fresh.Substrate.Shard.total_solves;
+      Printf.printf "    no-op resume       %8.3f s   (%d live solves, %d cached)\n" t_resume
+        resumed.Substrate.Shard.live_solves resumed.Substrate.Shard.cached_solves;
+      Printf.printf "    resume repeated no solve: %b\n" identical;
+      if not identical then failwith "sharded resume repeated solves";
+      shard_records :=
+        {
+          sh_layout = layout.Layout.name;
+          sh_n = n;
+          sh_level = level;
+          sh_shards = fresh.Substrate.Shard.planned;
+          sh_fresh_s = t_fresh;
+          sh_resume_s = t_resume;
+          sh_total_solves = fresh.Substrate.Shard.total_solves;
+          sh_resume_live = resumed.Substrate.Shard.live_solves;
+          sh_identical = identical;
+        }
+        :: !shard_records)
+
+(* ------------------------------------------------------------------ *)
 (* Tracing: disabled-path overhead on the par workload, enabled-run audit *)
 
 type trace_record = {
@@ -1189,6 +1275,21 @@ let write_json path ~full records =
             (if i = List.length aps - 1 then "" else ","))
         aps;
       Printf.fprintf oc "  ],\n";
+      (* New in this PR: not in the validator's required sections, so the
+         committed baseline (which predates sharding) stays valid. *)
+      Printf.fprintf oc "  \"shard\": [\n";
+      let shs = List.rev !shard_records in
+      List.iteri
+        (fun i s ->
+          Printf.fprintf oc
+            "    {\"layout\": \"%s\", \"n\": %d, \"level\": %d, \"shards\": %d, \"fresh_s\": %.6f, \
+             \"resume_s\": %.6f, \"total_solves\": %d, \"resume_live_solves\": %d, \
+             \"bitwise_identical\": %b}%s\n"
+            (json_escape s.sh_layout) s.sh_n s.sh_level s.sh_shards s.sh_fresh_s s.sh_resume_s
+            s.sh_total_solves s.sh_resume_live s.sh_identical
+            (if i = List.length shs - 1 then "" else ","))
+        shs;
+      Printf.fprintf oc "  ],\n";
       Printf.fprintf oc "  \"trace\": [\n";
       let trs = List.rev !trace_records in
       List.iteri
@@ -1250,6 +1351,7 @@ let experiments =
     ("apply", "Apply throughput: dense vs repr vs loaded artifact", bench_apply_cost);
     ("par", "Parallel extraction: sequential vs domain-pool batch", bench_parallel);
     ("chaos", "Resilience: wrapper overhead on clean runs, chaos recovery", bench_chaos);
+    ("shard", "Sharded extraction: fault domains, resume cost, composed parity", bench_shard);
     ("trace", "Tracing: disabled-path overhead gate, enabled-run audit", bench_trace);
   ]
 

@@ -12,14 +12,15 @@ open Cmdliner
 
 (* ------------------------------------------------------------------ *)
 (* Exit codes, shared across the tools so scripts and CI can dispatch on
-   them: 0 success, 1 user error, 2 a black-box solve failed during
-   extraction, 3 an operator artifact was rejected (missing, torn,
-   corrupt, or wrong version). cmdliner reserves 123-125. *)
+   them: 0 success, 1 user error, 2 operational failure — a black-box
+   solve failed during extraction, or an operator artifact / shard
+   manifest was rejected (missing, torn, corrupt, or wrong version).
+   cmdliner reserves 123-125. *)
 
 let exit_ok = 0
 let exit_user_error = 1
 let exit_solve_failed = 2
-let exit_bad_artifact = 3
+let exit_bad_artifact = 2
 
 (* ------------------------------------------------------------------ *)
 (* Problem configuration: which layout and which solver. *)

@@ -19,24 +19,77 @@ open Sparsify
 open Cmdliner
 open Cli_common
 
+(* Dispatch on the container family: a single-operator artifact (.sca) or
+   a shard manifest (.scm, with its shard artifacts alongside). Every
+   typed load failure becomes one line on stderr and a rejected-artifact
+   exit. *)
 let load_or_exit path =
-  match Artifact.load ~path with
-  | payload -> payload
+  match Artifact.load_any ~path with
+  | loaded -> loaded
   | exception Artifact.Error { path; error } ->
     Printf.eprintf "%s: %s\n" path (Artifact.error_message error);
     exit exit_bad_artifact
+
+let compose_or_exit ~dir m =
+  match Op.of_manifest ~dir m with
+  | composed -> composed
+  | exception Artifact.Error { path; error } ->
+    Printf.eprintf "%s: %s\n" path (Artifact.error_message error);
+    exit exit_bad_artifact
+
+let print_health health =
+  match health with
+  | Op.Full -> ()
+  | Op.Degraded _ -> Printf.printf "health: %s\n" (Fmt.str "%a" Op.pp_health health)
 
 let artifact_arg =
   Arg.(
     required
     & pos 0 (some string) None
-    & info [] ~docv:"FILE" ~doc:"Operator artifact (.sca) written by substrate_extract --output.")
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Operator artifact (.sca) written by substrate_extract --output, or a shard manifest \
+           written by substrate_extract --shards (served as the block-diagonal composition of its \
+           complete shards).")
 
 (* ------------------------------------------------------------------ *)
 (* info *)
 
+let run_info_manifest path (m : Artifact.Manifest.t) =
+  Printf.printf "manifest: %s (format M1, checksum verified)\n" path;
+  if not (String.equal m.Artifact.Manifest.source "") then
+    Printf.printf "source: %s\n" m.Artifact.Manifest.source;
+  Printf.printf "n: %d contacts\n" m.Artifact.Manifest.n;
+  let complete = Artifact.Manifest.complete m in
+  let quarantined = Artifact.Manifest.quarantined m in
+  Printf.printf "shards: %d planned, %d complete, %d quarantined, %d pending\n"
+    m.Artifact.Manifest.total_shards (List.length complete) (List.length quarantined)
+    (m.Artifact.Manifest.total_shards - Array.length m.Artifact.Manifest.entries);
+  Array.iter
+    (fun (e : Artifact.Manifest.entry) ->
+      Printf.printf "  shard %d: level %d (%d,%d), %d contacts, %s\n"
+        e.Artifact.Manifest.shard_id e.Artifact.Manifest.level e.Artifact.Manifest.ix
+        e.Artifact.Manifest.iy
+        (Array.length e.Artifact.Manifest.contacts)
+        (match e.Artifact.Manifest.status with
+        | Artifact.Manifest.Complete ->
+          Printf.sprintf "complete (%s, %d solves)" e.Artifact.Manifest.file
+            e.Artifact.Manifest.solves
+        | Artifact.Manifest.Quarantined reason -> Printf.sprintf "quarantined: %s" reason))
+    m.Artifact.Manifest.entries;
+  (* Composing verifies every shard artifact against its recorded digest. *)
+  let op, health = compose_or_exit ~dir:(Filename.dirname path) m in
+  Printf.printf "health: %s\n" (Fmt.str "%a" Op.pp_health health);
+  Printf.printf "storage: %d floats (dense G would store %d)\n" (Op.storage_floats op)
+    (m.Artifact.Manifest.n * m.Artifact.Manifest.n);
+  Printf.printf "solves spent extracting: %d (%.1fx reduction over naive)\n" (Op.solves_spent op)
+    (Metrics.solve_reduction ~n:m.Artifact.Manifest.n ~solves:(max 1 (Op.solves_spent op)));
+  exit_ok
+
 let run_info path =
-  let a = load_or_exit path in
+  match load_or_exit path with
+  | `Manifest m -> run_info_manifest path m
+  | `Operator a ->
   let repr = Repr.of_artifact a in
   Printf.printf "artifact: %s (format A1, checksum verified)\n" path;
   Printf.printf "kind: %s\n" (if String.equal a.Artifact.kind "" then "(unset)" else a.Artifact.kind);
@@ -69,14 +122,26 @@ let print_vector ~label v =
 
 let run_apply path jobs threshold columns probes seed digest trace trace_summary =
   trace_setup ~trace ~trace_summary;
-  let a = load_or_exit path in
-  let repr = Repr.of_artifact a in
-  let repr = if threshold > 1.0 then Repr.threshold repr ~target:threshold else repr in
-  let op = Repr.op repr in
   let jobs = resolve_jobs jobs in
-  if threshold > 1.0 then
-    Printf.printf "thresholded G_w to %d nonzeros (sparsity factor %.1f)\n" (Repr.nnz_gw repr)
-      (Repr.sparsity_gw repr);
+  match load_or_exit path with
+  | `Manifest _ when threshold > 1.0 ->
+    Printf.eprintf "--threshold applies to single-operator artifacts, not shard manifests\n";
+    exit_user_error
+  | loaded ->
+  let op =
+    match loaded with
+    | `Manifest m ->
+      let op, health = compose_or_exit ~dir:(Filename.dirname path) m in
+      print_health health;
+      op
+    | `Operator a ->
+      let repr = Repr.of_artifact a in
+      let repr = if threshold > 1.0 then Repr.threshold repr ~target:threshold else repr in
+      if threshold > 1.0 then
+        Printf.printf "thresholded G_w to %d nonzeros (sparsity factor %.1f)\n" (Repr.nnz_gw repr)
+          (Repr.sparsity_gw repr);
+      Repr.op repr
+  in
   let code =
     match columns with
     | _ :: _ -> (

@@ -40,13 +40,14 @@ let parse_chaos spec =
   let fail () =
     invalid_arg
       (Printf.sprintf "--chaos %S: expected FAULT[:EVERY[:OFFSET[:SEED]]] with FAULT one of \
-                       transient, nan, nonconv, perturb" spec)
+                       transient, nan, nonconv, perturb, kill" spec)
   in
   let fault_of = function
     | "transient" -> Substrate.Chaos.Transient
     | "nan" -> Substrate.Chaos.Nan_response
     | "nonconv" -> Substrate.Chaos.Non_convergence
     | "perturb" -> Substrate.Chaos.Perturb 1e-6
+    | "kill" -> Substrate.Chaos.Kill
     | _ -> fail ()
   in
   let int_of s = match int_of_string_opt s with Some i -> i | None -> fail () in
@@ -94,9 +95,126 @@ let write_output repr ~problem ~layout ~method_ ~threshold path =
       (Printf.sprintf "transformed G_w for %s (G ~ Q G_w Q')" layout.Layout.name)
   end
 
+(* --shards LEVEL: the crash-safe multi-shard path. Each nonempty quadtree
+   region at LEVEL is an independent fault domain with its own checkpoint
+   and artifact inside --output DIR, tied together by a versioned manifest;
+   the run streams shards to disk and a re-run with --resume skips what is
+   already there. Incompatible with the single-artifact options. *)
+let run_sharded problem ~jobs ~method_ ~output ~probe_digest ~resilience ~max_attempts ~chaos
+    ~trace ~trace_summary ~shard_level ~resume =
+  let layout = layout_of_problem problem in
+  let n = Layout.n_contacts layout in
+  Printf.printf "layout: %s (%d contacts)\n%!" layout.Layout.name n;
+  if jobs > 1 then Printf.printf "jobs: %d (batched solves run on a domain pool)\n%!" jobs;
+  match output with
+  | None ->
+    Printf.eprintf "--shards needs --output DIR: the directory for shard artifacts and manifest\n";
+    exit_user_error
+  | Some dir when Filename.check_suffix dir ".sca" ->
+    Printf.eprintf "--shards writes a directory of shard artifacts; --output must not be a .sca file\n";
+    exit_user_error
+  | Some dir ->
+    if Sys.file_exists (Substrate.Shard.manifest_path dir) && not resume then begin
+      Printf.eprintf "%s already holds a shard manifest; pass --resume to continue that run\n"
+        (Substrate.Shard.manifest_path dir);
+      exit_user_error
+    end
+    else begin
+      let base_bb, fallbacks = solver_stack problem layout in
+      let chaos_t =
+        Option.map
+          (fun spec ->
+            let fault, every, offset, seed = parse_chaos spec in
+            Printf.printf "chaos: injecting faults at every %d-th solve (offset %d)\n%!" every
+              offset;
+            Substrate.Chaos.create ~seed ~offset ~every ~fault base_bb)
+          chaos
+      in
+      let bb = match chaos_t with Some c -> Substrate.Chaos.box c | None -> base_bb in
+      (* Sharding always numbers solves through a Resilient wrapper (the
+         run-global indices the chaos/kill machinery addresses); with
+         --resilience off that wrapper is fail-fast with no ladder. *)
+      let policy =
+        match policy_of_resilience resilience max_attempts with
+        | Some p -> p
+        | None -> Substrate.Resilient.fail_fast
+      in
+      let fallbacks =
+        match resilience with `Off | `Fail_fast -> [] | `Retry | `Degrade -> fallbacks
+      in
+      let source =
+        Printf.sprintf
+          "substrate_extract --layout %s --per-side %d --seed %d --solver %s --method %s --shards %d"
+          problem.layout_name problem.per_side problem.seed
+          (match problem.solver with `Eig -> "eig" | `Fd -> "fd" | `Fd_direct -> "fd-direct")
+          (method_name method_) shard_level
+      in
+      match
+        Sharded.extract ~jobs ~policy ~fallbacks ~source ~method_ ~shard_level ~dir layout bb
+      with
+      | exception Substrate.Shard.Mismatch message ->
+        Printf.eprintf "%s\n" message;
+        exit_user_error
+      | m, prog ->
+        Printf.printf "shards: %d planned, %d skipped, %d extracted, %d recovered, %d quarantined\n"
+          prog.Substrate.Shard.planned prog.Substrate.Shard.skipped prog.Substrate.Shard.extracted
+          prog.Substrate.Shard.recovered prog.Substrate.Shard.quarantined;
+        Printf.printf "solves: total=%d cached=%d live=%d\n" prog.Substrate.Shard.total_solves
+          prog.Substrate.Shard.cached_solves prog.Substrate.Shard.live_solves;
+        (match chaos_t with
+        | Some c -> Printf.printf "chaos: %d fault(s) injected\n" (Substrate.Chaos.injected c)
+        | None -> ());
+        List.iter
+          (fun (e : Subcouple_op.Artifact.Manifest.entry) ->
+            match e.Subcouple_op.Artifact.Manifest.status with
+            | Subcouple_op.Artifact.Manifest.Quarantined reason ->
+              Printf.printf "  quarantined shard %d: %s\n" e.Subcouple_op.Artifact.Manifest.shard_id
+                reason
+            | Subcouple_op.Artifact.Manifest.Complete -> ())
+          (Array.to_list m.Subcouple_op.Artifact.Manifest.entries);
+        (* Compose from disk — exactly what substrate_apply will serve. *)
+        (match Subcouple_op.of_manifest ~dir m with
+        | exception Subcouple_op.Artifact.Error { path; error } ->
+          Printf.eprintf "%s: %s\n" path (Subcouple_op.Artifact.error_message error);
+          trace_finish ~trace ~trace_summary;
+          exit_bad_artifact
+        | op, health ->
+          Printf.printf "health: %s\n" (Fmt.str "%a" Subcouple_op.pp_health health);
+          if probe_digest then print_endline (probe_digest_line ~jobs op);
+          let solver_health = Substrate.Health.summary (Blackbox.health base_bb) in
+          Printf.printf "solver health: %s%s\n"
+            (Fmt.str "%a" Substrate.Health.pp_summary solver_health)
+            (if Substrate.Health.healthy solver_health then "" else "  [CHECK QUALITY]");
+          trace_finish ~trace ~trace_summary;
+          exit_ok)
+    end
+
 let run_extract problem jobs method_ threshold verify estimate spy output probe_digest resilience
-    max_attempts checkpoint chaos trace trace_summary =
+    max_attempts checkpoint chaos shards resume trace trace_summary =
   trace_setup ~trace ~trace_summary;
+  match shards with
+  | Some shard_level ->
+    let jobs = resolve_jobs jobs in
+    let incompatible =
+      List.filter_map Fun.id
+        [
+          (if threshold > 1.0 then Some "--threshold" else None);
+          (if verify then Some "--verify" else None);
+          (if estimate then Some "--estimate" else None);
+          (if spy then Some "--spy" else None);
+          (if Option.is_some checkpoint then Some "--checkpoint" else None);
+        ]
+    in
+    if incompatible <> [] then begin
+      Printf.eprintf "--shards is incompatible with %s (shards have their own checkpoints; \
+                      post-processing applies to single artifacts)\n"
+        (String.concat ", " incompatible);
+      exit_user_error
+    end
+    else
+      run_sharded problem ~jobs ~method_ ~output ~probe_digest ~resilience ~max_attempts ~chaos
+        ~trace ~trace_summary ~shard_level ~resume
+  | None ->
   let layout = layout_of_problem problem in
   let n = Layout.n_contacts layout in
   let jobs = resolve_jobs jobs in
@@ -277,7 +395,28 @@ let chaos_arg =
     & info [ "chaos" ] ~docv:"SPEC" ~docs:"TESTING (INTERNAL)"
         ~doc:
           "Inject deterministic solver faults (testing only): \
-           FAULT[:EVERY[:OFFSET[:SEED]]] with FAULT one of transient, nan, nonconv, perturb.")
+           FAULT[:EVERY[:OFFSET[:SEED]]] with FAULT one of transient, nan, nonconv, perturb, \
+           kill (SIGKILL the process at the fault site).")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"LEVEL"
+        ~doc:
+          "Crash-safe sharded extraction: split the layout into the nonempty quadtree regions at \
+           $(docv), each an independent fault domain with its own checkpoint and artifact inside \
+           --output DIR, tied together by a checksummed manifest (servable by substrate_apply). A \
+           shard whose solves exhaust the resilience ladder is quarantined instead of aborting \
+           the run.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Continue an interrupted --shards run: complete shards are skipped, a half-done shard \
+           replays its checkpoint, quarantined shards are retried.")
 
 let extract_cmd =
   Cmd.v
@@ -285,7 +424,7 @@ let extract_cmd =
     Term.(
       const run_extract $ problem_term $ jobs_arg $ method_arg $ threshold_arg $ verify_arg
       $ estimate_arg $ spy_arg $ output_arg $ probe_digest_arg $ resilience_arg $ max_attempts_arg
-      $ checkpoint_arg $ chaos_arg $ trace_arg $ trace_summary_arg)
+      $ checkpoint_arg $ chaos_arg $ shards_arg $ resume_arg $ trace_arg $ trace_summary_arg)
 
 (* ------------------------------------------------------------------ *)
 (* solve *)

@@ -1,0 +1,59 @@
+(* Method dispatch for sharded extraction: the closure Substrate.Shard.run
+   drives, instantiated with the real extractors.
+
+   Each shard extracts the principal submatrix G(C_s, C_s): the chosen
+   method (wavelet or low-rank) runs unchanged on the shard's sub-layout —
+   contacts at their original surface positions, so quadtree structure and
+   separations are preserved — against the global solver restricted to the
+   shard's coordinates. Composing the shards block-diagonally
+   (Subcouple_op.of_manifest) drops the cross-shard coupling blocks; the
+   spatial decay the whole method rests on is what makes those blocks the
+   cheap part to lose, and the shard level is the knob trading accuracy
+   for fault-domain granularity.
+
+   Every shard gets its own Resilient wrapper so failures exhaust a ladder
+   before the shard is quarantined, numbered from the shard's run-global
+   [first_index] so index-addressed fault injection (Chaos) is stable
+   across sharded, unsharded and resumed runs. *)
+
+module Shard = Substrate.Shard
+module Resilient = Substrate.Resilient
+module Layout = Geometry.Layout
+
+type method_ = [ `Lowrank | `Wavelet ]
+
+let method_name = function `Lowrank -> "lowrank" | `Wavelet -> "wavelet"
+
+let extract_one ~method_ ~jobs ~policy ~fallbacks ~source ~layout ~box ~shard ~first_index
+    ~checkpoint =
+  let contacts = shard.Shard.contacts in
+  let where =
+    Printf.sprintf "shard %d: level %d (%d,%d), %d contacts" shard.Shard.shard_id
+      shard.Shard.level shard.Shard.ix shard.Shard.iy (Array.length contacts)
+  in
+  let sub_layout =
+    Layout.restrict layout ~ids:contacts
+      ~name:(Printf.sprintf "%s [%s]" layout.Layout.name where)
+  in
+  let restricted = Shard.restricted_box ~contacts box in
+  let fallbacks =
+    List.map
+      (fun (name, lb) -> (name, lazy (Shard.restricted_box ~contacts (Lazy.force lb))))
+      fallbacks
+  in
+  let bb = Resilient.blackbox (Resilient.create ~policy ~fallbacks ~first_index restricted) in
+  let repr =
+    match method_ with
+    | `Wavelet -> Wavelet.extract ~jobs ~checkpoint (Wavelet.create ~p:2 sub_layout) bb
+    | `Lowrank -> Lowrank.extract ~jobs ~checkpoint sub_layout bb
+  in
+  Repr.to_artifact ~kind:(method_name method_) ~source:(Printf.sprintf "%s; %s" source where) repr
+
+let extract ?(jobs = 1) ?(policy = Resilient.default_policy) ?(fallbacks = [])
+    ?(source = "sharded extraction") ~method_ ~shard_level ~dir layout box =
+  let plan = Shard.plan ~shard_level layout in
+  Shard.run ~source ~dir
+    ~extract:(fun ~shard ~first_index ~checkpoint ->
+      extract_one ~method_ ~jobs ~policy ~fallbacks ~source ~layout ~box ~shard ~first_index
+        ~checkpoint)
+    plan

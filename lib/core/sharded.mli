@@ -1,0 +1,54 @@
+(** Sharded extraction with the real extractors: the method-dispatch layer
+    over {!Substrate.Shard.run}.
+
+    Each shard extracts the principal submatrix [G(C_s, C_s)] — the chosen
+    method runs unchanged on the shard's sub-layout against the global
+    solver restricted to the shard's coordinates — and the manifest's
+    block-diagonal composition ({!Subcouple_op.of_manifest}) drops the
+    cross-shard coupling blocks, the part spatial decay makes cheap to
+    lose. The shard level trades accuracy for fault-domain granularity:
+    level 0 is one shard (no coupling dropped), each further level
+    quarters the blast radius of a crash or a stubborn region. *)
+
+type method_ = [ `Lowrank | `Wavelet ]
+
+val method_name : method_ -> string
+
+(** One shard's extraction: the closure {!Substrate.Shard.run} drives.
+    [fallbacks] is the {e full-dimension} escalation ladder; each rung is
+    restricted to the shard's coordinates on demand (and built at most
+    once across shards, the laziness is shared). Exposed for harnesses
+    that drive {!Substrate.Shard.run} with extra instrumentation. *)
+val extract_one :
+  method_:method_ ->
+  jobs:int ->
+  policy:Substrate.Resilient.policy ->
+  fallbacks:(string * Substrate.Blackbox.t Lazy.t) list ->
+  source:string ->
+  layout:Geometry.Layout.t ->
+  box:Substrate.Blackbox.t ->
+  shard:Substrate.Shard.planned ->
+  first_index:int ->
+  checkpoint:Substrate.Checkpoint.t ->
+  Subcouple_op.Artifact.payload
+
+(** [extract ~method_ ~shard_level ~dir layout box] plans the shards of
+    [layout] at [shard_level] and drives them to completion inside [dir],
+    resuming whatever a previous run left there (see
+    {!Substrate.Shard.run} for the crash-safety contract). [policy]
+    (default {!Substrate.Resilient.default_policy}) and [fallbacks]
+    (default none) wrap every shard's solves in a per-shard resilience
+    ladder — a shard that exhausts it is quarantined, not fatal.
+    @raise Substrate.Shard.Mismatch if [dir] holds state for a different
+    layout or plan. *)
+val extract :
+  ?jobs:int ->
+  ?policy:Substrate.Resilient.policy ->
+  ?fallbacks:(string * Substrate.Blackbox.t Lazy.t) list ->
+  ?source:string ->
+  method_:method_ ->
+  shard_level:int ->
+  dir:string ->
+  Geometry.Layout.t ->
+  Substrate.Blackbox.t ->
+  Subcouple_op.Artifact.Manifest.t * Substrate.Shard.progress

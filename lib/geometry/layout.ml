@@ -8,6 +8,36 @@ type t = { size : float; contacts : Contact.t array; name : string }
 
 let n_contacts t = Array.length t.contacts
 
+(* MD5 of the geometry alone — surface size and contact rectangles as
+   IEEE-754 bit patterns, in contact order; the display name does not
+   participate. Two layouts digest equal iff a solver would see the same
+   problem, so the digest keys checkpoint/manifest compatibility checks. *)
+let digest t =
+  let b = Buffer.create (16 + (32 * Array.length t.contacts)) in
+  let add f = Buffer.add_int64_le b (Int64.bits_of_float f) in
+  add t.size;
+  Buffer.add_int64_le b (Int64.of_int (Array.length t.contacts));
+  Array.iter
+    (fun (c : Contact.t) ->
+      add c.x0;
+      add c.y0;
+      add c.x1;
+      add c.y1)
+    t.contacts;
+  Digest.bytes (Buffer.to_bytes b)
+
+(* The sub-layout holding the contacts with the given ids (ascending),
+   on the same surface. Positions are preserved, so geometric structure —
+   quadtree membership, separations — is unchanged; only the contact
+   numbering is compacted. *)
+let restrict t ~ids ~name =
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= Array.length t.contacts then
+        invalid_arg (Printf.sprintf "Layout.restrict: contact id %d out of range" i))
+    ids;
+  { t with contacts = Array.map (fun i -> t.contacts.(i)) ids; name }
+
 (* A contact centered in grid cell (i, j) of a per_side x per_side division,
    occupying [fill] of the cell's linear extent. *)
 let cell_contact ~size ~per_side ~fill i j =

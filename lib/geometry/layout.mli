@@ -4,6 +4,18 @@ type t = { size : float; contacts : Contact.t array; name : string }
 
 val n_contacts : t -> int
 
+(** MD5 over the geometry alone (surface size and contact rectangles, bit
+    patterns in contact order; the display name does not participate).
+    Keys compatibility checks between a layout and persisted state
+    (checkpoints, shard manifests) derived from it. *)
+val digest : t -> Digest.t
+
+(** [restrict t ~ids ~name] is the sub-layout holding contacts [ids]
+    (ascending global ids) at their original positions on the same
+    surface; contact [k] of the result is contact [ids.(k)] of [t].
+    @raise Invalid_argument on an out-of-range id. *)
+val restrict : t -> ids:int array -> name:string -> t
+
 (** Fig 3-6 (Examples 1a/1b, low-rank Example 1): regular grid of same-size
     contacts. [fill] is the fraction of each cell's linear extent covered. *)
 val regular_grid : ?size:float -> ?fill:float -> per_side:int -> unit -> t

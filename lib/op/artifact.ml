@@ -24,7 +24,9 @@ exception Error of { path : string; error : error }
 
 let error_message = function
   | Not_an_artifact what -> Printf.sprintf "not a substrate operator artifact (%s)" what
-  | Unsupported_version v -> Printf.sprintf "unsupported artifact format version %S (this build reads \"A1\")" v
+  | Unsupported_version v ->
+    Printf.sprintf
+      "unsupported format version %S (this build reads \"A1\" operators and \"M1\" manifests)" v
   | Truncated what -> Printf.sprintf "truncated artifact: %s" what
   | Checksum_mismatch -> "payload checksum mismatch: the file is corrupt"
   | Malformed what -> Printf.sprintf "malformed artifact payload: %s" what
@@ -100,25 +102,59 @@ let validate_payload path p =
   square_of_n "Q" p.q;
   square_of_n "G_w" p.gw
 
-let save ~path p =
-  validate_payload path p;
-  let body = encode p in
+(* Frame a payload in the shared container layout: 8 magic bytes (family +
+   version), payload length, payload MD5, payload. Both file families
+   (".sca" operator artifacts and ".scm" shard manifests) use it. *)
+let frame ~family ~version body =
   let b = Buffer.create (header_bytes + String.length body) in
-  Buffer.add_string b magic_family;
-  Buffer.add_string b format_version;
+  Buffer.add_string b family;
+  Buffer.add_string b version;
   add_int b (String.length body);
   Buffer.add_string b (Digest.string body);
   Buffer.add_string b body;
-  (* Temp file + rename: a crashed writer never leaves a torn file under
-     the target name. *)
+  b
+
+(* Persist the rename itself: without an fsync of the containing directory
+   a power loss can forget the new directory entry (or leave the rename
+   but not the data, had the file not been synced first). Best-effort: some
+   filesystems refuse to open a directory for reading. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> Unix.fsync fd)
+  | exception Unix.Unix_error _ -> ()
+
+(* Temp file + fsync + rename + directory fsync: a crashed (or power-lost)
+   writer never leaves a torn, empty or unlinked file under the target
+   name. The data is on stable storage before the rename makes it
+   visible. *)
+let write_atomic ~path b =
   let tmp = path ^ ".tmp" in
   match
-    let oc = open_out_bin tmp in
-    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> Buffer.output_buffer oc b);
-    Sys.rename tmp path
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let bytes = Buffer.to_bytes b in
+        let len = Bytes.length bytes in
+        let off = ref 0 in
+        while !off < len do
+          off := !off + Unix.write fd bytes !off (len - !off)
+        done;
+        Unix.fsync fd);
+    Sys.rename tmp path;
+    fsync_dir path
   with
   | () -> ()
   | exception Sys_error msg -> fail path (Io msg)
+  | exception Unix.Unix_error (e, fn, arg) ->
+    fail path (Io (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
+
+let save ~path p =
+  validate_payload path p;
+  write_atomic ~path (frame ~family:magic_family ~version:format_version (encode p))
 
 (* --- reading ----------------------------------------------------------- *)
 
@@ -206,18 +242,20 @@ let read_file path =
   | s -> s
   | exception Sys_error msg -> fail path (Io msg)
 
-let load ~path =
-  let raw = read_file path in
-  let full_magic = magic_family ^ format_version in
+(* Check the container framing of [raw] against the expected family and
+   version and return the verified payload bytes. Shared by the operator
+   and manifest loaders. *)
+let frame_body ~family ~version path raw =
+  let full_magic = family ^ version in
   if String.length raw < 8 then begin
     if String.length raw > 0 && String.equal raw (String.sub full_magic 0 (String.length raw)) then
       fail path (Truncated (Printf.sprintf "only %d of the 8 magic bytes present" (String.length raw)))
     else fail path (Not_an_artifact (if String.length raw = 0 then "empty file" else "no magic header"))
   end;
-  if not (String.equal (String.sub raw 0 6) magic_family) then
+  if not (String.equal (String.sub raw 0 6) family) then
     fail path (Not_an_artifact "no magic header");
-  let version = String.sub raw 6 2 in
-  if not (String.equal version format_version) then fail path (Unsupported_version version);
+  let found_version = String.sub raw 6 2 in
+  if not (String.equal found_version version) then fail path (Unsupported_version found_version);
   if String.length raw < header_bytes then
     fail path
       (Truncated
@@ -235,4 +273,171 @@ let load ~path =
   let stored_digest = String.sub raw 16 16 in
   let body = String.sub raw header_bytes declared in
   if not (String.equal (Digest.string body) stored_digest) then fail path Checksum_mismatch;
-  decode path body
+  body
+
+let load ~path =
+  decode path (frame_body ~family:magic_family ~version:format_version path (read_file path))
+
+(* --- shard manifests ---------------------------------------------------- *)
+
+module Manifest = struct
+  (* Captured before the manifest's own magic shadows it below. *)
+  let operator_family = magic_family
+
+  type status = Complete | Quarantined of string
+
+  type entry = {
+    shard_id : int;
+    level : int;
+    ix : int;
+    iy : int;
+    contacts : int array;
+    file : string;
+    file_digest : string;
+    solves : int;
+    status : status;
+  }
+
+  type t = {
+    n : int;
+    total_shards : int;
+    geometry_digest : string;
+    source : string;
+    entries : entry array;
+  }
+
+  let magic_family = "SUBCMF"
+  let format_version = "M1"
+
+  let is_complete e = match e.status with Complete -> true | Quarantined _ -> false
+
+  let complete m = List.filter is_complete (Array.to_list m.entries)
+  let quarantined m = List.filter (fun e -> not (is_complete e)) (Array.to_list m.entries)
+
+  let validate path m =
+    if m.n < 0 then fail path (Malformed (Printf.sprintf "negative operator dimension %d" m.n));
+    if m.total_shards < 0 then
+      fail path (Malformed (Printf.sprintf "negative shard count %d" m.total_shards));
+    if Array.length m.entries > m.total_shards then
+      fail path
+        (Malformed
+           (Printf.sprintf "%d entries but only %d planned shards" (Array.length m.entries)
+              m.total_shards));
+    if String.length m.geometry_digest <> 16 then
+      fail path (Malformed "geometry digest is not a 16-byte MD5");
+    let claimed = Array.make (max 1 m.n) false in
+    let seen_ids = Hashtbl.create 16 in
+    Array.iter
+      (fun e ->
+        let where what = Printf.sprintf "shard %d: %s" e.shard_id what in
+        if e.shard_id < 0 || e.shard_id >= m.total_shards then
+          fail path
+            (Malformed (Printf.sprintf "shard id %d out of range [0, %d)" e.shard_id m.total_shards));
+        if Hashtbl.mem seen_ids e.shard_id then
+          fail path (Malformed (Printf.sprintf "duplicate shard id %d" e.shard_id));
+        Hashtbl.add seen_ids e.shard_id ();
+        if e.level < 0 || e.ix < 0 || e.iy < 0 then
+          fail path (Malformed (where "negative region coordinates"));
+        if e.solves < 0 then fail path (Malformed (where "negative solve count"));
+        (match e.status with
+        | Complete ->
+          if String.length e.file = 0 then
+            fail path (Malformed (where "complete but names no artifact file"));
+          if String.length e.file_digest <> 16 then
+            fail path (Malformed (where "artifact digest is not a 16-byte MD5"))
+        | Quarantined _ -> ());
+        let prev = ref (-1) in
+        Array.iter
+          (fun c ->
+            if c < 0 || c >= m.n then
+              fail path (Malformed (where (Printf.sprintf "contact id %d out of range" c)));
+            if c <= !prev then fail path (Malformed (where "contact ids not strictly ascending"));
+            if claimed.(c) then
+              fail path (Malformed (Printf.sprintf "contact %d claimed by two shards" c));
+            claimed.(c) <- true;
+            prev := c)
+          e.contacts)
+      m.entries
+
+  let encode m =
+    let b = Buffer.create 1024 in
+    add_int b m.n;
+    add_int b m.total_shards;
+    add_string_field b m.geometry_digest;
+    add_string_field b m.source;
+    add_int b (Array.length m.entries);
+    Array.iter
+      (fun e ->
+        add_int b e.shard_id;
+        add_int b e.level;
+        add_int b e.ix;
+        add_int b e.iy;
+        add_int_array b e.contacts;
+        add_string_field b e.file;
+        add_string_field b e.file_digest;
+        add_int b e.solves;
+        match e.status with
+        | Complete ->
+          add_int b 0;
+          add_string_field b ""
+        | Quarantined reason ->
+          add_int b 1;
+          add_string_field b reason)
+      m.entries;
+    Buffer.contents b
+
+  let decode path body =
+    let r = { s = body; pos = 0; r_path = path } in
+    let n = read_int r "operator dimension" in
+    let total_shards = read_int r "shard count" in
+    let geometry_digest = read_string_field r "geometry digest" in
+    let source = read_string_field r "source" in
+    let count = read_length r "entry count" in
+    let entries = ref [] in
+    for i = 0 to count - 1 do
+      let what field = Printf.sprintf "shard entry %d %s" i field in
+      let shard_id = read_int r (what "id") in
+      let level = read_int r (what "level") in
+      let ix = read_int r (what "ix") in
+      let iy = read_int r (what "iy") in
+      let contacts = read_int_array r (what "contacts") in
+      let file = read_string_field r (what "file") in
+      let file_digest = read_string_field r (what "file digest") in
+      let solves = read_int r (what "solves") in
+      let tag = read_int r (what "status") in
+      let reason = read_string_field r (what "quarantine reason") in
+      let status =
+        match tag with
+        | 0 -> Complete
+        | 1 -> Quarantined reason
+        | t -> fail path (Malformed (Printf.sprintf "%s: unknown status tag %d" (what "status") t))
+      in
+      entries :=
+        { shard_id; level; ix; iy; contacts; file; file_digest; solves; status } :: !entries
+    done;
+    if r.pos <> String.length body then
+      fail path (Malformed (Printf.sprintf "%d trailing payload bytes" (String.length body - r.pos)));
+    let m =
+      { n; total_shards; geometry_digest; source; entries = Array.of_list (List.rev !entries) }
+    in
+    validate path m;
+    m
+
+  let save ~path m =
+    validate path m;
+    write_atomic ~path (frame ~family:magic_family ~version:format_version (encode m))
+
+  let load ~path =
+    let raw = read_file path in
+    if String.length raw >= 6 && String.equal (String.sub raw 0 6) operator_family then
+      fail path (Not_an_artifact "a single-operator artifact where a shard manifest was expected");
+    decode path (frame_body ~family:magic_family ~version:format_version path raw)
+end
+
+(* Dispatch on the magic family: ".sca" single-operator artifact or ".scm"
+   shard manifest. Anything else fails exactly like [load]. *)
+let load_any ~path =
+  let raw = read_file path in
+  if String.length raw >= 6 && String.equal (String.sub raw 0 6) Manifest.magic_family then
+    `Manifest (Manifest.load ~path)
+  else `Operator (decode path (frame_body ~family:magic_family ~version:format_version path raw))

@@ -31,8 +31,14 @@
     the stored digest are {!Checksum_mismatch}; and a payload that passes
     the checksum but is internally inconsistent (negative sizes, CSR
     invariant violations, trailing bytes) is {!Malformed}. Writes go
-    through a temporary file renamed into place, so a crashed writer never
-    leaves a half-written artifact under the target name. *)
+    through a temporary file that is fsync'd, renamed into place, and
+    sealed with an fsync of the containing directory, so neither a crashed
+    writer nor a power loss can leave a half-written (or renamed-but-empty)
+    artifact under the target name.
+
+    {!Manifest} stores the multi-shard index of a sharded extraction in the
+    same container discipline under its own magic ("SUBCMF" / "M1"); see
+    {!Manifest} and {!load_any}. *)
 
 type error =
   | Not_an_artifact of string  (** no magic: not a substrate operator artifact *)
@@ -57,9 +63,9 @@ type payload = {
   gw : Sparsemat.Csr.t;  (** n x n transformed matrix, symmetric *)
 }
 
-(** Write the payload to [path] (atomically: temp file + rename). The CSR
-    values round-trip bit-exactly — {!load} returns the same floats to the
-    last bit.
+(** Write the payload to [path] (atomically and durably: temp file, fsync,
+    rename, directory fsync). The CSR values round-trip bit-exactly —
+    {!load} returns the same floats to the last bit.
     @raise Error with {!Io} on filesystem failure. *)
 val save : path:string -> payload -> unit
 
@@ -67,3 +73,64 @@ val save : path:string -> payload -> unit
     before parsing, and the CSR invariants after.
     @raise Error on any of the failure modes above. *)
 val load : path:string -> payload
+
+(** Multi-shard manifests (".scm" files): the index of a sharded
+    extraction. Each quadtree-region shard persists its own single-operator
+    artifact; the manifest records the shard list (region coordinates,
+    contact ids, artifact file name and MD5, solve count) together with the
+    layout's geometry digest and a per-shard status — [Complete], or
+    [Quarantined reason] for a shard that exhausted its resilience ladder.
+    The container framing (magic "SUBCMF", version "M1", payload length,
+    whole-payload MD5) and the typed {!error} failure modes are shared with
+    single-operator artifacts. *)
+module Manifest : sig
+  type status =
+    | Complete  (** the shard's artifact is on disk and its digest is recorded *)
+    | Quarantined of string  (** extraction failed; the reason names the exhausted ladder *)
+
+  type entry = {
+    shard_id : int;  (** position in the deterministic shard plan *)
+    level : int;  (** quadtree level of the shard's region *)
+    ix : int;  (** region x index at [level] *)
+    iy : int;  (** region y index at [level] *)
+    contacts : int array;  (** global contact ids, strictly ascending *)
+    file : string;  (** shard artifact file name, relative to the manifest's directory *)
+    file_digest : string;  (** MD5 of the shard artifact's bytes (16 raw bytes) *)
+    solves : int;  (** black-box solves the shard's extraction spent *)
+    status : status;
+  }
+
+  type t = {
+    n : int;  (** global operator dimension (contacts in the full layout) *)
+    total_shards : int;  (** planned shards; [entries] may lag mid-extraction *)
+    geometry_digest : string;  (** MD5 of the layout geometry (16 raw bytes) *)
+    source : string;  (** human-readable provenance *)
+    entries : entry array;
+  }
+
+  val is_complete : entry -> bool
+
+  (** Entries with status [Complete], in entry order. *)
+  val complete : t -> entry list
+
+  (** Entries with status [Quarantined], in entry order. *)
+  val quarantined : t -> entry list
+
+  (** Write the manifest to [path], atomically and durably (same temp file
+      + fsync + rename + directory fsync discipline as {!val:save}).
+      @raise Error with {!Malformed} if the manifest is internally
+      inconsistent (overlapping shards, out-of-range contacts, duplicate
+      ids), {!Io} on filesystem failure. *)
+  val save : path:string -> t -> unit
+
+  (** Read a manifest back, verifying framing, checksum and internal
+      consistency. A single-operator artifact is rejected with a
+      {!Not_an_artifact} naming the confusion.
+      @raise Error on any failure mode. *)
+  val load : path:string -> t
+end
+
+(** Load either file family, dispatching on the magic bytes: a
+    single-operator artifact or a shard manifest.
+    @raise Error on anything that is neither. *)
+val load_any : path:string -> [ `Operator of payload | `Manifest of Manifest.t ]

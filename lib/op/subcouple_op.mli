@@ -87,3 +87,34 @@ val columns : ?jobs:int -> t -> int array -> La.Vec.t array
 (** The dense reference operator: wraps a square matrix (gemv per
     application, parallel batches, [rows * cols] stored floats). *)
 val of_dense : ?symmetric:bool -> ?source:string -> La.Mat.t -> t
+
+(** Serve a loaded artifact payload directly: [G v ~ Q (G_w (Q' v))], the
+    same arithmetic and fused batched sweeps as the extraction layer's
+    [Repr.op], usable without linking the extraction layer. Responses are
+    bit-identical for every [jobs] value. *)
+val of_payload : Artifact.payload -> t
+
+(** Health of an operator composed from a shard manifest. [Degraded] lists
+    quarantined shards (id and reason), the number of planned shards with
+    no entry yet (an extraction interrupted mid-run), and the global
+    contact ids with no covering shard. A degraded operator answers with
+    zeros on masked rows and ignores masked inputs; every unmasked row is
+    bit-identical to the fully-complete composition. *)
+type health =
+  | Full
+  | Degraded of {
+      quarantined : (int * string) list;
+      pending : int;
+      masked_contacts : int array;
+    }
+
+val pp_health : Format.formatter -> health -> unit
+
+(** Compose a shard manifest back into one operator: block-diagonal over
+    the shard regions, [y.(C_s) = G(C_s, C_s) v.(C_s)] per complete shard.
+    [dir] is the manifest's directory (shard files are stored relative to
+    it). Every shard artifact is loaded eagerly, verified against the
+    digest recorded in the manifest, and checked for dimension agreement.
+    @raise Artifact.Error if a shard artifact is missing, torn, corrupt,
+    or not the file the manifest recorded. *)
+val of_manifest : dir:string -> Artifact.Manifest.t -> t * health

@@ -25,6 +25,7 @@ type fault =
   | Nan_response  (* NaN response on every attempt (hard fault) *)
   | Perturb of float  (* multiply each component by 1 + eps*N(0,1), seeded per index *)
   | Non_convergence  (* correct response, but reported as non-converged on attempt 1 *)
+  | Kill  (* SIGKILL the process at the fault site: a crash no handler can soften *)
 
 type state = {
   inner : Blackbox.t;
@@ -68,6 +69,15 @@ let solve_at st ~index ~attempt v =
     | Perturb eps ->
       Atomic.incr st.injected;
       perturb st ~index eps (Blackbox.apply st.inner v)
+    | Kill ->
+      (* The kill-anywhere harness: die before the inner solve runs, as
+         SIGKILL — no OCaml handler, no finalizer, no atexit. Whatever the
+         checkpoint/manifest machinery had already fsync'd is all a resume
+         gets. The self-signal is delivered synchronously, so the raise
+         below is unreachable; it only pacifies the type checker. *)
+      Atomic.incr st.injected;
+      Unix.kill (Unix.getpid ()) Sys.sigkill;
+      assert false
     | Non_convergence ->
       let y = Blackbox.apply st.inner v in
       if attempt = 1 then begin
@@ -121,3 +131,21 @@ let create ?(seed = 0) ?(offset = 0) ~every ~fault inner =
 
 let box t = t.box
 let injected t = Atomic.get t.state.injected
+
+(* A deterministic, seeded kill schedule for the kill-anywhere harness:
+   [points] distinct logical solve indices in [0, max_index), sorted
+   ascending, a pure function of the seed. The harness runs one extraction
+   per point with [Kill] sited at that index, resumes each, and compares
+   probe digests against an uninterrupted run. *)
+let kill_schedule ~seed ~points ~max_index =
+  if points <= 0 then invalid_arg "Chaos.kill_schedule: points must be positive";
+  if max_index < points then invalid_arg "Chaos.kill_schedule: max_index must be >= points";
+  let rng = La.Rng.create (seed lxor 0x5EED) in
+  let chosen = Hashtbl.create points in
+  while Hashtbl.length chosen < points do
+    let i = La.Rng.int rng max_index in
+    if not (Hashtbl.mem chosen i) then Hashtbl.add chosen i ()
+  done;
+  let a = Array.of_seq (Seq.map fst (Hashtbl.to_seq chosen)) in
+  Array.sort Int.compare a;
+  a

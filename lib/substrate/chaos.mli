@@ -22,6 +22,11 @@ type fault =
   | Non_convergence
       (** Correct response, but the solve report is replaced by a
           non-converged one on attempt 1 (soft failure). *)
+  | Kill
+      (** SIGKILL the process at the fault site, before the inner solve
+          runs: the crash no handler, finalizer or atexit can soften. Used
+          by the kill-anywhere harness to prove that resume recovers from
+          whatever the checkpoint/manifest machinery had already fsync'd. *)
 
 type t
 
@@ -35,3 +40,10 @@ val box : t -> Blackbox.t
 
 (** Number of faults injected so far. *)
 val injected : t -> int
+
+(** [kill_schedule ~seed ~points ~max_index] draws [points] distinct
+    logical solve indices in [\[0, max_index)], sorted ascending — a pure
+    function of [seed]. The kill-anywhere harness sites one {!Kill} fault
+    at each point in turn.
+    @raise Invalid_argument if [points <= 0] or [max_index < points]. *)
+val kill_schedule : seed:int -> points:int -> max_index:int -> int array

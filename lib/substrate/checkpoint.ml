@@ -95,6 +95,22 @@ let load_entries path =
         (List.rev !entries, !good)
       end)
 
+(* Push a flushed append to stable storage. Without the fsync a power loss
+   can forget records the process already counted as persisted — a resume
+   would then re-run solves it believes are on disk. *)
+let sync oc = Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* Make the checkpoint file's directory entry itself durable (matters for
+   the very first append after creating the file). Best-effort: some
+   filesystems refuse to open a directory for reading. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> Unix.fsync fd)
+  | exception Unix.Unix_error _ -> ()
+
 let create path =
   let entries, good_len =
     if Sys.file_exists path then load_entries path else ([], 0)
@@ -105,9 +121,11 @@ let create path =
   let oc =
     open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
   in
+  fsync_dir path;
   if good_len = 0 then begin
     output_string oc magic;
-    flush oc
+    flush oc;
+    sync oc
   end;
   {
     path;
@@ -131,7 +149,8 @@ let append t ~stage_digest responses =
   | Some oc ->
     let payload = Marshal.to_string (stage_digest, responses) [] in
     Marshal.to_channel oc (Digest.string payload, payload) [];
-    flush oc
+    flush oc;
+    sync oc
 
 (* Serve stage [cursor] from the file if present (digest must match),
    otherwise run [solve] and append the result. The mutex serializes

@@ -63,14 +63,15 @@ type t = {
   mutable failures : failure list;  (* most recent first *)
 }
 
-let create ?(policy = default_policy) ?(fallbacks = []) primary =
+let create ?(policy = default_policy) ?(fallbacks = []) ?(first_index = 0) primary =
   if policy.max_attempts < 1 then invalid_arg "Resilient.create: max_attempts must be >= 1";
+  if first_index < 0 then invalid_arg "Resilient.create: first_index must be non-negative";
   {
     policy;
     primary;
     fallbacks = Array.of_list fallbacks;
     n = Blackbox.n primary;
-    next_index = Atomic.make 0;
+    next_index = Atomic.make first_index;
     retries = Atomic.make 0;
     mutex = Mutex.create ();
     failures = [];

@@ -43,7 +43,17 @@ type failure = {
 
 type t
 
-val create : ?policy:policy -> ?fallbacks:(string * Blackbox.t Lazy.t) list -> Blackbox.t -> t
+(** [first_index] (default 0) is the logical index the wrapper assigns its
+    first solve. A sharded extraction numbers each shard's solves from the
+    run-global count of solves issued before it, so fault sites addressed
+    by index (chaos, kill schedules) stay stable whether the run is sharded
+    or not. *)
+val create :
+  ?policy:policy ->
+  ?fallbacks:(string * Blackbox.t Lazy.t) list ->
+  ?first_index:int ->
+  Blackbox.t ->
+  t
 
 (** The wrapped box. Batches assign logical solve indices [base + position]
     (base = solves issued so far), so fault sites, error messages and

@@ -1,0 +1,329 @@
+(* Sharded, crash-safe extraction: quadtree regions as fault domains.
+
+   A shard is one nonempty quadtree square at a chosen level; its unit of
+   work is extracting the principal submatrix G(C_s, C_s) over the shard's
+   contacts, through a black box restricted to those coordinates. Each
+   shard owns its own checkpoint file (solve-stage granularity, as in
+   unsharded runs) and persists its own single-operator artifact; a
+   versioned, checksummed manifest (Subcouple_op.Artifact.Manifest) ties
+   the shards together. The manifest is rewritten — atomically and
+   durably — after every shard transition, so the run can be SIGKILLed at
+   any solve and resumed:
+
+   - a shard whose artifact is on disk and matches the manifest's digest
+     is skipped (its recorded solves count as cached);
+   - a shard with a checkpoint but no artifact replays the persisted
+     stages and solves only the remainder;
+   - a torn or bit-rotted shard artifact fails its digest check and is
+     re-extracted (its checkpoint still shortcuts the redo);
+   - a torn manifest is rebuilt by scanning the self-checksummed shard
+     artifacts against the deterministic plan;
+   - a shard that exhausts its resilience ladder (Blackbox.Solve_failed)
+     is quarantined — recorded with the failure reason instead of
+     aborting the run — and retried on the next resume.
+
+   Solve numbering is run-global: shard k's first logical solve index is
+   the total solves recorded by complete shards before it in plan order.
+   The plan is a pure function of (layout, shard_level) and skipped shards
+   contribute their recorded counts, so index-addressed fault injection
+   (Chaos) hits the same sites whether the run is fresh, resumed, or
+   unsharded per-shard. Quarantined shards contribute no solves to the
+   numbering: their attempt counts are not recorded, and a retry on
+   resume re-attempts from the same base index. *)
+
+module Manifest = Subcouple_op.Artifact.Manifest
+
+exception Mismatch of string
+
+let () =
+  Printexc.register_printer (function
+    | Mismatch m -> Some (Printf.sprintf "Substrate.Shard.Mismatch(%s)" m)
+    | _ -> None)
+
+type planned = {
+  shard_id : int;
+  level : int;
+  ix : int;
+  iy : int;
+  contacts : int array;  (* global contact ids, strictly ascending *)
+}
+
+type plan = {
+  n : int;
+  geometry_digest : string;
+  shards : planned array;
+}
+
+(* Nonempty squares at [shard_level], in the deterministic row-major order
+   of [Quadtree.squares_at_level]; contacts are assigned by centroid
+   ([~check:false] — a shard boundary crossing a contact is harmless here,
+   the shard just owns the whole contact). *)
+let plan ~shard_level layout =
+  if shard_level < 0 then invalid_arg "Shard.plan: shard_level must be non-negative";
+  let qt = Geometry.Quadtree.create ~check:false ~max_level:shard_level layout in
+  let shards =
+    Geometry.Quadtree.squares_at_level qt shard_level
+    |> Array.to_list
+    |> List.filter (fun (s : Geometry.Quadtree.square) -> Array.length s.contacts > 0)
+    |> List.mapi (fun i (s : Geometry.Quadtree.square) ->
+           { shard_id = i; level = s.level; ix = s.ix; iy = s.iy; contacts = s.contacts })
+    |> Array.of_list
+  in
+  {
+    n = Geometry.Layout.n_contacts layout;
+    geometry_digest = Geometry.Layout.digest layout;
+    shards;
+  }
+
+(* The black box over the shard's coordinates: scatter the shard vector
+   into the full dimension, solve globally, gather the shard rows back.
+   Exactly the principal submatrix G(C_s, C_s) of the full operator —
+   solver responses are untouched, only indexed. *)
+let restricted_box ~contacts inner =
+  let n = Blackbox.n inner in
+  let k = Array.length contacts in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then
+        invalid_arg (Printf.sprintf "Shard.restricted_box: contact id %d out of range" i))
+    contacts;
+  let scatter v =
+    let full = Array.make n 0.0 in
+    Array.iteri (fun j i -> full.(i) <- v.(j)) contacts;
+    full
+  in
+  let gather y = Array.map (fun i -> y.(i)) contacts in
+  Blackbox.make_batch ~count_total:false ~n:k
+    ~batch:(fun ~jobs vs -> Array.map gather (Blackbox.apply_batch ~jobs inner (Array.map scatter vs)))
+    (fun v -> gather (Blackbox.apply inner (scatter v)))
+
+(* --- the run driver ----------------------------------------------------- *)
+
+type progress = {
+  planned : int;
+  extracted : int;  (* shards extracted (or re-extracted) this run *)
+  skipped : int;  (* complete shards verified against the manifest and skipped *)
+  recovered : int;  (* complete entries rebuilt by scanning a torn manifest's shards *)
+  quarantined : int;  (* quarantined entries in the final manifest *)
+  cached_solves : int;  (* solves served from prior runs: skipped shards + checkpoint replays *)
+  live_solves : int;  (* solves issued against the solver this run (completed shards) *)
+  total_solves : int;  (* solves recorded across all complete shards *)
+}
+
+let manifest_file = "manifest.scm"
+let shard_basename id = Printf.sprintf "shard-%04d.sca" id
+let checkpoint_basename id = Printf.sprintf "shard-%04d.ckpt" id
+let manifest_path dir = Filename.concat dir manifest_file
+
+let extract_span = "shard.extract"
+let skipped_counter = Trace.counter "shard.skipped"
+let extracted_counter = Trace.counter "shard.extracted"
+let quarantined_counter = Trace.counter "shard.quarantined"
+let recovered_counter = Trace.counter "shard.recovered"
+
+let src = Logs.Src.create "substrate.shard" ~doc:"Sharded extraction fault domains"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let ensure_dir dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+(* Entries from a previous run, keyed by shard id. A loadable manifest must
+   agree with the plan (dimension, geometry digest, shard count, regions) —
+   anything else is a different run and refusing beats silently mixing
+   shards. A torn manifest degrades to a scan: every planned shard whose
+   self-checksummed artifact loads and matches its region is recovered as
+   Complete; quarantine records are lost, so those shards simply retry. *)
+let previous_entries ~dir (p : plan) =
+  let path = manifest_path dir in
+  if not (Sys.file_exists path) then (Hashtbl.create 1, 0)
+  else
+    match Manifest.load ~path with
+    | m ->
+      if m.Manifest.n <> p.n || not (String.equal m.Manifest.geometry_digest p.geometry_digest)
+      then
+        raise
+          (Mismatch
+             (Printf.sprintf "%s was written for a different layout (geometry digest mismatch)"
+                path));
+      if m.Manifest.total_shards <> Array.length p.shards then
+        raise
+          (Mismatch
+             (Printf.sprintf "%s plans %d shards, this run plans %d (shard level changed?)" path
+                m.Manifest.total_shards (Array.length p.shards)));
+      let tbl = Hashtbl.create (Array.length m.Manifest.entries) in
+      Array.iter
+        (fun (e : Manifest.entry) ->
+          let pl = p.shards.(e.shard_id) in
+          if e.level <> pl.level || e.ix <> pl.ix || e.iy <> pl.iy || e.contacts <> pl.contacts
+          then
+            raise
+              (Mismatch
+                 (Printf.sprintf "%s: shard %d covers a different region than planned" path
+                    e.shard_id));
+          Hashtbl.replace tbl e.shard_id e)
+        m.Manifest.entries;
+      (tbl, 0)
+    | exception Subcouple_op.Artifact.Error { error; _ } ->
+      Log.warn (fun f ->
+          f "manifest %s is unreadable (%s); rebuilding from shard artifacts" path
+            (Subcouple_op.Artifact.error_message error));
+      let tbl = Hashtbl.create (Array.length p.shards) in
+      let recovered = ref 0 in
+      Array.iter
+        (fun s ->
+          let file = shard_basename s.shard_id in
+          let sca = Filename.concat dir file in
+          if Sys.file_exists sca then
+            match Subcouple_op.Artifact.load ~path:sca with
+            | payload when payload.Subcouple_op.Artifact.n = Array.length s.contacts ->
+              incr recovered;
+              Trace.incr recovered_counter;
+              Hashtbl.replace tbl s.shard_id
+                {
+                  Manifest.shard_id = s.shard_id;
+                  level = s.level;
+                  ix = s.ix;
+                  iy = s.iy;
+                  contacts = s.contacts;
+                  file;
+                  file_digest = Digest.file sca;
+                  solves = payload.Subcouple_op.Artifact.solves;
+                  status = Manifest.Complete;
+                }
+            | _ -> ()  (* wrong dimension: not this plan's shard; re-extract *)
+            | exception Subcouple_op.Artifact.Error _ -> ()  (* torn shard: re-extract *))
+        p.shards;
+      (tbl, !recovered)
+
+(* A shard-owned checkpoint whose very first write was torn (file shorter
+   than the magic) raises Corrupt; inside the shard directory that can
+   only be our own interrupted creation, so start it over. *)
+let shard_checkpoint path =
+  match Checkpoint.create path with
+  | ck -> ck
+  | exception Checkpoint.Corrupt _ ->
+    Sys.remove path;
+    Checkpoint.create path
+
+let run ?(source = "sharded extraction") ~dir ~extract (p : plan) =
+  ensure_dir dir;
+  let prev, recovered = previous_entries ~dir p in
+  let total = Array.length p.shards in
+  let entries : Manifest.entry option array = Array.make total None in
+  let manifest () =
+    {
+      Manifest.n = p.n;
+      total_shards = total;
+      geometry_digest = p.geometry_digest;
+      source;
+      entries =
+        Array.of_list (List.filter_map Fun.id (Array.to_list entries));
+    }
+  in
+  let save_manifest () = Manifest.save ~path:(manifest_path dir) (manifest ()) in
+  let extracted = ref 0
+  and skipped = ref 0
+  and quarantined = ref 0
+  and cached = ref 0
+  and live = ref 0
+  and first_index = ref 0 in
+  Array.iter
+    (fun shard ->
+      let id = shard.shard_id in
+      let file = shard_basename id in
+      let sca_path = Filename.concat dir file in
+      let reusable =
+        match Hashtbl.find_opt prev id with
+        | Some e when Manifest.is_complete e ->
+          (* Trust nothing but bytes: the artifact must still hash to what
+             the manifest recorded. A torn, missing or swapped file sends
+             the shard back through extraction. *)
+          if Sys.file_exists sca_path && String.equal (Digest.file sca_path) e.file_digest then
+            Some e
+          else begin
+            Log.warn (fun f -> f "shard %d artifact %s is damaged or missing; re-extracting" id file);
+            None
+          end
+        | _ -> None
+      in
+      match reusable with
+      | Some e ->
+        entries.(id) <- Some e;
+        incr skipped;
+        Trace.incr skipped_counter;
+        cached := !cached + e.Manifest.solves;
+        first_index := !first_index + e.Manifest.solves
+      | None ->
+        let ck = shard_checkpoint (Filename.concat dir (checkpoint_basename id)) in
+        (match
+           Trace.with_span extract_span (fun () ->
+               extract ~shard ~first_index:!first_index ~checkpoint:ck)
+         with
+        | payload ->
+          Checkpoint.close ck;
+          Subcouple_op.Artifact.save ~path:sca_path payload;
+          (* The artifact supersedes the checkpoint; drop it so a later
+             resume never replays stale stages into a fresh re-extraction. *)
+          let ck_path = Filename.concat dir (checkpoint_basename id) in
+          if Sys.file_exists ck_path then Sys.remove ck_path;
+          let solves = payload.Subcouple_op.Artifact.solves in
+          entries.(id) <-
+            Some
+              {
+                Manifest.shard_id = id;
+                level = shard.level;
+                ix = shard.ix;
+                iy = shard.iy;
+                contacts = shard.contacts;
+                file;
+                file_digest = Digest.file sca_path;
+                solves;
+                status = Manifest.Complete;
+              };
+          save_manifest ();
+          incr extracted;
+          Trace.incr extracted_counter;
+          let replayed = Checkpoint.cached_solves ck in
+          cached := !cached + replayed;
+          live := !live + (solves - replayed);
+          first_index := !first_index + solves
+        | exception Blackbox.Solve_failed { index; reason } ->
+          Checkpoint.close ck;
+          Log.warn (fun f -> f "shard %d quarantined (solve %d: %s)" id index reason);
+          entries.(id) <-
+            Some
+              {
+                Manifest.shard_id = id;
+                level = shard.level;
+                ix = shard.ix;
+                iy = shard.iy;
+                contacts = shard.contacts;
+                file = "";
+                file_digest = "";
+                solves = 0;
+                status =
+                  Manifest.Quarantined (Printf.sprintf "solve %d: %s" index reason);
+              };
+          save_manifest ();
+          incr quarantined;
+          Trace.incr quarantined_counter))
+    p.shards;
+  save_manifest ();
+  let m = manifest () in
+  let total_solves =
+    List.fold_left (fun acc (e : Manifest.entry) -> acc + e.solves) 0 (Manifest.complete m)
+  in
+  ( m,
+    {
+      planned = total;
+      extracted = !extracted;
+      skipped = !skipped;
+      recovered;
+      quarantined = !quarantined;
+      cached_solves = !cached;
+      live_solves = !live;
+      total_solves;
+    } )

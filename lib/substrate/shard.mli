@@ -1,0 +1,105 @@
+(** Sharded, crash-safe extraction: quadtree regions as independent fault
+    domains.
+
+    A shard is one nonempty quadtree square at a chosen level. Its unit of
+    work is extracting the principal submatrix [G(C_s, C_s)] over the
+    shard's contacts through {!restricted_box}; each shard owns its own
+    checkpoint file and persists its own single-operator artifact, and a
+    versioned, checksummed manifest ({!Subcouple_op.Artifact.Manifest})
+    ties the shards together. {!run} streams shards to disk — peak memory
+    is per-shard — and rewrites the manifest atomically and durably after
+    every shard transition, so a run can be SIGKILLed at any solve and
+    resumed:
+
+    - complete shards whose artifact still matches the manifest's digest
+      are skipped;
+    - an interrupted shard replays its checkpoint and solves only the
+      remainder;
+    - a torn or bit-rotted shard artifact is re-extracted;
+    - a torn manifest is rebuilt by scanning the self-checksummed shard
+      artifacts against the deterministic plan;
+    - a shard that exhausts its resilience ladder ({!Blackbox.Solve_failed})
+      is {e quarantined} — recorded with the failure reason instead of
+      aborting — and retried on the next resume.
+
+    Solve numbering is run-global: shard [k]'s first logical index is the
+    sum of solves recorded by complete shards before it in plan order, so
+    index-addressed fault injection ({!Chaos}) hits the same sites whether
+    the run is fresh or resumed. *)
+
+(** A persisted shard manifest resumes only against the identical plan. *)
+exception Mismatch of string
+
+type planned = {
+  shard_id : int;  (** position in the plan, also the artifact file number *)
+  level : int;  (** quadtree level of the region *)
+  ix : int;  (** region x index at [level] *)
+  iy : int;  (** region y index at [level] *)
+  contacts : int array;  (** global contact ids, strictly ascending *)
+}
+
+type plan = {
+  n : int;  (** global operator dimension *)
+  geometry_digest : string;  (** {!Geometry.Layout.digest} of the layout *)
+  shards : planned array;  (** nonempty regions, deterministic order *)
+}
+
+(** The deterministic shard plan: nonempty quadtree squares at
+    [shard_level], contacts assigned by centroid, in the row-major square
+    order. A pure function of (layout, shard_level).
+    @raise Invalid_argument if [shard_level < 0]. *)
+val plan : shard_level:int -> Geometry.Layout.t -> plan
+
+(** [restricted_box ~contacts inner] is the black box over the shard's
+    coordinates: scatter into the full dimension, solve with [inner],
+    gather the shard rows back — exactly the principal submatrix
+    [G(C_s, C_s)]. Built with [~count_total:false]; only [inner]'s solves
+    reach {!Blackbox.total_solve_count}.
+    @raise Invalid_argument on an out-of-range contact id. *)
+val restricted_box : contacts:int array -> Blackbox.t -> Blackbox.t
+
+type progress = {
+  planned : int;
+  extracted : int;  (** shards extracted (or re-extracted) this run *)
+  skipped : int;  (** complete shards verified against the manifest and skipped *)
+  recovered : int;  (** complete entries rebuilt by scanning a torn manifest's shards *)
+  quarantined : int;  (** quarantined entries in the final manifest *)
+  cached_solves : int;  (** solves served from prior runs: skipped shards + checkpoint replays *)
+  live_solves : int;  (** solves issued against the solver this run (completed shards) *)
+  total_solves : int;  (** solves recorded across all complete shards *)
+}
+
+(** Name of the manifest inside a shard directory (["manifest.scm"]). *)
+val manifest_file : string
+
+(** ["shard-%04d.sca"], relative to the shard directory. *)
+val shard_basename : int -> string
+
+(** ["shard-%04d.ckpt"], relative to the shard directory. *)
+val checkpoint_basename : int -> string
+
+(** [Filename.concat dir manifest_file]. *)
+val manifest_path : string -> string
+
+(** [run ~dir ~extract plan] drives the plan to completion inside [dir]
+    (created if missing), resuming from whatever state a previous run left
+    there. [extract ~shard ~first_index ~checkpoint] performs one shard's
+    extraction — [first_index] is the shard's run-global base solve index
+    and [checkpoint] its open per-shard checkpoint (closed by the driver) —
+    and returns the shard's artifact payload. A
+    {!Blackbox.Solve_failed} escaping [extract] quarantines the shard;
+    any other exception aborts the run (the manifest still holds every
+    shard finished so far). Returns the final manifest and the run's
+    progress counters.
+    @raise Mismatch if [dir] holds a manifest for a different layout or
+    plan. *)
+val run :
+  ?source:string ->
+  dir:string ->
+  extract:
+    (shard:planned ->
+    first_index:int ->
+    checkpoint:Checkpoint.t ->
+    Subcouple_op.Artifact.payload) ->
+  plan ->
+  Subcouple_op.Artifact.Manifest.t * progress

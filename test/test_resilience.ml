@@ -228,6 +228,51 @@ let test_checkpoint_resume () =
         (total_solves - Checkpoint.cached_solves ck2)
         (Blackbox.solve_count resume_inner))
 
+let test_checkpoint_resume_lowrank () =
+  (* The same kill-and-resume contract for the low-rank extractor, at
+     jobs 1 and 4: the fault site, the persisted stages and the resumed
+     result are all independent of the parallelism. *)
+  let layout = Geometry.Layout.alternating ~size:128.0 ~per_side:8 () in
+  let g = dense_g (Geometry.Layout.n_contacts layout) in
+  let clean_inner = Blackbox.of_dense g in
+  let clean = Repr.to_dense (Lowrank.extract ~seed:5 layout clean_inner) in
+  let total_solves = Blackbox.solve_count clean_inner in
+  Alcotest.(check bool) "reference run solved something" true (total_solves > 0);
+  List.iter
+    (fun jobs ->
+      let path = Filename.temp_file "substrate_ckpt" ".bin" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          let crash_at = (2 * total_solves) / 3 in
+          let ck1 = Checkpoint.create path in
+          let chaos =
+            Chaos.create ~offset:crash_at ~every:100000 ~fault:Chaos.Nan_response
+              (Blackbox.of_dense g)
+          in
+          (match Lowrank.extract ~seed:5 ~jobs ~checkpoint:ck1 layout (Chaos.box chaos) with
+          | _ -> Alcotest.fail "expected the crash run to fail"
+          | exception Blackbox.Solve_failed _ -> ());
+          Checkpoint.close ck1;
+          let ck2 = Checkpoint.create path in
+          Alcotest.(check bool) "stages persisted before the crash" true
+            (Checkpoint.stages_on_disk ck2 > 0);
+          let resume_inner = Blackbox.of_dense g in
+          let resumed =
+            Repr.to_dense (Lowrank.extract ~seed:5 ~jobs ~checkpoint:ck2 layout resume_inner)
+          in
+          Checkpoint.close ck2;
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d: resume is bit-identical to uninterrupted" jobs)
+            true (bitwise_equal_mat clean resumed);
+          Alcotest.(check bool) "some solves were not repeated" true
+            (Checkpoint.cached_solves ck2 > 0);
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d: resume ran exactly the missing solves" jobs)
+            (total_solves - Checkpoint.cached_solves ck2)
+            (Blackbox.solve_count resume_inner)))
+    [ 1; 4 ]
+
 let test_checkpoint_mismatch () =
   (* A checkpoint written by a different run (different RHSs) is rejected. *)
   let path = Filename.temp_file "substrate_ckpt" ".bin" in
@@ -324,6 +369,8 @@ let () =
       ( "checkpoint",
         [
           Alcotest.test_case "kill and resume repeats no solve" `Quick test_checkpoint_resume;
+          Alcotest.test_case "lowrank kill and resume, jobs 1 and 4" `Quick
+            test_checkpoint_resume_lowrank;
           Alcotest.test_case "foreign checkpoint rejected" `Quick test_checkpoint_mismatch;
         ] );
       ( "reporting",

@@ -20,6 +20,7 @@ standard library.
 
 import argparse
 import json
+import os
 import sys
 
 SCHEMA_VERSION = 1
@@ -78,6 +79,10 @@ def typecheck(value, expected):
 
 def validate_schema(doc, path):
     errors = []
+    if not isinstance(doc, dict):
+        # A fresh bench history is "[]"; anything non-object cannot carry
+        # the schema, so fail with one clear message instead of a traceback.
+        return [f"{path}: snapshot is {type(doc).__name__}, want a JSON object"]
     for field, expected in REQUIRED_METADATA:
         if field not in doc:
             errors.append(f"{path}: missing metadata field '{field}'")
@@ -136,7 +141,8 @@ def compare_wall_clock(current, baseline, tolerance):
         if exp_id not in base:
             notes.append(f"note: experiment '{exp_id}' has no baseline entry; skipped")
             continue
-        base_s, cur_s = base[exp_id]["wall_s"], row["wall_s"]
+        # Schema validation reports missing fields; don't crash on them here.
+        base_s, cur_s = base[exp_id].get("wall_s", 0), row.get("wall_s", 0)
         if base_s <= 0:
             notes.append(f"note: experiment '{exp_id}' baseline wall-clock is 0; skipped")
             continue
@@ -176,17 +182,32 @@ def main():
     doc, errors = load(args.current)
     if doc is not None:
         errors += validate_schema(doc, args.current)
-        errors += validate_invariants(doc, args.current)
+        if isinstance(doc, dict):
+            errors += validate_invariants(doc, args.current)
 
-    if args.baseline and doc is not None:
-        base, load_errors = load(args.baseline)
-        errors += load_errors
-        if base is not None:
-            errors += validate_schema(base, args.baseline)
-            cmp_errors, notes = compare_wall_clock(doc, base, args.tolerance)
-            errors += cmp_errors
-            for note in notes:
-                print(note)
+    if args.baseline and isinstance(doc, dict):
+        if not os.path.exists(args.baseline):
+            print(f"note: no baseline yet ({args.baseline} does not exist); "
+                  "nothing to compare against")
+        else:
+            base, load_errors = load(args.baseline)
+            errors += load_errors
+            # A bench history starts life as "[]"; an empty history (or an
+            # empty object) is "no baseline yet", not a schema violation. A
+            # non-empty history array compares against its newest snapshot.
+            if isinstance(base, list):
+                base = base[-1] if base else None
+                if base is None:
+                    print(f"note: no baseline yet ({args.baseline} is an empty history)")
+            elif base == {}:
+                base = None
+                print(f"note: no baseline yet ({args.baseline} is empty)")
+            if base is not None:
+                errors += validate_schema(base, args.baseline)
+                cmp_errors, notes = compare_wall_clock(doc, base, args.tolerance)
+                errors += cmp_errors
+                for note in notes:
+                    print(note)
 
     if errors:
         for err in errors:
