@@ -1,22 +1,79 @@
 (* subcouple-lint: the repo's static analysis pass.
 
-   Usage: subcouple-lint [--allowlist FILE] [--root DIR] PATH...
+   Usage: subcouple-lint [--allowlist FILE] [--root DIR] [--typed]
+                         [--cmt-dir DIR] [--format text|json] PATH...
 
    Parses every .ml under the given paths with the compiler's parser, runs
    the rule catalogue (see DESIGN.md "Static analysis"), prints findings as
-   file:line:col diagnostics and exits 1 if any unsuppressed finding
-   remains. Wired into the build as `dune build @lint`. *)
+   file:line:col diagnostics (or a JSON report with --format json) and
+   exits 1 if any unsuppressed finding remains. With --typed the
+   interprocedural rules (see DESIGN.md "Typed lint") also run, over the
+   .cmt files beneath --cmt-dir. Wired into the build as `dune build
+   @lint`. *)
 
-let usage = "subcouple-lint [--allowlist FILE] [--root DIR] PATH..."
+let usage =
+  "subcouple-lint [--allowlist FILE] [--root DIR] [--typed] [--cmt-dir DIR] [--format \
+   text|json] PATH..."
+
+(* Hand-rolled JSON so the tool keeps zero dependencies. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let print_json (report : Lint.Driver.report) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"files\":%d,\"suppressed\":%d,\"findings\":[" report.Lint.Driver.files
+       report.Lint.Driver.suppressed);
+  List.iteri
+    (fun i (f : Lint.Finding.t) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  {\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\",\"hint\":\"%s\"}"
+           (json_escape f.Lint.Finding.file)
+           f.Lint.Finding.line f.Lint.Finding.col
+           (Lint.Finding.rule_id f.Lint.Finding.rule)
+           (Lint.Finding.severity_id f.Lint.Finding.severity)
+           (json_escape f.Lint.Finding.message)
+           (json_escape (Lint.Finding.hint f.Lint.Finding.rule))))
+    report.Lint.Driver.findings;
+  if report.Lint.Driver.findings <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf "]}\n";
+  print_string (Buffer.contents buf)
 
 let () =
-  let allowlist = ref None and root = ref "." and paths = ref [] and list_rules = ref false in
+  let allowlist = ref None
+  and root = ref "."
+  and paths = ref []
+  and list_rules = ref false
+  and typed = ref false
+  and cmt_dir = ref "_build/default"
+  and format = ref "text" in
   let spec =
     [
       ( "--allowlist",
         Arg.String (fun s -> allowlist := Some s),
         "FILE checked domain-safety allowlist" );
       ("--root", Arg.Set_string root, "DIR repo root paths are relative to (default .)");
+      ("--typed", Arg.Set typed, " also run the typed interprocedural rules over .cmt files");
+      ( "--cmt-dir",
+        Arg.Set_string cmt_dir,
+        "DIR where to look for .cmt files, relative to --root (default _build/default)" );
+      ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
+        " output format (default text)" );
       ("--rules", Arg.Set list_rules, " print the rule catalogue and exit");
     ]
   in
@@ -30,9 +87,18 @@ let () =
     exit 0
   end;
   let paths = match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps in
-  let report = Lint.Driver.lint_paths ?allowlist:!allowlist ~root:!root paths in
-  List.iter (fun f -> print_endline (Lint.Finding.to_string f)) report.Lint.Driver.findings;
+  let typed =
+    if not !typed then None
+    else if Filename.is_relative !cmt_dir && not (String.equal !root ".") then
+      Some (Filename.concat !root !cmt_dir)
+    else Some !cmt_dir
+  in
+  let report = Lint.Driver.lint_paths ?allowlist:!allowlist ?typed ~root:!root paths in
   let n = List.length report.Lint.Driver.findings in
-  Printf.printf "subcouple-lint: %d file(s) checked, %d finding(s), %d suppressed\n"
-    report.Lint.Driver.files n report.Lint.Driver.suppressed;
+  if String.equal !format "json" then print_json report
+  else begin
+    List.iter (fun f -> print_endline (Lint.Finding.to_string f)) report.Lint.Driver.findings;
+    Printf.printf "subcouple-lint: %d file(s) checked, %d finding(s), %d suppressed\n"
+      report.Lint.Driver.files n report.Lint.Driver.suppressed
+  end;
   exit (if n > 0 then 1 else 0)

@@ -45,9 +45,9 @@ let sinc t = if Float.abs t < 1e-12 then 1.0 else sin t /. t
 
 let create ?(tol = 1e-9) ?(max_iter = 2000) ?(precond = No_preconditioner) ?(galerkin = false) profile
     layout ~panels_per_side =
-  if profile.Profile.a <> profile.Profile.b then
+  if not (Float.equal profile.Profile.a profile.Profile.b) then
     invalid_arg "Eig_solver.create: square surface required";
-  if profile.Profile.a <> layout.Geometry.Layout.size then
+  if not (Float.equal profile.Profile.a layout.Geometry.Layout.size) then
     invalid_arg "Eig_solver.create: layout and profile surface extents differ";
   let panel = Panel.create layout ~panels_per_side in
   let p = panels_per_side in

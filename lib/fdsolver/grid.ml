@@ -42,8 +42,8 @@ let index t ~ix ~iy ~iz = ix + (t.nx * (iy + (t.ny * iz)))
 
 let create ?(placement = Inside) ?(allow_empty_contacts = false) (profile : Profile.t) (layout : Layout.t)
     ~nx ~nz =
-  if profile.Profile.a <> profile.Profile.b then invalid_arg "Grid.create: square surface required";
-  if profile.Profile.a <> layout.Layout.size then
+  if not (Float.equal profile.Profile.a profile.Profile.b) then invalid_arg "Grid.create: square surface required";
+  if not (Float.equal profile.Profile.a layout.Layout.size) then
     invalid_arg "Grid.create: layout and profile surface extents differ";
   let h = profile.Profile.a /. float_of_int nx in
   let ny = nx in

@@ -67,7 +67,7 @@ let decomp_tall a =
   let s = Array.init n (fun j -> Vec.norm2 (Mat.col b j)) in
   (* Sort singular values descending, permuting the columns of B and V. *)
   let order = Array.init n (fun j -> j) in
-  Array.sort (fun i j -> compare s.(j) s.(i)) order;
+  Array.sort (fun i j -> Float.compare s.(j) s.(i)) order;
   let s_sorted = Array.map (fun j -> s.(j)) order in
   let u = Mat.create m n in
   let v_sorted = Mat.create n n in

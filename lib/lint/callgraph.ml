@@ -1,0 +1,561 @@
+(* Build per-function effect summaries and the cross-module call graph from
+   [.cmt] typedtrees.
+
+   One walk of every top-level binding collects, in source order, the
+   events the typed rules consume: resolved calls, writes to module-level
+   mutable state, raise sites, fsync/rename calls, in-loop allocations and
+   float-typed structural comparisons. Reachability questions (what can a
+   pool worker run? does this rename's function also fsync?) are then pure
+   graph walks in Typed_checks, with no further typedtree traffic.
+
+   Soundness caveats (see DESIGN.md "Typed lint"): the graph tracks calls
+   whose head is a named path — first-class functions stored in records or
+   passed as arguments contribute the edges of their *defining* function
+   (over-approximate: the lambda's body is summarized whether or not it is
+   ever invoked) but cannot be followed at an indirect call site
+   (under-approximate: [root_unresolved] records the pool-callback case).
+   Writes count as shared only when the target is itself a module-level
+   path; mutation of state smuggled through parameters is invisible. Code
+   lexically under [Mutex.protect] (and functions that call [Mutex.lock])
+   is trusted wholesale: neither its writes nor its outgoing calls are
+   recorded. *)
+
+open Typedtree
+
+type event_kind =
+  | Call of string
+  | Write of string
+  | Raise of string
+  | Fsync
+  | Rename of string option
+  | Alloc of string
+  | Float_cmp of string
+
+type event = { ev_loc : Location.t; ev_kind : event_kind }
+
+type fn = {
+  fn_key : string;
+  fn_file : string;
+  fn_loc : Location.t;
+  fn_hotpath : bool;
+  fn_takes_lock : bool;
+  fn_events : event list;
+}
+
+type root = {
+  root_file : string;
+  root_loc : Location.t;
+  root_pool_fn : string;
+  root_encl : string;
+  root_calls : string list;
+  root_unresolved : bool;
+}
+
+type t = {
+  fns : (string, fn) Hashtbl.t;
+  roots : root list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Path normalization                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* "La__Mat.gemv" -> "La.Mat.gemv"; "Subcouple_op__.Artifact.save" (an
+   alias-module hop) -> "Subcouple_op.Artifact.save". Implemented as
+   __ -> . followed by collapsing dot runs and edge dots. *)
+let normalize_name s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && s.[!i] = '_' && s.[!i + 1] = '_' then begin
+      Buffer.add_char b '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  let s = Buffer.contents b in
+  let n = String.length s in
+  let b = Buffer.create n in
+  String.iteri
+    (fun j c ->
+      if c = '.' && (Buffer.length b = 0 || (j + 1 < n && s.[j + 1] = '.') || j = n - 1) then ()
+      else Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let normalize_path p = normalize_name (Path.name p)
+
+(* Last [k] dot-components of a normalized name, joined back: the matching
+   granularity for stdlib entry points ("Mutex.protect", "Sys.rename"). *)
+let last_components k s =
+  let parts = String.split_on_char '.' s in
+  let n = List.length parts in
+  if n <= k then s else String.concat "." (List.filteri (fun i _ -> i >= n - k) parts)
+
+let suffix2 s = last_components 2 s
+let last1 s = last_components 1 s
+
+(* ------------------------------------------------------------------ *)
+(* Classification tables                                               *)
+(* ------------------------------------------------------------------ *)
+
+let pool_entry np =
+  match suffix2 np with
+  | "Pool.parallel_for" -> Some "parallel_for"
+  | "Pool.map_chunks" -> Some "map_chunks"
+  | "Pool.map_array" -> Some "map_array"
+  | _ -> None
+
+(* Mutating stdlib entry points: when the first argument is module-level
+   state, the call is a shared-state write described by the result. *)
+let write_verb np =
+  match String.split_on_char '.' np with
+  | [ ":=" ] | [ "Stdlib"; ":=" ] -> Some "assignment (:=)"
+  | [ ("incr" | "decr") as f ] | [ "Stdlib"; (("incr" | "decr") as f) ] ->
+    Some (Printf.sprintf "Stdlib.%s" f)
+  | _ -> (
+    match suffix2 np with
+    | ( "Array.set" | "Array.unsafe_set" | "Array.fill" | "Array.blit" | "Bytes.set"
+      | "Bytes.unsafe_set" | "Bytes.fill" | "Hashtbl.add" | "Hashtbl.replace" | "Hashtbl.remove"
+      | "Hashtbl.reset" | "Hashtbl.clear" | "Hashtbl.filter_map_inplace" | "Buffer.clear"
+      | "Buffer.reset" | "Buffer.truncate" | "Queue.add" | "Queue.push" | "Queue.pop"
+      | "Queue.take" | "Queue.clear" | "Queue.transfer" | "Stack.push" | "Stack.pop"
+      | "Stack.clear" | "Array1.set" | "Array1.unsafe_set" | "Array2.set" | "Array2.unsafe_set"
+      | "Genarray.set" ) as s ->
+      Some s
+    | s when String.length s > 11 && String.equal (String.sub s 0 11) "Buffer.add_" -> Some s
+    | _ -> None)
+
+(* Calls that allocate on every invocation — flagged only inside the loops
+   of [@@lint.hotpath] functions. Keyed on the last two components. *)
+let allocating_call np =
+  let s2 = suffix2 np and s1 = last1 np in
+  match s2 with
+  | "Array.make" | "Array.init" | "Array.create_float" | "Array.make_matrix" | "Array.append"
+  | "Array.concat" | "Array.sub" | "Array.copy" | "Array.of_list" | "Array.to_list"
+  | "Array.map" | "Array.mapi" | "Array.map2" | "List.init" | "List.map" | "List.mapi"
+  | "List.rev_map" | "List.append" | "List.concat" | "List.filter" | "List.filter_map"
+  | "List.rev" | "List.sort" | "String.make" | "String.init" | "String.sub" | "String.concat"
+  | "String.cat" | "String.map" | "Bytes.create" | "Bytes.make" | "Bytes.init" | "Bytes.sub"
+  | "Bytes.copy" | "Bytes.of_string" | "Bytes.to_string" | "Bytes.cat" | "Printf.sprintf"
+  | "Format.asprintf" | "Buffer.create" | "Buffer.contents" | "Buffer.to_bytes"
+  | "Hashtbl.create" | "Hashtbl.copy" | "Digest.string" | "Digest.bytes" ->
+    Some ("call to " ^ s2)
+  | _ -> (
+    match s1 with
+    | "@" | "^" | "^^" -> Some (Printf.sprintf "call to (%s)" s1)
+    | _ -> None)
+
+let raising_head np =
+  match String.split_on_char '.' np with
+  | [ "raise" ] | [ "Stdlib"; "raise" ] | [ "raise_notrace" ] | [ "Stdlib"; "raise_notrace" ] ->
+    Some `Raise
+  | [ "failwith" ] | [ "Stdlib"; "failwith" ] -> Some (`Named "Failure")
+  | [ "invalid_arg" ] | [ "Stdlib"; "invalid_arg" ] -> Some (`Named "Invalid_argument")
+  | _ -> None
+
+let structural_cmp np =
+  match String.split_on_char '.' np with
+  | [ (("=" | "<>" | "==" | "!=" | "compare") as op) ]
+  | [ "Stdlib"; (("=" | "<>" | "==" | "!=" | "compare") as op) ] ->
+    Some op
+  | _ -> None
+
+let poly_box np =
+  match String.split_on_char '.' np with
+  | [ (("min" | "max" | "compare") as f) ] | [ "Stdlib"; (("min" | "max" | "compare") as f) ]
+    ->
+    Some f
+  | _ -> None
+
+let is_float_ty ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) -> String.equal (Path.name p) "float"
+  | _ -> false
+
+let is_arrow_ty ty = match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+let hotpath_attr (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt "lint.hotpath")
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* The walker                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type out_acc = {
+  mutable o_roots : root list;
+  mutable o_synths : fn list;  (* summaries of inline pool callbacks *)
+  mutable o_synth_count : int;
+}
+
+type ctx = {
+  c_file : string;
+  c_toplevel : (string, string) Hashtbl.t;  (* Ident.unique_name -> key *)
+  c_encl : string;  (* enclosing summary key, for root messages *)
+  c_out : out_acc;
+  mutable c_lambdas : (string * expression) list;  (* let-bound local lambdas *)
+  mutable c_loop : int;
+  mutable c_protected : int;
+  mutable c_try : int;
+  mutable c_lock : bool;
+  mutable c_events : event list;  (* reversed *)
+}
+
+let emit ctx loc kind = ctx.c_events <- { ev_loc = loc; ev_kind = kind } :: ctx.c_events
+
+(* Resolve an identifier path to a summary key: module-level values of the
+   current unit by Ident, everything dotted by normalization. Plain local
+   idents (parameters, lets) resolve to nothing. *)
+let resolve_ident ctx (p : Path.t) =
+  match p with
+  | Path.Pident id -> Hashtbl.find_opt ctx.c_toplevel (Ident.unique_name id)
+  | Path.Pdot _ -> Some (normalize_path p)
+  | _ -> None
+
+(* Is this expression a module-level location a write to which is shared
+   across domains? Returns its printable key. *)
+let rec shared_target ctx (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> resolve_ident ctx p
+  | Texp_field (inner, _, lbl) ->
+    Option.map (fun k -> k ^ "." ^ lbl.Types.lbl_name) (shared_target ctx inner)
+  | _ -> None
+
+let string_lit (e : expression) =
+  match e.exp_desc with
+  | Texp_constant (Asttypes.Const_string (s, _, _)) -> Some s
+  | _ -> None
+
+let rec case_catches (p : Typedtree.computation Typedtree.general_pattern) =
+  match p.pat_desc with
+  | Tpat_exception _ -> true
+  | Tpat_or (a, b, _) -> case_catches a || case_catches b
+  | _ -> false
+
+let pat_ident (p : pattern) =
+  match p.pat_desc with Tpat_var (id, _) -> Some id | _ -> None
+
+let rec iterator ctx =
+  let open Tast_iterator in
+  let rec expr self (e : expression) =
+    let loc = e.exp_loc in
+    let in_loop = ctx.c_loop > 0 in
+    match e.exp_desc with
+    | Texp_for (_, _, lo, hi, _, body) ->
+      self.expr self lo;
+      self.expr self hi;
+      ctx.c_loop <- ctx.c_loop + 1;
+      self.expr self body;
+      ctx.c_loop <- ctx.c_loop - 1
+    | Texp_while (cond, body) ->
+      self.expr self cond;
+      ctx.c_loop <- ctx.c_loop + 1;
+      self.expr self body;
+      ctx.c_loop <- ctx.c_loop - 1
+    | Texp_try (body, cases) ->
+      ctx.c_try <- ctx.c_try + 1;
+      self.expr self body;
+      ctx.c_try <- ctx.c_try - 1;
+      List.iter (fun c -> self.case self c) cases
+    | Texp_match (scrut, cases, _) ->
+      let catches = List.exists (fun c -> case_catches c.c_lhs) cases in
+      if catches then ctx.c_try <- ctx.c_try + 1;
+      self.expr self scrut;
+      if catches then ctx.c_try <- ctx.c_try - 1;
+      List.iter (fun c -> self.case self c) cases
+    | Texp_let (_, vbs, body) ->
+      List.iter
+        (fun vb ->
+          (match (pat_ident vb.vb_pat, vb.vb_expr.exp_desc) with
+          | Some id, Texp_function _ ->
+            ctx.c_lambdas <- (Ident.unique_name id, vb.vb_expr) :: ctx.c_lambdas
+          | _ -> ());
+          self.value_binding self vb)
+        vbs;
+      self.expr self body
+    | Texp_function _ ->
+      if in_loop then emit ctx loc (Alloc "closure created per iteration");
+      default_iterator.expr self e
+    | Texp_setfield (target, _, lbl, value) ->
+      (match shared_target ctx target with
+      | Some key when ctx.c_protected = 0 ->
+        emit ctx loc
+          (Write (Printf.sprintf "field mutation %s.%s <- ..." key lbl.Types.lbl_name))
+      | _ -> ());
+      self.expr self target;
+      self.expr self value
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+      let np = normalize_path p in
+      let pos_args = List.filter_map (fun (_, a) -> a) args in
+      (* Record the edge first: reachability only needs the head name.
+         Code under Mutex.protect is trusted wholesale — no edges out. *)
+      (if ctx.c_protected = 0 then
+         match resolve_ident ctx p with Some k -> emit ctx loc (Call k) | None -> ());
+      (match suffix2 np with
+      | "Mutex.lock" -> ctx.c_lock <- true
+      | "Unix.fsync" -> emit ctx loc Fsync
+      | "Sys.rename" | "Unix.rename" ->
+        emit ctx loc (Rename (match pos_args with [ _; dst ] -> string_lit dst | _ -> None))
+      | _ -> ());
+      (match write_verb np with
+      | Some verb when ctx.c_protected = 0 -> (
+        match pos_args with
+        | target :: _ -> (
+          match shared_target ctx target with
+          | Some key -> emit ctx loc (Write (Printf.sprintf "%s on %s" verb key))
+          | None -> ())
+        | [] -> ())
+      | _ -> ());
+      (match raising_head np with
+      | Some `Raise when ctx.c_try = 0 -> (
+        match pos_args with
+        | { exp_desc = Texp_construct (_, cd, _); _ } :: _ ->
+          emit ctx loc (Raise cd.Types.cstr_name)
+        | _ -> () (* re-raise of a caught exception value: sanctioned *))
+      | Some (`Named exn) when ctx.c_try = 0 -> emit ctx loc (Raise exn)
+      | _ -> ());
+      (match structural_cmp np with
+      | Some op
+        when List.length pos_args = 2 && List.exists (fun a -> is_float_ty a.exp_type) pos_args
+        ->
+        emit ctx loc (Float_cmp op)
+      | _ -> ());
+      if in_loop then begin
+        (match allocating_call np with Some what -> emit ctx loc (Alloc what) | None -> ());
+        (match poly_box np with
+        | Some f when List.exists (fun a -> is_float_ty a.exp_type) pos_args ->
+          emit ctx loc (Alloc (Printf.sprintf "polymorphic %s boxes its float arguments" f))
+        | _ -> ());
+        if is_arrow_ty e.exp_type then
+          emit ctx loc (Alloc "partial application allocates a closure")
+      end;
+      (match pool_entry np with
+      | Some pool_fn -> record_root loc pool_fn args
+      | None -> ());
+      let protect = String.equal (suffix2 np) "Mutex.protect" in
+      List.iter
+        (fun (_, a) ->
+          match a with
+          | None -> ()
+          | Some a ->
+            if protect && is_arrow_ty a.exp_type then begin
+              ctx.c_protected <- ctx.c_protected + 1;
+              self.expr self a;
+              ctx.c_protected <- ctx.c_protected - 1
+            end
+            else self.expr self a)
+        args
+    | Texp_tuple elts ->
+      if in_loop then
+        emit ctx loc
+          (Alloc
+             (if List.exists (fun x -> is_float_ty x.exp_type) elts then
+                "tuple boxes its float components"
+              else "tuple allocation"));
+      default_iterator.expr self e
+    | Texp_construct (_, cd, cargs) ->
+      if in_loop && cargs <> [] then
+        emit ctx loc
+          (Alloc
+             (if List.exists (fun x -> is_float_ty x.exp_type) cargs then
+                Printf.sprintf "constructor %s boxes a float argument" cd.Types.cstr_name
+              else Printf.sprintf "constructor %s allocation" cd.Types.cstr_name));
+      default_iterator.expr self e
+    | Texp_record _ ->
+      if in_loop then emit ctx loc (Alloc "record allocation");
+      default_iterator.expr self e
+    | Texp_array (_ :: _) ->
+      if in_loop then emit ctx loc (Alloc "array literal allocation");
+      default_iterator.expr self e
+    | Texp_lazy _ ->
+      if in_loop then emit ctx loc (Alloc "lazy block allocation");
+      default_iterator.expr self e
+    | Texp_ident (p, _, _) ->
+      (* A bare reference to a same-graph function still creates an edge:
+         the value can be called wherever it flows (e.g. [List.iter f xs]).
+         Over-approximate, like the lambda-summarization rule. *)
+      if is_arrow_ty e.exp_type && ctx.c_protected = 0 then (
+        match resolve_ident ctx p with Some k -> emit ctx loc (Call k) | None -> ())
+    | _ -> default_iterator.expr self e
+  (* Resolve a pool callback argument to summary-entry keys. *)
+  and record_root loc pool_fn args =
+    let callbacks =
+      List.filter_map
+        (fun (_, a) ->
+          match a with Some a when is_arrow_ty a.exp_type -> Some a | _ -> None)
+        args
+    in
+    let calls = ref [] and unresolved = ref false in
+    List.iter
+      (fun (cb : expression) ->
+        match cb.exp_desc with
+        | Texp_function _ -> calls := synth_callback cb :: !calls
+        | Texp_ident (Path.Pident id, _, _)
+          when List.mem_assoc (Ident.unique_name id) ctx.c_lambdas ->
+          calls := synth_callback (List.assoc (Ident.unique_name id) ctx.c_lambdas) :: !calls
+        | Texp_ident (p, _, _) -> (
+          match resolve_ident ctx p with
+          | Some k -> calls := k :: !calls
+          | None -> unresolved := true)
+        | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> (
+          (* partial application: the head function is the entry point *)
+          match resolve_ident ctx p with
+          | Some k -> calls := k :: !calls
+          | None -> unresolved := true)
+        | _ -> unresolved := true)
+      callbacks;
+    if callbacks = [] then unresolved := true;
+    ctx.c_out.o_roots <-
+      {
+        root_file = ctx.c_file;
+        root_loc = loc;
+        root_pool_fn = pool_fn;
+        root_encl = ctx.c_encl;
+        root_calls = List.rev !calls;
+        root_unresolved = !unresolved;
+      }
+      :: ctx.c_out.o_roots
+  (* Summarize an inline callback as its own anonymous graph node. *)
+  and synth_callback (cb : expression) =
+    ctx.c_out.o_synth_count <- ctx.c_out.o_synth_count + 1;
+    let key =
+      Printf.sprintf "<callback#%d@%s:%d>" ctx.c_out.o_synth_count ctx.c_file
+        cb.exp_loc.Location.loc_start.Lexing.pos_lnum
+    in
+    let sub =
+      {
+        c_file = ctx.c_file;
+        c_toplevel = ctx.c_toplevel;
+        c_encl = key;
+        c_out = ctx.c_out;
+        c_lambdas = ctx.c_lambdas;
+        c_loop = 0;
+        c_protected = 0;
+        c_try = 0;
+        c_lock = false;
+        c_events = [];
+      }
+    in
+    let it = iterator sub in
+    it.Tast_iterator.expr it cb;
+    ctx.c_out.o_synths <-
+      {
+        fn_key = key;
+        fn_file = ctx.c_file;
+        fn_loc = cb.exp_loc;
+        fn_hotpath = false;
+        fn_takes_lock = sub.c_lock;
+        fn_events = List.rev sub.c_events;
+      }
+      :: ctx.c_out.o_synths;
+    key
+  in
+  { default_iterator with expr }
+
+(* ------------------------------------------------------------------ *)
+(* Top-level structure traversal                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec module_structure_of (me : module_expr) =
+  match me.mod_desc with
+  | Tmod_structure s -> Some s
+  | Tmod_constraint (inner, _, _, _) -> module_structure_of inner
+  | _ -> None
+
+(* Enumerate top-level value bindings with their dotted key prefix,
+   descending into (possibly nested) plain submodules. *)
+let rec iter_toplevel prefix (s : structure) f =
+  List.iter
+    (fun (si : structure_item) ->
+      match si.str_desc with
+      | Tstr_value (_, vbs) -> List.iter (fun vb -> f prefix vb) vbs
+      | Tstr_module mb -> iter_module prefix f mb
+      | Tstr_recmodule mbs -> List.iter (iter_module prefix f) mbs
+      | _ -> ())
+    s.str_items
+
+and iter_module prefix f (mb : module_binding) =
+  match mb.mb_id with
+  | None -> ()
+  | Some id -> (
+    match module_structure_of mb.mb_expr with
+    | Some sub -> iter_toplevel (prefix ^ "." ^ Ident.name id) sub f
+    | None -> ())
+
+let build units =
+  let fns : (string, fn) Hashtbl.t = Hashtbl.create 256 in
+  let out = { o_roots = []; o_synths = []; o_synth_count = 0 } in
+  (* Pass A: name every top-level value so same-unit calls resolve. *)
+  let toplevels = Hashtbl.create (max 1 (List.length units)) in
+  List.iter
+    (fun (u : Cmt_loader.unit_info) ->
+      let prefix = normalize_name u.Cmt_loader.ci_modname in
+      let tbl = Hashtbl.create 64 in
+      iter_toplevel prefix u.Cmt_loader.ci_structure (fun pfx vb ->
+          match pat_ident vb.vb_pat with
+          | Some id -> Hashtbl.replace tbl (Ident.unique_name id) (pfx ^ "." ^ Ident.name id)
+          | None -> ());
+      Hashtbl.replace toplevels u.Cmt_loader.ci_source tbl)
+    units;
+  (* Pass B: summarize every binding (anonymous ones — [let () = ...] —
+     included: nobody calls them, but their pool call sites, renames and
+     float comparisons still matter). *)
+  let anon = ref 0 in
+  List.iter
+    (fun (u : Cmt_loader.unit_info) ->
+      let prefix = normalize_name u.Cmt_loader.ci_modname in
+      let tbl = Hashtbl.find toplevels u.Cmt_loader.ci_source in
+      iter_toplevel prefix u.Cmt_loader.ci_structure (fun pfx vb ->
+          let key =
+            match pat_ident vb.vb_pat with
+            | Some id -> pfx ^ "." ^ Ident.name id
+            | None ->
+              incr anon;
+              Printf.sprintf "%s.<toplevel#%d>" pfx !anon
+          in
+          let ctx =
+            {
+              c_file = u.Cmt_loader.ci_source;
+              c_toplevel = tbl;
+              c_encl = key;
+              c_out = out;
+              c_lambdas = [];
+              c_loop = 0;
+              c_protected = 0;
+              c_try = 0;
+              c_lock = false;
+              c_events = [];
+            }
+          in
+          let it = iterator ctx in
+          it.Tast_iterator.expr it vb.vb_expr;
+          let summary =
+            {
+              fn_key = key;
+              fn_file = u.Cmt_loader.ci_source;
+              fn_loc = vb.vb_loc;
+              fn_hotpath = hotpath_attr vb.vb_attributes;
+              fn_takes_lock = ctx.c_lock;
+              fn_events = List.rev ctx.c_events;
+            }
+          in
+          match Hashtbl.find_opt fns key with
+          | None -> Hashtbl.replace fns key summary
+          | Some prev ->
+            (* Top-level shadowing: merge conservatively. *)
+            Hashtbl.replace fns key
+              {
+                prev with
+                fn_hotpath = prev.fn_hotpath || summary.fn_hotpath;
+                fn_takes_lock = prev.fn_takes_lock && summary.fn_takes_lock;
+                fn_events = prev.fn_events @ summary.fn_events;
+              }))
+    units;
+  List.iter (fun s -> Hashtbl.replace fns s.fn_key s) out.o_synths;
+  { fns; roots = List.rev out.o_roots }

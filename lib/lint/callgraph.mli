@@ -1,0 +1,50 @@
+(** Cross-module call graph and per-function effect summaries over [.cmt]
+    typedtrees — the substrate of the typed rules in {!Typed_checks}.
+
+    Functions are keyed by normalized [Path.t] names: dune's [Lib__Module]
+    mangling and alias-module hops are folded to plain dotted paths, so
+    [La__Mat.gemv], [La.Mat.gemv] and a same-library [Mat.gemv] all key as
+    ["La.Mat.gemv"]. A value whose own name contains ["__"] would be
+    mis-folded — none exist here, and the cost is a lost edge, not a crash. *)
+
+type event_kind =
+  | Call of string  (** normalized callee key (includes stdlib calls) *)
+  | Write of string  (** unprotected write to module-level mutable state *)
+  | Raise of string  (** exception constructor raised outside any [try] body *)
+  | Fsync  (** direct [Unix.fsync] *)
+  | Rename of string option  (** [Sys.rename]/[Unix.rename]; destination literal if known *)
+  | Alloc of string  (** allocation inside a [for]/[while] loop body *)
+  | Float_cmp of string  (** =/<>/==/!=/compare with a float-typed operand *)
+
+type event = { ev_loc : Location.t; ev_kind : event_kind }
+
+type fn = {
+  fn_key : string;
+  fn_file : string;
+  fn_loc : Location.t;
+  fn_hotpath : bool;  (** carries a [\[@@lint.hotpath\]] attribute *)
+  fn_takes_lock : bool;
+      (** calls [Mutex.lock] somewhere: manual lock discipline is trusted
+          and the function's writes are not flagged *)
+  fn_events : event list;  (** in source order *)
+}
+
+type root = {
+  root_file : string;
+  root_loc : Location.t;  (** the [Pool.*] call site *)
+  root_pool_fn : string;  (** ["parallel_for"] / ["map_chunks"] / ["map_array"] *)
+  root_encl : string;  (** key of the enclosing function, for messages *)
+  root_calls : string list;  (** resolved callback entry keys *)
+  root_unresolved : bool;
+      (** a callback was a first-class value the analysis cannot resolve *)
+}
+
+type t = {
+  fns : (string, fn) Hashtbl.t;
+  roots : root list;
+}
+
+val normalize_name : string -> string
+(** Fold dune module mangling: ["La__Mat.gemv"] → ["La.Mat.gemv"]. *)
+
+val build : Cmt_loader.unit_info list -> t

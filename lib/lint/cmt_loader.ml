@@ -1,0 +1,74 @@
+(* Find and read the [.cmt] typedtrees the typed rules run on.
+
+   The walk descends into dot-directories on purpose: dune keeps object
+   files under [.<lib>.objs/byte] and [.<exe>.eobjs/byte]. Only units whose
+   recorded source file is an [.ml] under the requested paths are kept, so
+   generated alias modules ([la.ml-gen]) and out-of-scope trees (tests,
+   vendored code) drop out naturally. *)
+
+type unit_info = {
+  ci_source : string;
+  ci_modname : string;
+  ci_structure : Typedtree.structure;
+}
+
+let read_file path =
+  match Cmt_format.read_cmt path with
+  | exception Sys_error msg -> Error msg
+  | exception Cmt_format.Error (Not_a_typedtree msg) -> Error msg
+  | exception End_of_file -> Error "truncated .cmt file"
+  | exception Failure msg ->
+    (* input_value on a foreign-compiler or corrupted file. *)
+    Error msg
+  | cmt -> (
+    match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+    | Cmt_format.Implementation str, Some src when Filename.check_suffix src ".ml" ->
+      Ok (Some { ci_source = src; ci_modname = cmt.Cmt_format.cmt_modname; ci_structure = str })
+    | _ -> Ok None)
+
+(* Deterministic recursive walk collecting .cmt files. Unlike the source
+   walk in [Driver], dot-directories are descended (that is where dune puts
+   them); _build is still skipped in case [cmt_root] is the source root. *)
+let rec walk acc path =
+  if Sys.file_exists path && Sys.is_directory path then begin
+    if String.equal (Filename.basename path) "_build" then acc
+    else begin
+      let entries = Sys.readdir path in
+      Array.sort compare entries;
+      Array.fold_left (fun acc e -> walk acc (Filename.concat path e)) acc entries
+    end
+  end
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let under_any paths file =
+  List.exists
+    (fun p ->
+      String.equal p file
+      ||
+      let prefix = if Filename.check_suffix p "/" then p else p ^ "/" in
+      String.length file > String.length prefix
+      && String.equal (String.sub file 0 (String.length prefix)) prefix)
+    paths
+
+let load ~cmt_root ~paths =
+  let cmts = List.sort_uniq compare (walk [] cmt_root) in
+  let seen = Hashtbl.create 64 in
+  let units = ref [] and errors = ref [] in
+  List.iter
+    (fun cmt ->
+      match read_file cmt with
+      | Ok None -> ()
+      | Ok (Some u) ->
+        if under_any paths u.ci_source && not (Hashtbl.mem seen u.ci_source) then begin
+          Hashtbl.replace seen u.ci_source ();
+          units := u :: !units
+        end
+      | Error msg ->
+        errors :=
+          Finding.v ~file:cmt ~line:1 ~col:0 Finding.Parse_error
+            (Printf.sprintf "unreadable .cmt: %s" msg)
+          :: !errors)
+    cmts;
+  ( List.sort (fun a b -> String.compare a.ci_source b.ci_source) !units,
+    List.rev !errors )

@@ -27,11 +27,12 @@ let parse_impl path =
 (* Lint one file. [file] is the path used in findings (usually relative to
    the repo root); [path] is where to read it from. Domain-safety findings
    are returned unsuppressed unless an inline attribute covers them — the
-   allowlist is applied across files by [lint_paths]. *)
+   allowlist is applied across files by [lint_paths]. The file's parsed
+   suppressions come back too so the typed pass can honour them. *)
 let lint_one ~file ~path ~in_lib ~domain_safety ~check_mli () =
   match parse_impl path with
   | Error (line, col, msg) ->
-    ([ Finding.v ~file ~line ~col Finding.Parse_error msg ], 0)
+    ([ Finding.v ~file ~line ~col Finding.Parse_error msg ], 0, None)
   | Ok structure ->
     let raw = Checks.check ~file ~in_lib ~domain_safety structure in
     let sup = Suppress.collect ~file structure in
@@ -52,13 +53,24 @@ let lint_one ~file ~path ~in_lib ~domain_safety ~check_mli () =
             || (f.Finding.rule = Finding.No_unsafe && Suppress.in_hotpath sup f)))
         (raw @ mli_missing)
     in
-    (kept @ sup.Suppress.malformed, List.length suppressed)
+    (kept @ sup.Suppress.malformed, List.length suppressed, Some sup)
 
 let lint_file ?(in_lib = false) ?(domain_safety = false) ?(check_mli = false) path =
-  let findings, suppressed =
+  let findings, suppressed, _sup =
     lint_one ~file:path ~path ~in_lib ~domain_safety ~check_mli ()
   in
   { findings = List.sort Finding.compare_by_location findings; suppressed; files = 1 }
+
+(* Typed pass in isolation — used by fixture tests, and by [lint_paths]
+   (which additionally applies the per-file inline suppressions). *)
+let lint_typed ~cmt_root ~paths =
+  let units, unreadable = Cmt_loader.load ~cmt_root ~paths in
+  let findings = Typed_checks.run (Callgraph.build units) in
+  {
+    findings = List.sort Finding.compare_by_location (findings @ unreadable);
+    suppressed = 0;
+    files = List.length units;
+  }
 
 (* Deterministic recursive walk collecting .ml files; skips _build and
    dot-directories. *)
@@ -89,7 +101,7 @@ let under dir file =
   String.length file > String.length prefix
   && String.equal (String.sub file 0 (String.length prefix)) prefix
 
-let lint_paths ?allowlist ~root paths =
+let lint_paths ?allowlist ?typed ~root paths =
   let files =
     paths
     |> List.map (fun p -> if String.equal root "." then p else Filename.concat root p)
@@ -101,15 +113,17 @@ let lint_paths ?allowlist ~root paths =
     match allowlist with None -> ([], []) | Some path -> Allowlist.load path
   in
   let used = Hashtbl.create 8 in
+  let suppressions = Hashtbl.create 64 in
   let acc =
     List.fold_left
       (fun acc path ->
         let file = relativize ~root path in
         let in_lib = under "lib" file in
         let domain_safety = List.exists (fun d -> under d file) safety_dirs in
-        let findings, suppressed =
+        let findings, suppressed, sup =
           lint_one ~file ~path ~in_lib ~domain_safety ~check_mli:in_lib ()
         in
+        (match sup with Some s -> Hashtbl.replace suppressions file s | None -> ());
         (* Apply the allowlist to what survived inline suppression. *)
         let findings, allowed =
           List.partition
@@ -138,8 +152,26 @@ let lint_paths ?allowlist ~root paths =
           else Some (Allowlist.stale_finding ~path e))
         entries
   in
+  (* The typed pass: findings come back keyed by the compiler-recorded
+     source path (repo-relative under dune), which is the same key the
+     syntactic pass used — so the per-file inline [@lint.allow]s apply. *)
+  let typed_findings, typed_suppressed =
+    match typed with
+    | None -> ([], 0)
+    | Some cmt_root ->
+      let r = lint_typed ~cmt_root ~paths in
+      List.partition
+        (fun f ->
+          match Hashtbl.find_opt suppressions f.Finding.file with
+          | Some sup -> not (Suppress.covers sup f)
+          | None -> true)
+        r.findings
+      |> fun (kept, supd) -> (kept, List.length supd)
+  in
   {
     acc with
+    suppressed = acc.suppressed + typed_suppressed;
     findings =
-      List.sort Finding.compare_by_location (acc.findings @ allow_malformed @ stale);
+      List.sort Finding.compare_by_location
+        (acc.findings @ typed_findings @ allow_malformed @ stale);
   }

@@ -12,9 +12,22 @@ val lint_file : ?in_lib:bool -> ?domain_safety:bool -> ?check_mli:bool -> string
     can exercise one rule at a time; [lint_paths] derives them from the
     file's location instead. *)
 
-val lint_paths : ?allowlist:string -> root:string -> string list -> report
+val lint_typed : cmt_root:string -> paths:string list -> report
+(** Run only the typed rules ({!Typed_checks}): read every [.cmt] under
+    [cmt_root] whose recorded source lies under one of [paths], build the
+    call graph, and report. No suppressions are applied — fixture tests
+    want the raw findings; [lint_paths] layers the inline suppressions on
+    top. [files] counts typed units, and unreadable [.cmt]s surface as
+    [Parse_error] findings. *)
+
+val lint_paths : ?allowlist:string -> ?typed:string -> root:string -> string list -> report
 (** Lint every .ml under the given paths (files or directories, relative to
     [root]). Files under lib/ get the no_stdout_in_lib and mli_coverage
     rules; files in {!Dune_deps.pool_reachable_dirs} get domain_safety,
     with [allowlist] (if given) applied as the checked allowlist — stale
-    and malformed entries are reported as findings. *)
+    and malformed entries are reported as findings.
+
+    [typed], when given, is a directory holding the build's [.cmt] files
+    (e.g. [_build/default]); the typed rules then run over them and their
+    findings — filtered through the same per-file inline
+    [\[@lint.allow\]] attributes — are merged into the report. *)

@@ -57,13 +57,69 @@ let parse_sexps (s : string) =
     | Some '"' ->
       incr pos;
       let b = Buffer.create 16 in
+      (* Dune quoted atoms use OCaml-style escapes. Decoding them as raw
+         next-characters (the old behaviour) turned "a\nb" into "anb" and
+         desynced \ddd / \xHH payloads — and a wrong [libraries] atom
+         silently shrinks the pool-reachable scope downstream. Unknown
+         escapes are kept verbatim rather than rejected: a surprising
+         backslash should not throw away the whole dune file. *)
+      let digit_val c = Char.code c - Char.code '0' in
+      let hex_val c =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> -1
+      in
       let rec loop () =
         match peek () with
         | None -> raise (Malformed "unclosed string")
         | Some '"' -> incr pos
         | Some '\\' when !pos + 1 < n ->
-          Buffer.add_char b s.[!pos + 1];
-          pos := !pos + 2;
+          (match s.[!pos + 1] with
+          | 'n' ->
+            Buffer.add_char b '\n';
+            pos := !pos + 2
+          | 't' ->
+            Buffer.add_char b '\t';
+            pos := !pos + 2
+          | 'r' ->
+            Buffer.add_char b '\r';
+            pos := !pos + 2
+          | 'b' ->
+            Buffer.add_char b '\b';
+            pos := !pos + 2
+          | ('\\' | '"' | '\'' | ' ') as c ->
+            Buffer.add_char b c;
+            pos := !pos + 2
+          | '\n' ->
+            (* backslash-newline continuation: swallow it and the
+               continuation line's indentation *)
+            pos := !pos + 2;
+            while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+              incr pos
+            done
+          | '0' .. '9'
+            when !pos + 3 < n
+                 && (match (s.[!pos + 2], s.[!pos + 3]) with
+                    | '0' .. '9', '0' .. '9' -> true
+                    | _ -> false) ->
+            let code =
+              (100 * digit_val s.[!pos + 1])
+              + (10 * digit_val s.[!pos + 2])
+              + digit_val s.[!pos + 3]
+            in
+            if code > 255 then raise (Malformed "decimal escape out of range");
+            Buffer.add_char b (Char.chr code);
+            pos := !pos + 4
+          | 'x'
+            when !pos + 3 < n && hex_val s.[!pos + 2] >= 0 && hex_val s.[!pos + 3] >= 0 ->
+            Buffer.add_char b (Char.chr ((16 * hex_val s.[!pos + 2]) + hex_val s.[!pos + 3]));
+            pos := !pos + 4
+          | c ->
+            Buffer.add_char b '\\';
+            Buffer.add_char b c;
+            pos := !pos + 2);
           loop ()
         | Some c ->
           Buffer.add_char b c;
@@ -99,25 +155,28 @@ let field name = function
 
 let atoms l = List.filter_map (function Atom a -> Some a | List _ -> None) l
 
-(* Extract every (library ...) stanza's name, dir and dune-visible deps. *)
+(* Extract every (library ...) stanza's name, dir and dune-visible deps.
+   [None] means the dune file did not parse — the caller must treat the
+   directory conservatively rather than silently dropping it. *)
 let libs_of_dune ~dir content =
   match parse_sexps content with
-  | exception Malformed _ -> []
+  | exception Malformed _ -> None
   | sexps ->
-    List.filter_map
-      (function
-        | List (Atom "library" :: fields) ->
-          let name =
-            List.find_map (fun f -> Option.map atoms (field "name" f)) fields
-            |> Option.map (function n :: _ -> n | [] -> "")
-          in
-          let deps =
-            List.find_map (fun f -> Option.map atoms (field "libraries" f)) fields
-            |> Option.value ~default:[]
-          in
-          Option.map (fun name -> { name; dir; deps }) name
-        | _ -> None)
-      sexps
+    Some
+      (List.filter_map
+         (function
+           | List (Atom "library" :: fields) ->
+             let name =
+               List.find_map (fun f -> Option.map atoms (field "name" f)) fields
+               |> Option.map (function n :: _ -> n | [] -> "")
+             in
+             let deps =
+               List.find_map (fun f -> Option.map atoms (field "libraries" f)) fields
+               |> Option.value ~default:[]
+             in
+             Option.map (fun name -> { name; dir; deps }) name
+           | _ -> None)
+         sexps)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -125,20 +184,30 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* All libraries found in immediate subdirectories of [root]/lib. *)
-let scan_libs ~root =
+(* All libraries found in immediate subdirectories of [root]/lib, plus the
+   directories whose dune file failed to parse (their membership in the
+   pool-reachable set cannot be decided, so callers must include them). *)
+let scan_libs_ext ~root =
   let lib_root = Filename.concat root "lib" in
-  if not (Sys.file_exists lib_root && Sys.is_directory lib_root) then []
-  else
+  if not (Sys.file_exists lib_root && Sys.is_directory lib_root) then ([], [])
+  else begin
     let subdirs = Sys.readdir lib_root in
     Array.sort compare subdirs;
     Array.to_list subdirs
-    |> List.concat_map (fun sub ->
+    |> List.fold_left
+         (fun (libs, bad) sub ->
            let dir = Filename.concat lib_root sub in
            let dune = Filename.concat dir "dune" in
+           let rel = Filename.concat "lib" sub in
            if Sys.file_exists dune && Sys.is_directory dir then
-             libs_of_dune ~dir:(Filename.concat "lib" sub) (read_file dune)
-           else [])
+             match libs_of_dune ~dir:rel (read_file dune) with
+             | Some ls -> (libs @ ls, bad)
+             | None -> (libs, bad @ [ rel ])
+           else (libs, bad))
+         ([], [])
+  end
+
+let scan_libs ~root = fst (scan_libs_ext ~root)
 
 let closure ~libs seeds =
   let by_name = Hashtbl.create 16 in
@@ -156,11 +225,14 @@ let closure ~libs seeds =
   seen
 
 let pool_reachable_dirs ?(pool_lib = "parallel") ~root () =
-  let libs = scan_libs ~root in
+  let libs, unparsed = scan_libs_ext ~root in
+  (* Directories with an unreadable dune file are always in scope: losing
+     them here would silently shrink what domain_safety scans. *)
+  let with_unparsed dirs = List.sort_uniq compare (dirs @ unparsed) in
   if not (List.exists (fun l -> String.equal l.name pool_lib) libs) then
     (* No pool in this tree (e.g. a fixture corpus): be conservative and
        treat every library as pool-reachable. *)
-    List.map (fun l -> l.dir) libs
+    with_unparsed (List.map (fun l -> l.dir) libs)
   else begin
     (* Pool-running: transitively depends on the pool. *)
     let running =
@@ -180,5 +252,6 @@ let pool_reachable_dirs ?(pool_lib = "parallel") ~root () =
     in
     (* Pool-reachable: dependency closure of the pool-running set. *)
     let reach = closure ~libs running in
-    List.filter_map (fun l -> if Hashtbl.mem reach l.name then Some l.dir else None) libs
+    with_unparsed
+      (List.filter_map (fun l -> if Hashtbl.mem reach l.name then Some l.dir else None) libs)
   end

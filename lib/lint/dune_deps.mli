@@ -8,16 +8,27 @@ exception Malformed of string
 
 val parse_sexps : string -> sexp list
 (** Minimal s-expression parser (atoms, lists, [;] comments, quoted
-    strings). Raises {!Malformed} on unbalanced input. *)
+    strings with OCaml-style escapes — backslash n/t/r/b, escaped
+    backslash and double-quote, decimal and hex character codes, and
+    backslash-newline continuations decode as in dune; unknown escapes are
+    kept verbatim). Raises {!Malformed} on unbalanced input. *)
 
 type lib = { name : string; dir : string; deps : string list }
 
 val scan_libs : root:string -> lib list
 (** Every [(library ...)] stanza found in [root]/lib/*/dune, with [dir]
-    relative to [root]. *)
+    relative to [root]. Directories whose dune file does not parse
+    contribute no stanzas here — {!pool_reachable_dirs} still includes
+    them. *)
+
+val scan_libs_ext : root:string -> lib list * string list
+(** Like {!scan_libs}, also returning the directories (relative to [root])
+    whose dune file failed to parse. *)
 
 val pool_reachable_dirs : ?pool_lib:string -> root:string -> unit -> string list
 (** Directories (relative to [root], e.g. ["lib/la"]) whose library is in
     the dependency closure of any library that transitively depends on
     [pool_lib]. If no [pool_lib] library exists in the tree, every scanned
-    library directory is returned (conservative default). *)
+    library directory is returned (conservative default). Directories with
+    an unparseable dune file are always included — an unreadable stanza
+    must widen the domain_safety scope, never shrink it. *)

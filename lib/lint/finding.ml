@@ -14,6 +14,12 @@ type rule =
   | Mli_coverage
   | Suppression
   | Parse_error
+  (* Typed rules: computed over .cmt typedtrees by Typed_checks, not over
+     the Parsetree. See DESIGN.md "Typed lint". *)
+  | Pool_escape
+  | Hotpath_alloc
+  | Crash_safety
+  | Float_eq_typed
 
 type severity = Error | Warning
 
@@ -39,6 +45,10 @@ let all_rules =
     Mli_coverage;
     Suppression;
     Parse_error;
+    Pool_escape;
+    Hotpath_alloc;
+    Crash_safety;
+    Float_eq_typed;
   ]
 
 let rule_id = function
@@ -50,6 +60,10 @@ let rule_id = function
   | Mli_coverage -> "mli_coverage"
   | Suppression -> "suppression"
   | Parse_error -> "parse_error"
+  | Pool_escape -> "pool_escape"
+  | Hotpath_alloc -> "hotpath_alloc"
+  | Crash_safety -> "crash_safety"
+  | Float_eq_typed -> "float_eq_typed"
 
 let rule_of_id id = List.find_opt (fun r -> String.equal (rule_id r) id) all_rules
 
@@ -63,6 +77,16 @@ let description = function
   | Mli_coverage -> "library module without an .mli interface"
   | Suppression -> "malformed or unjustified suppression, or stale allowlist entry"
   | Parse_error -> "file does not parse"
+  | Pool_escape ->
+    "write to unprotected shared state, or unsanctioned exception, reachable (across modules) \
+     from a Parallel.Pool callback"
+  | Hotpath_alloc ->
+    "allocation inside the loops of a [@@lint.hotpath] function (allocating call, closure, \
+     boxed float, partial application)"
+  | Crash_safety ->
+    "Sys.rename/Unix.rename into an artifact/checkpoint path without an fsync of the file \
+     before and of the directory after"
+  | Float_eq_typed -> "structural =/<>/compare where an operand's inferred type is float"
 
 let hint = function
   | Domain_safety ->
@@ -75,6 +99,15 @@ let hint = function
   | Mli_coverage -> "add a .mli making the module's public surface explicit"
   | Suppression -> "suppressions need a one-line justification: [@lint.allow <rule> \"why\"]"
   | Parse_error -> "fix the syntax error; the linter parses with the compiler's own parser"
+  | Pool_escape ->
+    "protect the state with Atomic/Mutex.protect/Domain.DLS or raise a sanctioned typed error; \
+     else [@lint.allow pool_escape \"why\"] at the site"
+  | Hotpath_alloc -> "hoist the allocation out of the loop, or drop the [@@lint.hotpath] claim"
+  | Crash_safety ->
+    "Unix.fsync the written file before the rename and its directory after (DESIGN.md \
+     \"crash-safety protocol\")"
+  | Float_eq_typed ->
+    "use Float.equal for intentional exact equality, or compare against a tolerance"
 
 let severity_id = function Error -> "error" | Warning -> "warning"
 

@@ -9,6 +9,14 @@ type rule =
   | Mli_coverage  (** lib/ module without an .mli *)
   | Suppression  (** malformed/unjustified suppression or stale allowlist entry *)
   | Parse_error  (** file does not parse *)
+  | Pool_escape
+      (** typed: unprotected shared-state write or unsanctioned exception
+          reachable (across modules) from a Pool callback *)
+  | Hotpath_alloc  (** typed: allocation inside the loops of a [\[@@lint.hotpath\]] function *)
+  | Crash_safety
+      (** typed: rename into an artifact/checkpoint path not bracketed by
+          file-then-directory fsyncs *)
+  | Float_eq_typed  (** typed: =/<>/compare where an operand's inferred type is float *)
 
 type severity = Error | Warning
 

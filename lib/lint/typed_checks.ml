@@ -1,0 +1,243 @@
+(* The four typed rules over the call graph. Everything here is pure graph
+   walking: the typedtree work already happened in Callgraph.build. *)
+
+open Callgraph
+
+let sanctioned_exceptions =
+  [ "Invalid_argument"; "Failure"; "Assert_failure"; "Not_found"; "Exit"; "Solve_failed" ]
+
+let loc_file fallback (loc : Location.t) =
+  let f = loc.Location.loc_start.Lexing.pos_fname in
+  if String.equal f "" then fallback else f
+
+let loc_line (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let loc_col (loc : Location.t) =
+  loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol
+
+let finding rule ~fallback_file (loc : Location.t) message =
+  Finding.v ~file:(loc_file fallback_file loc) ~line:(loc_line loc) ~col:(loc_col loc) rule
+    message
+
+(* ------------------------------------------------------------------ *)
+(* pool_escape                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Breadth-first over Call edges from one root entry. [f] sees each
+   reachable summary with the call chain (entry first) that got there.
+   Functions that take a lock themselves are trusted wholesale and not
+   descended into. *)
+let reachable g entry f =
+  let visited = Hashtbl.create 64 in
+  let q = Queue.create () in
+  Queue.add (entry, [ entry ]) q;
+  while not (Queue.is_empty q) do
+    let key, chain = Queue.pop q in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.replace visited key ();
+      match Hashtbl.find_opt g.fns key with
+      | None -> ()
+      | Some fn when fn.fn_takes_lock -> ()
+      | Some fn ->
+        f fn chain;
+        List.iter
+          (fun ev ->
+            match ev.ev_kind with
+            | Call callee when not (Hashtbl.mem visited callee) ->
+              Queue.add (callee, callee :: chain) q
+            | _ -> ())
+          fn.fn_events
+    end
+  done
+
+let chain_str chain =
+  (* chain is innermost-first; print root-to-leaf and keep it short *)
+  let parts = List.rev chain in
+  let parts =
+    if List.length parts <= 4 then parts
+    else
+      match parts with
+      | a :: b :: rest -> [ a; b; "..."; List.nth rest (List.length rest - 1) ]
+      | _ -> parts
+  in
+  String.concat " -> " parts
+
+let pool_escape g =
+  let acc = ref [] in
+  List.iter
+    (fun root ->
+      let where =
+        Printf.sprintf "Pool.%s callback at %s:%d (in %s)" root.root_pool_fn root.root_file
+          (loc_line root.root_loc) root.root_encl
+      in
+      List.iter
+        (fun entry ->
+          reachable g entry (fun fn chain ->
+              List.iter
+                (fun ev ->
+                  match ev.ev_kind with
+                  | Write what ->
+                    acc :=
+                      finding Finding.Pool_escape ~fallback_file:fn.fn_file ev.ev_loc
+                        (Printf.sprintf
+                           "%s: unprotected shared-state write (%s) reachable from %s via %s"
+                           fn.fn_key what where (chain_str chain))
+                      :: !acc
+                  | Raise exn when not (List.mem exn sanctioned_exceptions) ->
+                    acc :=
+                      finding Finding.Pool_escape ~fallback_file:fn.fn_file ev.ev_loc
+                        (Printf.sprintf
+                           "%s: exception %s escapes the worker, reachable from %s via %s"
+                           fn.fn_key exn where (chain_str chain))
+                      :: !acc
+                  | _ -> ())
+                fn.fn_events))
+        root.root_calls)
+    g.roots;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* hotpath_alloc                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let hotpath_alloc g =
+  Hashtbl.fold
+    (fun _ fn acc ->
+      if not fn.fn_hotpath then acc
+      else
+        List.fold_left
+          (fun acc ev ->
+            match ev.ev_kind with
+            | Alloc what ->
+              finding Finding.Hotpath_alloc ~fallback_file:fn.fn_file ev.ev_loc
+                (Printf.sprintf "%s inside a loop of %s, which is declared [@@lint.hotpath]"
+                   what fn.fn_key)
+              :: acc
+            | _ -> acc)
+          acc fn.fn_events)
+    g.fns []
+
+(* ------------------------------------------------------------------ *)
+(* crash_safety                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A destination is in scope when it names (or may name — non-literal
+   destinations are conservatively included) an artifact or checkpoint. *)
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1)) in
+  go 0
+
+let dest_in_scope = function
+  | None -> true
+  | Some d ->
+    let d = String.lowercase_ascii d in
+    contains ~needle:".sca" d || contains ~needle:".scm" d || contains ~needle:"ckpt" d
+    || contains ~needle:"checkpoint" d
+
+(* Fixpoint: a function is fsync-capable when it fsyncs directly or calls
+   a capable one (the [fsync_dir]-helper pattern). *)
+let fsync_capable g =
+  let cap = Hashtbl.create 64 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun key fn ->
+        if not (Hashtbl.mem cap key) then
+          let is_cap =
+            List.exists
+              (fun ev ->
+                match ev.ev_kind with
+                | Fsync -> true
+                | Call callee -> Hashtbl.mem cap callee
+                | _ -> false)
+              fn.fn_events
+          in
+          if is_cap then begin
+            Hashtbl.replace cap key ();
+            changed := true
+          end)
+      g.fns
+  done;
+  cap
+
+let crash_safety g =
+  let cap = fsync_capable g in
+  let syncs_at ev =
+    match ev.ev_kind with Fsync -> true | Call k -> Hashtbl.mem cap k | _ -> false
+  in
+  Hashtbl.fold
+    (fun _ fn acc ->
+      List.fold_left
+        (fun acc ev ->
+          match ev.ev_kind with
+          | Rename dst when dest_in_scope dst ->
+            let pos = ev.ev_loc.Location.loc_start.Lexing.pos_cnum in
+            let before =
+              List.exists
+                (fun e -> e.ev_loc.Location.loc_start.Lexing.pos_cnum < pos && syncs_at e)
+                fn.fn_events
+            and after =
+              List.exists
+                (fun e -> e.ev_loc.Location.loc_start.Lexing.pos_cnum > pos && syncs_at e)
+                fn.fn_events
+            in
+            if before && after then acc
+            else
+              let what =
+                match dst with Some d -> Printf.sprintf "rename to %S" d | None -> "rename"
+              in
+              let missing =
+                match (before, after) with
+                | false, false -> "no fsync of the written file before it, no directory fsync after it"
+                | false, true -> "no fsync of the written file before it"
+                | true, false -> "no directory fsync after it"
+                | true, true -> assert false
+              in
+              finding Finding.Crash_safety ~fallback_file:fn.fn_file ev.ev_loc
+                (Printf.sprintf "%s in %s has %s" what fn.fn_key missing)
+              :: acc
+          | _ -> acc)
+        acc fn.fn_events)
+    g.fns []
+
+(* ------------------------------------------------------------------ *)
+(* float_eq_typed                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let float_eq_typed g =
+  Hashtbl.fold
+    (fun _ fn acc ->
+      List.fold_left
+        (fun acc ev ->
+          match ev.ev_kind with
+          | Float_cmp op ->
+            finding Finding.Float_eq_typed ~fallback_file:fn.fn_file ev.ev_loc
+              (Printf.sprintf
+                 "structural (%s) where an operand's inferred type is float (in %s)" op
+                 fn.fn_key)
+            :: acc
+          | _ -> acc)
+        acc fn.fn_events)
+    g.fns []
+
+(* ------------------------------------------------------------------ *)
+
+let run g =
+  let all = pool_escape g @ hotpath_alloc g @ crash_safety g @ float_eq_typed g in
+  (* Several pool roots can reach the same event: keep one finding per
+     (location, rule). *)
+  let seen = Hashtbl.create 64 in
+  let uniq =
+    List.filter
+      (fun (f : Finding.t) ->
+        let key = (f.Finding.file, f.Finding.line, f.Finding.col, Finding.rule_id f.Finding.rule) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      all
+  in
+  List.sort Finding.compare_by_location uniq

@@ -1,0 +1,25 @@
+(** The four typed rules, computed over a {!Callgraph.t}.
+
+    - [pool_escape] — walk the call graph from every [Parallel.Pool]
+      callback; flag unprotected writes to module-level mutable state and
+      raises of unsanctioned exceptions anywhere in the reachable set,
+      across module boundaries.
+    - [hotpath_alloc] — flag allocations recorded inside the loops of
+      functions carrying [\[@@lint.hotpath\]].
+    - [crash_safety] — every rename into an artifact/checkpoint path must
+      see an fsync (directly or through a transitively fsync-capable
+      callee) lexically before it, and one after it for the directory
+      entry.
+    - [float_eq_typed] — structural [=]/[<>]/[==]/[!=]/[compare] where an
+      operand's inferred type is [float].
+
+    Suppression ([\[@lint.allow <rule> "why"\]]) is applied by the caller
+    ({!Driver}), which owns the per-file source text. *)
+
+val sanctioned_exceptions : string list
+(** Exception constructors a pool worker may raise: programmer errors and
+    the typed solver errors the pool's join logic rethrows. *)
+
+val run : Callgraph.t -> Finding.t list
+(** All findings from the four rules, deduplicated by location and sorted
+    with {!Finding.compare_by_location}. *)

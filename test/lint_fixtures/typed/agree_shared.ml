@@ -1,0 +1,5 @@
+(* A site both drivers can see: the float literal makes the syntactic
+   floaty heuristic fire, and the inferred type makes the typed rule fire —
+   on the same line. *)
+
+let is_zero x = x = 0.0

@@ -1,0 +1,24 @@
+(* The full crash-safety protocol (mirrors Subcouple_op.Artifact
+   .write_atomic): fsync the data before the rename makes it visible, and
+   fsync the directory after so the new entry survives power loss. The
+   directory fsync arrives through a helper — the rule's fsync-capable set
+   is transitive. A rename between plainly non-artifact names is out of
+   scope entirely. *)
+
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error (_, _, _) -> ());
+    Unix.close fd
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let write_atomic path (b : bytes) =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  ignore (Unix.write fd b 0 (Bytes.length b));
+  Unix.fsync fd;
+  Unix.close fd;
+  Sys.rename tmp path;
+  fsync_dir path
+
+let rotate_logs () = Sys.rename "run.log" "run.log.1"

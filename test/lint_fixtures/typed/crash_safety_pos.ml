@@ -1,0 +1,9 @@
+(* Rename into an artifact path with no fsync anywhere: on power loss the
+   target name can point at a torn or empty file. *)
+
+let save (path : string) (data : string) =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc data;
+  close_out oc;
+  Sys.rename tmp "out.sca"

@@ -1,0 +1,5 @@
+(* Not findings: integer equality, Float.equal, tolerance comparison. *)
+
+let eq_int (a : int) (b : int) = a = b
+let eq_exact (a : float) (b : float) = Float.equal a b
+let close (a : float) (b : float) = Float.abs (a -. b) < 1e-9

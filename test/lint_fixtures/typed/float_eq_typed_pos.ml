@@ -1,0 +1,7 @@
+(* Opaque float-typed operands. The syntactic floaty-operand heuristic
+   cannot see any of these (no literal, no float-returning primitive in
+   sight); the typed rule reads the inferred operand types. *)
+
+let same (a : float) (b : float) = a = b
+let differ (a : float) (b : float) = a <> b
+let order (a : float) (b : float) = compare a b

@@ -1,0 +1,14 @@
+(* The legitimate kernel shape: outputs allocated once at entry, loop
+   bodies touching only existing arrays and an unboxed local accumulator
+   (flambda-less OCaml still unboxes a non-escaping local float ref). *)
+
+let axpy (alpha : float) (x : float array) (y : float array) =
+  let out = Array.make (Array.length x) 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. x.(i);
+    out.(i) <- (alpha *. x.(i)) +. y.(i)
+  done;
+  ignore !acc;
+  out
+[@@lint.hotpath "fixture: loop body stays allocation-free"]

@@ -1,0 +1,15 @@
+(* Allocations inside the loops of [@@lint.hotpath] functions: an
+   allocating stdlib call per iteration, and a closure per iteration. *)
+
+let scale (dst : float array) (src : float array) (k : float) =
+  for i = 0 to Array.length src - 1 do
+    let tmp = Array.copy src in
+    dst.(i) <- k *. tmp.(i)
+  done
+[@@lint.hotpath "fixture: allocates per iteration"]
+
+let apply_all (fs : (float -> float) array) (x : float ref) =
+  while !x < 10.0 do
+    Array.iter (fun f -> x := f !x) fs
+  done
+[@@lint.hotpath "fixture: closure per iteration"]

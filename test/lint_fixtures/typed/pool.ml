@@ -1,0 +1,17 @@
+(* Stub of Parallel.Pool. The typed rules match [Pool.*] call heads by
+   normalized path suffix, so fixtures compile against this local namesake
+   instead of dragging the real multi-domain pool (and its dependencies)
+   into an ocamlc one-liner. *)
+
+type t = unit
+
+let parallel_for (_ : t) (n : int) (body : int -> unit) =
+  for i = 0 to n - 1 do
+    body i
+  done
+
+let map_chunks (_ : t) (f : 'a -> 'b) (xs : 'a array) = Array.map f xs
+
+let map_array ?(jobs = 1) (f : 'a -> 'b) (xs : 'a array) =
+  ignore jobs;
+  Array.map f xs

@@ -1,0 +1,9 @@
+(* Module-level mutable state the syntactic domain_safety heuristic does
+   NOT see: a record literal with a mutable field is not a ref/Hashtbl/
+   array literal, so the Parsetree rule stays silent. The typed pool_escape
+   rule reads the setfield through the call graph instead. *)
+
+type t = { mutable hits : int }
+
+let counter = { hits = 0 }
+let bump () = counter.hits <- counter.hits + 1

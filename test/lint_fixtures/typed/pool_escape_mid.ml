@@ -1,0 +1,4 @@
+(* The middle hop: the pool callback calls this module, which calls into
+   Pool_escape_counter — two call levels between worker and write. *)
+
+let relay () = Pool_escape_counter.bump ()

@@ -1,0 +1,12 @@
+(* The sanctioned patterns: Atomic state, worker-local mutation, and a
+   sanctioned exception. None of these is a pool_escape finding. *)
+
+let total = Atomic.make 0
+let bump_atomic () = Atomic.incr total
+
+let run pool =
+  Pool.parallel_for pool 4 (fun _ -> bump_atomic ());
+  Pool.parallel_for pool 4 (fun i ->
+      let local = Array.make 4 0 in
+      local.(0) <- i;
+      if i > 7 then invalid_arg "chunk index out of range")

@@ -1,0 +1,8 @@
+(* Two violations: an unprotected cross-module write two call levels below
+   the callback, and an unsanctioned exception escaping a worker. *)
+
+let run pool = Pool.parallel_for pool 4 (fun _ -> Pool_escape_mid.relay ())
+
+exception Custom_oops
+
+let raises pool = Pool.parallel_for pool 2 (fun i -> if i = 3 then raise Custom_oops)

@@ -149,6 +149,183 @@ let test_pool_reachable_dirs () =
         true (List.mem d dirs))
     [ "lib/parallel"; "lib/la"; "lib/transforms"; "lib/substrate"; "lib/sparse" ]
 
+let sexp_atoms = function
+  | [ Dune_deps.List atoms ] ->
+    List.map (function Dune_deps.Atom a -> a | Dune_deps.List _ -> Alcotest.fail "nested list") atoms
+  | _ -> Alcotest.fail "expected a single list"
+
+let test_sexp_escape_decoding () =
+  (* The old parser decoded "a\nb" as "anb" and desynced \ddd payloads —
+     a wrong [libraries] atom silently shrinks the domain_safety scope. *)
+  let atoms = sexp_atoms (Dune_deps.parse_sexps {|("a\nb" "c;d" "e\"f" "g\065h" "i\x41j" "k\\l")|}) in
+  Alcotest.(check (list string))
+    "OCaml-style escapes decode"
+    [ "a\nb"; "c;d"; "e\"f"; "gAh"; "iAj"; "k\\l" ]
+    atoms;
+  let atoms = sexp_atoms (Dune_deps.parse_sexps "(\"one \\\n   two\")") in
+  Alcotest.(check (list string)) "backslash-newline continuation" [ "one two" ] atoms;
+  (* Quoted atoms containing comment/paren characters stay one atom. *)
+  let atoms = sexp_atoms (Dune_deps.parse_sexps {|("with ; semicolon" "with ( paren")|}) in
+  Alcotest.(check (list string)) "; and ( inside strings" [ "with ; semicolon"; "with ( paren" ] atoms
+
+let test_unparseable_dune_stays_in_scope () =
+  (* A lib/ directory whose dune file does not parse must still be scanned
+     by domain_safety: scope may only ever widen on parse trouble. *)
+  let root = Filename.temp_file "lint_dune" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Sys.mkdir (Filename.concat root "lib") 0o755;
+  let mkdune sub content =
+    let dir = Filename.concat (Filename.concat root "lib") sub in
+    Sys.mkdir dir 0o755;
+    let oc = open_out (Filename.concat dir "dune") in
+    output_string oc content;
+    close_out oc
+  in
+  mkdune "ok" "(library (name ok))\n";
+  mkdune "broken" "(library (name broken)\n";
+  let dirs = Dune_deps.pool_reachable_dirs ~root () in
+  Alcotest.(check bool)
+    ("broken dune dir in scope (" ^ String.concat ", " dirs ^ ")")
+    true
+    (List.mem "lib/broken" dirs);
+  List.iter
+    (fun sub ->
+      let d = Filename.concat (Filename.concat root "lib") sub in
+      Sys.remove (Filename.concat d "dune");
+      Sys.rmdir d)
+    [ "ok"; "broken" ];
+  Sys.rmdir (Filename.concat root "lib");
+  Sys.rmdir root
+
+(* ------------------------------------------------------------------ *)
+(* Typed rules: compile the fixtures to .cmt with ocamlc (dependency
+   order matters), then run the typed driver over the temp dir. *)
+
+let typed_fixture_files =
+  [
+    "pool.ml";
+    "pool_escape_counter.ml";
+    "pool_escape_mid.ml";
+    "pool_escape_pos.ml";
+    "pool_escape_neg.ml";
+    "hotpath_alloc_pos.ml";
+    "hotpath_alloc_neg.ml";
+    "crash_safety_pos.ml";
+    "crash_safety_neg.ml";
+    "float_eq_typed_pos.ml";
+    "float_eq_typed_neg.ml";
+    "agree_shared.ml";
+  ]
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc s;
+  close_out oc
+
+let compile_typed_fixtures () =
+  let tmp = Filename.temp_dir "lint_typed" "" in
+  let src = Filename.concat (find_root (Sys.getcwd ())) "test/lint_fixtures/typed" in
+  List.iter (fun f -> copy_file (Filename.concat src f) (Filename.concat tmp f)) typed_fixture_files;
+  let cmd =
+    Printf.sprintf "ocamlc -c -bin-annot -w -a -I %s -I +unix %s" (Filename.quote tmp)
+      (String.concat " "
+         (List.map (fun f -> Filename.quote (Filename.concat tmp f)) typed_fixture_files))
+  in
+  (match Sys.command cmd with
+  | 0 -> ()
+  | c -> Alcotest.fail (Printf.sprintf "fixture compile failed with %d: %s" c cmd));
+  tmp
+
+(* Compile once, reuse across the typed test cases. *)
+let typed_report =
+  lazy
+    (let tmp = compile_typed_fixtures () in
+     Driver.lint_typed ~cmt_root:tmp ~paths:[ tmp ])
+
+let typed_count file rule =
+  let r = Lazy.force typed_report in
+  List.length
+    (List.filter
+       (fun f -> String.equal (Filename.basename f.Finding.file) file && f.Finding.rule = rule)
+       r.Driver.findings)
+
+let check_typed name file rule expected =
+  Alcotest.(check int)
+    (Printf.sprintf "%s: %s" name (show (Lazy.force typed_report)))
+    expected (typed_count file rule)
+
+let test_typed_pool_escape_pos () =
+  (* The write sits two call levels below the callback, in a third module;
+     the finding lands where the write is. *)
+  check_typed "cross-module write found" "pool_escape_counter.ml" Finding.Pool_escape 1;
+  check_typed "unsanctioned exception found" "pool_escape_pos.ml" Finding.Pool_escape 1
+
+let test_typed_pool_escape_syntactic_miss () =
+  (* The same mutable state is invisible to the syntactic domain_safety
+     rule: a mutable-field record literal is not a ref/Hashtbl/array. *)
+  let r =
+    Driver.lint_file ~domain_safety:true (fixture (Filename.concat "typed" "pool_escape_counter.ml"))
+  in
+  Alcotest.(check int)
+    ("syntactic rule misses the record literal: " ^ show r)
+    0 (List.length r.Driver.findings)
+
+let test_typed_pool_escape_neg () =
+  check_typed "Atomic/local state/sanctioned exception clean" "pool_escape_neg.ml"
+    Finding.Pool_escape 0
+
+let test_typed_hotpath_alloc_pos () =
+  check_typed "allocating call + closure per iteration" "hotpath_alloc_pos.ml"
+    Finding.Hotpath_alloc 2
+
+let test_typed_hotpath_alloc_neg () =
+  check_typed "entry allocations and local accumulator fine" "hotpath_alloc_neg.ml"
+    Finding.Hotpath_alloc 0
+
+let test_typed_crash_safety_pos () =
+  check_typed "unsynced rename into .sca" "crash_safety_pos.ml" Finding.Crash_safety 1
+
+let test_typed_crash_safety_neg () =
+  check_typed "fsync-then-rename-then-dir-fsync protocol clean" "crash_safety_neg.ml"
+    Finding.Crash_safety 0
+
+let test_typed_float_eq_pos () =
+  check_typed "opaque float operands flagged" "float_eq_typed_pos.ml" Finding.Float_eq_typed 3;
+  (* ... and the syntactic rule demonstrably cannot see them. *)
+  let r = Driver.lint_file (fixture (Filename.concat "typed" "float_eq_typed_pos.ml")) in
+  Alcotest.(check int) ("syntactic heuristic blind to opaque floats: " ^ show r) 0
+    (count Finding.Float_eq r)
+
+let test_typed_float_eq_neg () =
+  check_typed "int eq / Float.equal / tolerance clean" "float_eq_typed_neg.ml"
+    Finding.Float_eq_typed 0
+
+let test_typed_syntactic_agreement () =
+  (* On a site both can see, the two drivers must agree on the line. *)
+  let syntactic = Driver.lint_file (fixture (Filename.concat "typed" "agree_shared.ml")) in
+  let syn_line =
+    match List.find_opt (fun f -> f.Finding.rule = Finding.Float_eq) syntactic.Driver.findings with
+    | Some f -> f.Finding.line
+    | None -> Alcotest.fail ("syntactic driver found nothing:\n" ^ show syntactic)
+  in
+  let typed = Lazy.force typed_report in
+  let typed_line =
+    match
+      List.find_opt
+        (fun f ->
+          String.equal (Filename.basename f.Finding.file) "agree_shared.ml"
+          && f.Finding.rule = Finding.Float_eq_typed)
+        typed.Driver.findings
+    with
+    | Some f -> f.Finding.line
+    | None -> Alcotest.fail ("typed driver found nothing:\n" ^ show typed)
+  in
+  Alcotest.(check int) "both drivers flag the same line" syn_line typed_line
+
 (* ------------------------------------------------------------------ *)
 (* Seeded violation and repo self-check *)
 
@@ -232,7 +409,35 @@ let () =
           Alcotest.test_case "justification required" `Quick test_allowlist_requires_justification;
         ] );
       ( "scope",
-        [ Alcotest.test_case "dune-derived pool reachability" `Quick test_pool_reachable_dirs ] );
+        [
+          Alcotest.test_case "dune-derived pool reachability" `Quick test_pool_reachable_dirs;
+          Alcotest.test_case "sexp string escapes decode" `Quick test_sexp_escape_decoding;
+          Alcotest.test_case "unparseable dune widens scope" `Quick
+            test_unparseable_dune_stays_in_scope;
+        ] );
+      ( "pool_escape",
+        [
+          Alcotest.test_case "positive fixtures (cross-module)" `Quick test_typed_pool_escape_pos;
+          Alcotest.test_case "syntactic rule provably misses it" `Quick
+            test_typed_pool_escape_syntactic_miss;
+          Alcotest.test_case "negative fixture" `Quick test_typed_pool_escape_neg;
+        ] );
+      ( "hotpath_alloc",
+        [
+          Alcotest.test_case "positive fixture" `Quick test_typed_hotpath_alloc_pos;
+          Alcotest.test_case "negative fixture" `Quick test_typed_hotpath_alloc_neg;
+        ] );
+      ( "crash_safety",
+        [
+          Alcotest.test_case "positive fixture" `Quick test_typed_crash_safety_pos;
+          Alcotest.test_case "negative fixture" `Quick test_typed_crash_safety_neg;
+        ] );
+      ( "float_eq_typed",
+        [
+          Alcotest.test_case "positive fixture" `Quick test_typed_float_eq_pos;
+          Alcotest.test_case "negative fixture" `Quick test_typed_float_eq_neg;
+          Alcotest.test_case "typed/syntactic agreement" `Quick test_typed_syntactic_agreement;
+        ] );
       ( "driver",
         [
           Alcotest.test_case "seeded violation detected" `Quick test_seeded_violation_detected;
