@@ -26,11 +26,28 @@ let section title =
 let rng = La.Rng.create 987654321
 
 (* ------------------------------------------------------------------ *)
-(* Shared setup *)
+(* Shared setup — posed through the scenario registry, the same problem
+   definitions the CLIs resolve, so the harness and the tools can never
+   drift apart on what "regular" or "large" means. *)
+
+let registry name =
+  match Scenario.find name with
+  | Some s -> s
+  | None -> invalid_arg ("bench: unknown registry scenario " ^ name)
+
+(* A registry layout at a bench-specific size: [with_per_side]/[with_seed]
+   call the geometry generators with exactly the legacy arguments, so
+   these layouts are bit-identical to the direct [Layout.*] calls the
+   harness used to make. *)
+let scn_layout ?per_side ?seed name =
+  let s = registry name in
+  let s = match per_side with Some n -> Scenario.with_per_side s n | None -> s in
+  let s = match seed with Some v -> Scenario.with_seed s v | None -> s in
+  Scenario.layout s
 
 (* The thesis's standard substrate (§3.7): 128 x 128 x 40, conductivities
    1 / 100 / 0.1, grounded backplane emulating a floating one. *)
-let profile = Profile.thesis_default ()
+let profile = (registry "thesis-default").Scenario.substrate.Scenario.profile
 
 (* Build an eigenfunction black box for a layout. *)
 let eig_blackbox ?(panels = 64) ?(tol = 1e-8) layout =
@@ -111,21 +128,32 @@ let run_lowrank ?max_level ~g_exact layout =
 (* Table 2.1: preconditioner effectiveness *)
 
 (* An FD profile whose layer boundaries fall on grid planes (the thesis's
-   grids resolve the thin top layer; h = 4 here). *)
+   grids resolve the thin top layer; h = 4 here). Defined as .scn text and
+   parsed through the same config path the CLI uses, so every bench run
+   also exercises the scenario parser end to end. *)
+let fd_resolved_scn =
+  {|(scenario
+  (name bench-fd-resolved)
+  (description "FD stack with layer boundaries on grid planes (h = 4)")
+  (substrate
+    (size 128)
+    (layers
+      (layer (name top) (thickness 4) (conductivity 1))
+      (layer (name bulk) (thickness 24) (conductivity 100))
+      (layer (name chuck) (thickness 4) (conductivity 0.1)))
+    (backplane grounded))
+  (contacts (generator regular (per-side 8) (seed 7) (fill 0.5)))
+  (solver fd (grid 32 8)))
+|}
+
 let fd_profile_resolved =
-  Profile.make ~a:128.0 ~b:128.0
-    ~layers:
-      [
-        { Profile.thickness = 4.0; conductivity = 1.0 };
-        { Profile.thickness = 24.0; conductivity = 100.0 };
-        { Profile.thickness = 4.0; conductivity = 0.1 };
-      ]
-    ~backplane:Profile.Grounded
+  (Scenario.of_string ~file:"<bench:fd-resolved>" fd_resolved_scn).Scenario.substrate
+    .Scenario.profile
 
 let bench_table_2_1 ~full:_ () =
   section "Table 2.1 — preconditioner effectiveness (avg PCG iterations/solve)";
   let fd_profile = fd_profile_resolved in
-  let layout = Layout.regular_grid ~size:128.0 ~per_side:8 ~fill:0.5 () in
+  let layout = scn_layout ~per_side:8 "regular" in
   let area = Fdsolver.Fd_solver.area_fraction layout in
   let run precond =
     let s = Fdsolver.Fd_solver.create ~precond fd_profile layout ~nx:32 ~nz:8 in
@@ -189,7 +217,7 @@ let bechamel_time_per_run test =
 let bench_table_2_2 ~full () =
   section "Table 2.2 — solve speed: finite difference vs eigenfunction";
   let fd_profile = fd_profile_resolved in
-  let layout = Layout.regular_grid ~size:128.0 ~per_side:8 ~fill:0.5 () in
+  let layout = scn_layout ~per_side:8 "regular" in
   let n = Layout.n_contacts layout in
   let nx = if full then 64 else 32 in
   let nz = nx / 4 in
@@ -220,9 +248,9 @@ let bench_table_3_1 ~full () =
   let per_side = if full then 32 else 16 in
   let panels = if full then 128 else 64 in
   let max_level = if full then 3 else 2 in
-  let ex1a = Layout.regular_grid ~size:128.0 ~per_side ~fill:0.5 () in
-  let ex2 = Layout.irregular ~size:128.0 ~per_side ~fill:0.4 (La.Rng.create 7) () in
-  let ex3 = Layout.alternating ~size:128.0 ~per_side () in
+  let ex1a = scn_layout ~per_side "regular" in
+  let ex2 = scn_layout ~per_side "irregular" in
+  let ex3 = scn_layout ~per_side "alternating" in
   let header () =
     Printf.printf "  %-34s %5s | %8s %9s | %8s %9s | %6s\n" "Example" "n" "spars." "max err"
       "thr sp." ">10% err" "solves"
@@ -238,13 +266,20 @@ let bench_table_3_1 ~full () =
      with a truly floating backplane as the thesis does for its FD runs
      (§3.7: "using no backplane contact helped achieve this"). *)
   (let fd_profile =
-     Profile.make ~a:128.0 ~b:128.0
-       ~layers:
-         [
-           { Profile.thickness = 4.0; conductivity = 1.0 };
-           { Profile.thickness = 28.0; conductivity = 100.0 };
-         ]
-       ~backplane:Profile.Floating
+     (Scenario.of_string ~file:"<bench:fd-floating-1b>"
+        {|(scenario
+  (name bench-fd-floating-1b)
+  (description "truly floating backplane for the thesis's FD runs (3.7)")
+  (substrate
+    (size 128)
+    (layers
+      (layer (name top) (thickness 4) (conductivity 1))
+      (layer (name bulk) (thickness 28) (conductivity 100)))
+    (backplane floating))
+  (contacts (generator regular (per-side 16) (seed 7) (fill 0.5)))
+  (solver fd (grid 64 16)))
+|})
+       .Scenario.substrate.Scenario.profile
    in
    (* 64^2 x 16 is the largest FD grid that keeps the 442-solve extraction
       under a couple of minutes in pure OCaml; the paper ran 4M-node grids. *)
@@ -270,11 +305,11 @@ let bench_table_3_1 ~full () =
 let bench_fig_layouts ~full:_ () =
   section "Figures 3-6, 3-7, 3-8, 4-8, 4-10 — contact layouts (ASCII)";
   let show l = print_string (Layout.render ~width:56 l) in
-  show (Layout.regular_grid ~size:128.0 ~per_side:16 ~fill:0.5 ());
-  show (Layout.irregular ~size:128.0 ~per_side:16 ~fill:0.4 (La.Rng.create 7) ());
-  show (Layout.alternating ~size:128.0 ~per_side:16 ());
-  show (Layout.mixed_shapes ~size:128.0 ~per_side:16 ());
-  show (Layout.large_mixed ~size:128.0 ~per_side:32 (La.Rng.create 11) ())
+  show (scn_layout ~per_side:16 "regular");
+  show (scn_layout ~per_side:16 "irregular");
+  show (scn_layout ~per_side:16 "alternating");
+  show (scn_layout ~per_side:16 "mixed");
+  show (scn_layout ~per_side:32 ~seed:11 "large")
 
 (* ------------------------------------------------------------------ *)
 (* Figures 3-9 / 3-10: spy plots of the wavelet G_ws and thresholded G_wt *)
@@ -283,7 +318,7 @@ let bench_fig_3_9_10 ~full () =
   section "Figures 3-9 / 3-10 — spy plots of wavelet G_ws and thresholded G_wt (Example 2)";
   let per_side = if full then 32 else 16 in
   let panels = if full then 128 else 64 in
-  let ex2 = Layout.irregular ~size:128.0 ~per_side ~fill:0.4 (La.Rng.create 7) () in
+  let ex2 = scn_layout ~per_side "irregular" in
   let g = exact_g ~panels ex2 in
   let repr = Wavelet.extract (Wavelet.create ~p:2 ex2) (Blackbox.of_dense g) in
   Printf.printf "G_ws (unthresholded):\n";
@@ -331,7 +366,7 @@ let bench_fig_4_3 ~full () =
   section "Figure 4-3 — singular values: self-interaction vs well-separated";
   let per_side = if full then 24 else 16 in
   let panels = if full then 128 else 64 in
-  let layout = Layout.regular_grid ~size:128.0 ~per_side ~fill:0.5 () in
+  let layout = scn_layout ~per_side "regular" in
   let g = exact_g ~panels layout in
   let tree = Quadtree.create ~max_level:2 layout in
   let s = Quadtree.contacts_of tree ~level:2 ~ix:0 ~iy:0 in
@@ -356,10 +391,10 @@ let bench_tables_4_1_4_2 ~full () =
   let per_side = if full then 32 else 16 in
   let panels = if full then 128 else 64 in
   let ml = if full then Some 3 else Some 3 in
-  let ex1 = Layout.regular_grid ~size:128.0 ~per_side ~fill:0.5 () in
-  let ex2 = Layout.alternating ~size:128.0 ~per_side () in
+  let ex1 = scn_layout ~per_side "regular" in
+  let ex2 = scn_layout ~per_side "alternating" in
   (* The thin strips of the rings/runs layout need finer panels. *)
-  let ex3 = Layout.mixed_shapes ~size:128.0 ~per_side:(if full then 32 else 24) () in
+  let ex3 = scn_layout ~per_side:(if full then 32 else 24) "mixed" in
   let examples =
     [ ("1 regular grid", ex1, panels); ("2 alternating sizes", ex2, panels); ("3 rings + runs", ex3, 128) ]
   in
@@ -430,13 +465,13 @@ let bench_table_4_3 ~full () =
   let examples =
     if full then
       [
-        ("4: 64x64 alternating", Layout.alternating ~size:128.0 ~per_side:64 (), 256);
-        ("5: 10240-contact mixed", Layout.large_mixed ~size:128.0 ~per_side:128 (La.Rng.create 11) (), 256);
+        ("4: 64x64 alternating", scn_layout ~per_side:64 "alternating", 256);
+        ("5: 10240-contact mixed", scn_layout ~per_side:128 ~seed:11 "large", 256);
       ]
     else
       [
-        ("4: 32x32 alternating", Layout.alternating ~size:128.0 ~per_side:32 (), 128);
-        ("5: large mixed", Layout.large_mixed ~size:128.0 ~per_side:32 (La.Rng.create 11) (), 128);
+        ("4: 32x32 alternating", scn_layout ~per_side:32 "alternating", 128);
+        ("5: large mixed", scn_layout ~per_side:32 ~seed:11 "large", 128);
       ]
   in
   Printf.printf "  %-24s %6s | %7s %8s | %8s %7s | %6s\n" "Example" "n" "spars." "max err" "thr sp."
@@ -469,13 +504,13 @@ let bench_table_4_3 ~full () =
 
 let bench_fig_4_9_11 ~full () =
   section "Figures 4-9 / 4-11 — spy plots of low-rank G_wt";
-  let ex3 = Layout.mixed_shapes ~size:128.0 ~per_side:16 () in
+  let ex3 = scn_layout ~per_side:16 "mixed" in
   let g3 = exact_g ~panels:64 ex3 in
   let repr3 = Lowrank.extract ~max_level:3 ex3 (Blackbox.of_dense g3) in
   Printf.printf "Example 3 (rings + runs), thresholded:\n";
   Sparsemat.Spy.print ~width:56 (Repr.threshold repr3 ~target:6.0).Repr.gw;
   let per5 = if full then 64 else 32 in
-  let ex5 = Layout.large_mixed ~size:128.0 ~per_side:per5 (La.Rng.create 11) () in
+  let ex5 = scn_layout ~per_side:per5 ~seed:11 "large" in
   let bb5 = eig_blackbox ~panels:128 ex5 in
   let repr5 = Lowrank.extract ex5 bb5 in
   Printf.printf "\nExample 5 (large mixed), thresholded:\n";
@@ -486,7 +521,7 @@ let bench_fig_4_9_11 ~full () =
 
 let bench_ablation_symmetry ~full:_ () =
   section "Ablation — symmetric refinement (4.16)/(4.24) on vs off (thesis §4.3.1)";
-  let layout = Layout.alternating ~size:128.0 ~per_side:16 () in
+  let layout = scn_layout ~per_side:16 "alternating" in
   let g = exact_g ~panels:64 layout in
   let tree = Quadtree.create ~max_level:3 layout in
   let apply_err rb =
@@ -512,7 +547,7 @@ let bench_ablation_symmetry ~full:_ () =
 
 let bench_ablation_moments ~full:_ () =
   section "Ablation — wavelet moment order p (thesis §3.2.1: p = 2 chosen)";
-  let layout = Layout.regular_grid ~size:128.0 ~per_side:16 ~fill:0.5 () in
+  let layout = scn_layout ~per_side:16 "regular" in
   let g = exact_g ~panels:64 layout in
   Printf.printf "  %3s | %8s | %9s | %6s\n" "p" "spars." "max err" "solves";
   List.iter
@@ -530,7 +565,7 @@ let bench_ablation_moments ~full:_ () =
 let bench_ablation_precond ~full:_ () =
   section "Ablation — fast-Poisson preconditioner Dirichlet fraction sweep (thesis §2.2.2)";
   let fd_profile = fd_profile_resolved in
-  let layout = Layout.regular_grid ~size:128.0 ~per_side:8 ~fill:0.5 () in
+  let layout = scn_layout ~per_side:8 "regular" in
   let n = Layout.n_contacts layout in
   Printf.printf "  %6s | %s\n" "p" "avg iterations";
   List.iter
@@ -551,7 +586,7 @@ let bench_ablation_precond ~full:_ () =
 
 let bench_direct_solver ~full () =
   section "Direct sparse Cholesky (§2.2.2) — fill-in and amortization vs PCG";
-  let layout = Layout.regular_grid ~size:128.0 ~per_side:8 ~fill:0.5 () in
+  let layout = scn_layout ~per_side:8 "regular" in
   let n_contacts = Layout.n_contacts layout in
   Printf.printf "  %4s %8s %10s %8s | %10s %10s | %12s\n" "nx" "nodes" "nnz(L)" "fill/n" "factor(s)"
     "solve(s)" "PCG solve(s)";
@@ -594,7 +629,7 @@ let bench_pairwise_baseline ~full:_ () =
   Printf.printf "  truncated SVD. It needs entry access to G (n naive solves here) and stores\n";
   Printf.printf "  per-pair importance vectors; the thesis's method shares one row basis per\n";
   Printf.printf "  square across all destinations and needs only O(log n) black-box solves.\n\n";
-  let layout = Layout.alternating ~size:128.0 ~per_side:16 () in
+  let layout = scn_layout ~per_side:16 "alternating" in
   let n = Layout.n_contacts layout in
   let g = exact_g ~panels:64 layout in
   let tree = Quadtree.create ~max_level:3 layout in
@@ -628,6 +663,8 @@ let bench_ablation_jitter ~full:_ () =
   Printf.printf "  %6s | %-24s | %-24s\n" "jitter" "wavelet max err / >10%" "low-rank max err / >10%";
   List.iter
     (fun jitter ->
+      (* Direct generator call: [jitter] is a bench-only sweep knob, not
+         part of the scenario grammar. *)
       let layout = Layout.irregular ~size:128.0 ~per_side:16 ~fill:0.4 ~jitter (La.Rng.create 7) () in
       let g = exact_g ~panels:64 layout in
       let wv = run_wavelet ~g_exact:g layout in
@@ -651,7 +688,7 @@ let apply_records : apply_record list ref = ref []
 
 let bench_apply_cost ~full:_ () =
   section "Apply throughput — dense G vs Q G_w Q' vs loaded artifact (bechamel)";
-  let layout = Layout.alternating ~size:128.0 ~per_side:32 () in
+  let layout = scn_layout ~per_side:32 "alternating" in
   let n = Layout.n_contacts layout in
   let bb = eig_blackbox ~panels:128 layout in
   let repr = Repr.threshold (Lowrank.extract layout bb) ~target:6.0 in
@@ -739,7 +776,7 @@ let bench_parallel ~full () =
   section "Parallel extraction — sequential vs batched solves on a domain pool";
   let jobs = effective_jobs () in
   let per_side = if full then 24 else 16 in
-  let layout = Layout.regular_grid ~size:128.0 ~per_side ~fill:0.5 () in
+  let layout = scn_layout ~per_side "regular" in
   let n = Layout.n_contacts layout in
   let bb = eig_blackbox ~panels:64 layout in
   let time f =
@@ -772,7 +809,7 @@ let bench_chaos ~full () =
   section "Resilience — wrapper overhead (clean) and chaos recovery";
   let jobs = effective_jobs () in
   let per_side = if full then 24 else 16 in
-  let layout = Layout.regular_grid ~size:128.0 ~per_side ~fill:0.5 () in
+  let layout = scn_layout ~per_side "regular" in
   let n = Layout.n_contacts layout in
   let time f =
     let t0 = Unix.gettimeofday () in
@@ -839,7 +876,7 @@ let shard_records : shard_record list ref = ref []
 let bench_shard ~full () =
   section "Sharded extraction — fault domains, resume cost, composed parity";
   let per_side = if full then 16 else 8 in
-  let layout = Layout.alternating ~size:128.0 ~per_side () in
+  let layout = scn_layout ~per_side "alternating" in
   let n = Layout.n_contacts layout in
   let bb = eig_blackbox layout in
   let time f =
@@ -926,7 +963,7 @@ let bench_trace ~full () =
   section "Tracing — disabled-path overhead on the par workload (gate: <= 2%)";
   let jobs = effective_jobs () in
   let per_side = if full then 24 else 16 in
-  let layout = Layout.regular_grid ~size:128.0 ~per_side ~fill:0.5 () in
+  let layout = scn_layout ~per_side "regular" in
   let n = Layout.n_contacts layout in
   let time f =
     let t0 = Unix.gettimeofday () in
@@ -1079,7 +1116,7 @@ let bench_kernels ~full () =
      it once per block instead of once per column pays. *)
   let nx = if full then 64 else 48 in
   let nz = nx / 4 in
-  let layout = Layout.regular_grid ~size:128.0 ~per_side:8 ~fill:0.5 () in
+  let layout = scn_layout ~per_side:8 "regular" in
   let grid = Fdsolver.Grid.create fd_profile_resolved layout ~nx ~nz in
   let acsr = Fdsolver.Grid.to_csr grid in
   let ncsr = Sparsemat.Csr.rows acsr in
@@ -1111,7 +1148,7 @@ let bench_kernels ~full () =
      exactly [max_iter] iterations of identical work. End-to-end par
      results (real operator) stay covered by the par experiment and the
      probe digests. *)
-  let par_layout = Layout.regular_grid ~size:128.0 ~per_side:16 ~fill:0.5 () in
+  let par_layout = scn_layout ~per_side:16 "regular" in
   let par_eig = Eigsolver.Eig_solver.create profile par_layout ~panels_per_side:64 in
   let ncg = Eigsolver.Eig_solver.panel_count par_eig in
   let diag =
@@ -1180,7 +1217,7 @@ let bench_kernels ~full () =
        (La.Krylov.cg ~apply:apply_grid ~tol:0.0 ~max_iter:iters bf).La.Krylov.x
        (La.Krylov.cg_boxed ~apply:apply_grid ~tol:0.0 ~max_iter:iters bf).La.Krylov.x);
   (* --- Repr: fused three-sweep batch vs per-column apply ------------- *)
-  let rlayout = Layout.alternating ~size:128.0 ~per_side:16 () in
+  let rlayout = scn_layout ~per_side:16 "alternating" in
   let nrep = Layout.n_contacts rlayout in
   let repr =
     Repr.threshold (Lowrank.extract rlayout (eig_blackbox ~panels:64 rlayout)) ~target:6.0
@@ -1192,6 +1229,62 @@ let bench_kernels ~full () =
       time "repr looped" (fun () -> ignore (Array.map (Subcouple_op.apply rop) rxs)) )
     ("fused", time "repr fused" (fun () -> ignore (Repr.apply_batch repr ~jobs:1 rxs)))
     (batch_bits_equal (Array.map (Subcouple_op.apply rop) rxs) (Repr.apply_batch repr ~jobs:1 rxs))
+
+(* ------------------------------------------------------------------ *)
+(* Scenario matrix: every registry process through its own solver stack *)
+
+type scn_record = {
+  sc_name : string;
+  sc_solver : string;
+  sc_n : int;
+  sc_solves : int;
+  sc_wall_s : float;
+  sc_digest : string;
+}
+
+let scn_records : scn_record list ref = ref []
+
+let bench_scenario_matrix ~full () =
+  section "Scenario matrix — every registry process through its own solver stack";
+  Printf.printf "  %-19s %-10s %5s %7s %9s  %s\n" "scenario" "solver" "n" "solves" "wall (s)"
+    "probe digest";
+  List.iter
+    (fun s ->
+      (* Reduced sizes: shrink generator placements to per-side 8 (mixed
+         clamps itself to 16 — its strips need the density); explicit
+         rectangle processes (epi, guard-ring-heavy) run as shipped. *)
+      let s =
+        match (full, s.Scenario.placement) with
+        | false, Scenario.Generator _ -> Scenario.with_per_side s 8
+        | _ -> s
+      in
+      let layout = Scenario.layout s in
+      let n = Layout.n_contacts layout in
+      let bb = Scenario.blackbox s layout in
+      let t0 = Unix.gettimeofday () in
+      let probes = Array.init 2 (fun i -> La.Rng.gaussian_array (La.Rng.create (1234 + i)) n) in
+      let responses = Array.map (Blackbox.apply bb) probes in
+      let wall = Unix.gettimeofday () -. t0 in
+      (* Hash the exact response bits, like the CLI probe digests: the
+         recorded matrix row is comparable across runs and platforms. *)
+      let buf = Buffer.create 1024 in
+      Array.iter
+        (fun v -> Array.iter (fun x -> Buffer.add_int64_le buf (Int64.bits_of_float x)) v)
+        responses;
+      let digest = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+      Printf.printf "  %-19s %-10s %5d %7d %9.3f  %s\n%!" s.Scenario.name
+        (Scenario.solver_name s.Scenario.solver) n (Blackbox.solve_count bb) wall digest;
+      scn_records :=
+        {
+          sc_name = s.Scenario.name;
+          sc_solver = Scenario.solver_name s.Scenario.solver;
+          sc_n = n;
+          sc_solves = Blackbox.solve_count bb;
+          sc_wall_s = wall;
+          sc_digest = digest;
+        }
+        :: !scn_records)
+    (Scenario.builtins ())
 
 (* ------------------------------------------------------------------ *)
 (* JSON results (--json FILE): hand-rolled writer, no JSON dependency *)
@@ -1303,6 +1396,20 @@ let write_json path ~full records =
             (if i = List.length trs - 1 then "" else ","))
         trs;
       Printf.fprintf oc "  ],\n";
+      (* New in this PR (optional for the validator, like "shard": the
+         committed baseline predates the scenario layer). *)
+      Printf.fprintf oc "  \"scenario_matrix\": [\n";
+      let scs = List.rev !scn_records in
+      List.iteri
+        (fun i s ->
+          Printf.fprintf oc
+            "    {\"scenario\": \"%s\", \"solver\": \"%s\", \"n\": %d, \"solves\": %d, \
+             \"wall_s\": %.6f, \"probe_digest\": \"%s\"}%s\n"
+            (json_escape s.sc_name) (json_escape s.sc_solver) s.sc_n s.sc_solves s.sc_wall_s
+            (json_escape s.sc_digest)
+            (if i = List.length scs - 1 then "" else ","))
+        scs;
+      Printf.fprintf oc "  ],\n";
       Printf.fprintf oc "  \"kernels\": [\n";
       let krs = List.rev !kernel_records in
       List.iteri
@@ -1336,6 +1443,7 @@ let experiments =
     ("t2.2", "Table 2.2: FD vs eigenfunction solve speed", bench_table_2_2);
     ("t3.1", "Table 3.1: wavelet sparsity/accuracy", bench_table_3_1);
     ("layouts", "Figures 3-6..3-8, 4-8, 4-10: layouts", bench_fig_layouts);
+    ("scn", "Scenario matrix: every registry process, own solver stack", bench_scenario_matrix);
     ("f3.9", "Figures 3-9/3-10: wavelet spy plots", bench_fig_3_9_10);
     ("f4.1", "Figure 4-1: two-square intuition", bench_fig_4_1);
     ("f4.3", "Figure 4-3: singular value decay", bench_fig_4_3);
@@ -1355,9 +1463,13 @@ let experiments =
     ("trace", "Tracing: disabled-path overhead gate, enabled-run audit", bench_trace);
   ]
 
-let run only full list_only json jobs =
+let run only full list_only list_scenarios json jobs =
   bench_jobs := jobs;
-  if list_only then begin
+  if list_scenarios then begin
+    List.iter print_endline (Scenario.list_lines ());
+    0
+  end
+  else if list_only then begin
     List.iter (fun (id, desc, _) -> Printf.printf "%-10s %s\n" id desc) experiments;
     0
   end
@@ -1417,6 +1529,12 @@ let () =
   in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Use paper-scale problem sizes.") in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids.") in
+  let list_scenarios =
+    Arg.(
+      value & flag
+      & info [ "list-scenarios" ]
+          ~doc:"List the scenario registry the scn experiment iterates, then exit.")
+  in
   let json =
     Arg.(
       value
@@ -1430,6 +1548,6 @@ let () =
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:"Domains for the parallel-extraction experiment (0 = auto, at least 2).")
   in
-  let term = Term.(const run $ only $ full $ list_only $ json $ jobs) in
+  let term = Term.(const run $ only $ full $ list_only $ list_scenarios $ json $ jobs) in
   let info = Cmd.info "bench" ~doc:"Reproduce the thesis's tables and figures." in
   exit (Cmd.eval' (Cmd.v info term))

@@ -5,7 +5,6 @@
    served artifact applies bit-identically to the representation that was
    extracted. *)
 
-module Profile = Substrate.Profile
 module Blackbox = Substrate.Blackbox
 module Layout = Geometry.Layout
 open Cmdliner
@@ -23,60 +22,105 @@ let exit_solve_failed = 2
 let exit_bad_artifact = 2
 
 (* ------------------------------------------------------------------ *)
-(* Problem configuration: which layout and which solver. *)
+(* Problem configuration: a Scenario.t, resolved either from
+   --scenario NAME|FILE or from the legacy --layout/--per-side/--seed
+   aliases (which route through the same registry). *)
 
-type problem = {
-  layout_name : string;
-  per_side : int;
-  seed : int;
-  solver : [ `Eig | `Fd | `Fd_direct ];
-  panels : int;
-}
+type problem = Scenario.t
 
 let layout_names = [ "regular"; "irregular"; "alternating"; "mixed"; "large" ]
 
-let make_layout name per_side seed =
-  let rng = La.Rng.create seed in
-  match name with
-  | "regular" -> Layout.regular_grid ~size:128.0 ~per_side ~fill:0.5 ()
-  | "irregular" -> Layout.irregular ~size:128.0 ~per_side ~fill:0.4 rng ()
-  | "alternating" -> Layout.alternating ~size:128.0 ~per_side ()
-  | "mixed" -> Layout.mixed_shapes ~size:128.0 ~per_side:(max 16 per_side) ()
-  | "large" -> Layout.large_mixed ~size:128.0 ~per_side rng ()
-  | other -> invalid_arg (Printf.sprintf "unknown layout %S" other)
+let layout_of_problem = Scenario.layout
 
-let layout_of_problem p = make_layout p.layout_name p.per_side p.seed
+let scenario_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario" ] ~docv:"NAME|FILE"
+        ~doc:
+          "Problem definition: a registry name (see --list-scenarios) or a .scn config file. \
+           --per-side, --seed, --solver and --panels override the scenario's knobs; --layout is \
+           the legacy alias for the five registry layouts and is mutually exclusive with \
+           --scenario.")
 
 let layout_arg =
   Arg.(
     value
-    & opt (enum (List.map (fun n -> (n, n)) layout_names)) "regular"
+    & opt (some (enum (List.map (fun n -> (n, n)) layout_names))) None
     & info [ "layout"; "l" ] ~docv:"NAME"
-        ~doc:"Contact layout: regular, irregular, alternating, mixed, large.")
+        ~doc:
+          "Contact layout: regular, irregular, alternating, mixed, large (legacy alias for \
+           --scenario NAME).")
 
 let per_side_arg =
-  Arg.(value & opt int 16 & info [ "per-side" ] ~docv:"N" ~doc:"Cells per side of the layout grid.")
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "per-side" ] ~docv:"N" ~doc:"Cells per side of the layout grid (default 16).")
 
 let seed_arg =
-  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for generated layouts.")
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for generated layouts (default 7).")
 
 let panels_arg =
   Arg.(
-    value & opt int 64
-    & info [ "panels" ] ~docv:"P" ~doc:"Surface panels per side for the eigenfunction solver.")
+    value
+    & opt (some int) None
+    & info [ "panels" ] ~docv:"P"
+        ~doc:"Surface panels per side for the eigenfunction solver (default 64).")
 
 let solver_arg =
   Arg.(
     value
-    & opt (enum [ ("eig", `Eig); ("fd", `Fd); ("fd-direct", `Fd_direct) ]) `Eig
+    & opt (some (enum [ ("eig", `Eig); ("fd", `Fd); ("fd-direct", `Fd_direct) ])) None
     & info [ "solver" ] ~docv:"S"
         ~doc:
           "Substrate solver: eig (eigenfunction/DCT), fd (finite difference, PCG), or fd-direct \
-           (finite difference, sparse Cholesky).")
+           (finite difference, sparse Cholesky). Default: the scenario's hint (eig for the \
+           legacy layouts).")
+
+(* Resolve the flags to a scenario, reporting config errors as data (a
+   cmdliner term must not raise). *)
+let resolve_problem scenario layout per_side seed solver panels : (problem, string) result =
+  match
+    match scenario with
+    | Some spec ->
+      if Option.is_some layout then
+        invalid_arg "--scenario and --layout are mutually exclusive (the latter is a registry alias)";
+      let t = Scenario.load spec in
+      let t = match per_side with Some n -> Scenario.with_per_side t n | None -> t in
+      let t = match seed with Some s -> Scenario.with_seed t s | None -> t in
+      let t = match solver with Some k -> Scenario.with_solver t k | None -> t in
+      let t = match panels with Some p -> Scenario.with_panels t p | None -> t in
+      t
+    | None ->
+      Scenario.of_legacy
+        ~layout:(Option.value layout ~default:"regular")
+        ~per_side:(Option.value per_side ~default:16)
+        ~seed:(Option.value seed ~default:7)
+        ~solver:(Option.value solver ~default:`Eig)
+        ~panels:(Option.value panels ~default:64)
+  with
+  | t -> Ok t
+  | exception Invalid_argument msg -> Error msg
+  | exception Sys_error msg -> Error msg
+  | exception Scenario.Sexp.Error { file; line; col; message } ->
+    Error (Scenario.Sexp.format_error ~file ~line ~col ~message)
 
 let problem_term =
-  let pack layout_name per_side seed solver panels = { layout_name; per_side; seed; solver; panels } in
-  Term.(const pack $ layout_arg $ per_side_arg $ seed_arg $ solver_arg $ panels_arg)
+  Term.(
+    const resolve_problem $ scenario_arg $ layout_arg $ per_side_arg $ seed_arg $ solver_arg
+    $ panels_arg)
+
+(* Unwrap a resolved problem, mapping config errors to exit code 1. *)
+let with_problem problem_res f =
+  match problem_res with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit_user_error
+  | Ok p -> f p
 
 (* ------------------------------------------------------------------ *)
 (* Parallelism. *)
@@ -132,71 +176,15 @@ let jobs_arg =
 let resolve_jobs jobs = if jobs <= 0 then Parallel.Pool.default_jobs () else jobs
 
 (* ------------------------------------------------------------------ *)
-(* Solver construction. *)
+(* Solver construction: the scenario owns the escalation ladder. *)
 
-(* A grid-friendly layered profile: h = 2 at nx = 64. *)
-let fd_profile () =
-  Profile.make ~a:128.0 ~b:128.0
-    ~layers:
-      [
-        { Profile.thickness = 2.0; conductivity = 1.0 };
-        { Profile.thickness = 28.0; conductivity = 100.0 };
-        { Profile.thickness = 2.0; conductivity = 0.1 };
-      ]
-    ~backplane:Profile.Grounded
+let solver_stack = Scenario.solver_stack
+let blackbox_of = Scenario.blackbox
 
-(* The primary box plus its escalation ladder for --resilience: each rung is
-   lazy, so a ladder that is never climbed costs nothing (a re-plan or a
-   direct factorization is expensive). *)
-let solver_stack p layout =
-  let profile = Profile.thesis_default () in
-  match p.solver with
-  | `Eig ->
-    let s = Eigsolver.Eig_solver.create profile layout ~panels_per_side:p.panels in
-    let fallbacks =
-      [
-        ( "eig tol=1e-11 4x iterations",
-          lazy
-            (Eigsolver.Eig_solver.blackbox
-               (Eigsolver.Eig_solver.with_tolerance ~tol:1e-11 ~max_iter:8000 s)) );
-        ( "eig re-plan tol=1e-11 16x iterations",
-          lazy
-            (Eigsolver.Eig_solver.blackbox
-               (Eigsolver.Eig_solver.create ~tol:1e-11 ~max_iter:32000 profile layout
-                  ~panels_per_side:p.panels)) );
-      ]
-    in
-    (Eigsolver.Eig_solver.blackbox s, fallbacks)
-  | `Fd ->
-    let fd_profile = fd_profile () in
-    let s =
-      Fdsolver.Fd_solver.create
-        ~precond:(Fdsolver.Fd_solver.Fast_poisson (Fdsolver.Fd_solver.area_fraction layout))
-        fd_profile layout ~nx:64 ~nz:16
-    in
-    let fallbacks =
-      [
-        ( "fd tol=1e-11 4x iterations",
-          lazy
-            (Fdsolver.Fd_solver.blackbox
-               (Fdsolver.Fd_solver.with_tolerance ~tol:1e-11 ~max_iter:20000 s)) );
-        ( "fd ICCG tol=1e-11",
-          lazy
-            (Fdsolver.Fd_solver.blackbox
-               (Fdsolver.Fd_solver.create ~precond:Fdsolver.Fd_solver.Ic0 ~tol:1e-11 ~max_iter:20000
-                  fd_profile layout ~nx:64 ~nz:16)) );
-        ( "fd direct (sparse Cholesky, coarse grid)",
-          lazy
-            (Fdsolver.Direct_solver.blackbox
-               (Fdsolver.Direct_solver.create fd_profile layout ~nx:32 ~nz:8)) );
-      ]
-    in
-    (Fdsolver.Fd_solver.blackbox s, fallbacks)
-  | `Fd_direct ->
-    let s = Fdsolver.Direct_solver.create (fd_profile ()) layout ~nx:32 ~nz:8 in
-    (Fdsolver.Direct_solver.blackbox s, [])
-
-let blackbox_of p layout = fst (solver_stack p layout)
+(* The canonical CLI spelling of a problem, recorded in artifacts. *)
+let problem_source ?(extra = "") p =
+  Printf.sprintf "substrate_extract --scenario %s --solver %s%s" p.Scenario.name
+    (Scenario.solver_name p.Scenario.solver) extra
 
 (* ------------------------------------------------------------------ *)
 (* Probe digests: the cross-process parity check.

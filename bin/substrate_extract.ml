@@ -23,7 +23,12 @@ open Cli_common
 
 let run_layouts per_side seed =
   List.iter
-    (fun name -> print_string (Layout.render ~width:64 (make_layout name per_side seed)))
+    (fun name ->
+      let t =
+        Scenario.of_legacy ~layout:name ~per_side:(Option.value per_side ~default:16)
+          ~seed:(Option.value seed ~default:7) ~solver:`Eig ~panels:64
+      in
+      print_string (Layout.render ~width:64 (Scenario.layout t)))
     layout_names;
   exit_ok
 
@@ -31,6 +36,103 @@ let layouts_cmd =
   Cmd.v
     (Cmd.info "layouts" ~doc:"Render the built-in contact layouts as ASCII.")
     Term.(const run_layouts $ per_side_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* scenarios: list / print / check the registry and .scn files *)
+
+let scenario_error_message = function
+  | Scenario.Sexp.Error { file; line; col; message } ->
+    Some (Scenario.Sexp.format_error ~file ~line ~col ~message)
+  | Sys_error msg -> Some msg
+  | Invalid_argument msg -> Some msg
+  | _ -> None
+
+(* Parse a checked-in file and hold it to the registry contract: the
+   print -> parse round trip must be a fixpoint, and a file that names a
+   registry scenario must agree with the registry entry. *)
+let check_scenario_file path =
+  match Scenario.of_file path with
+  | exception e -> (
+    match scenario_error_message e with Some m -> Error m | None -> raise e)
+  | t -> (
+    let printed = Scenario.to_string t in
+    match Scenario.of_string ~file:(path ^ " (reprinted)") printed with
+    | exception e -> (
+      match scenario_error_message e with
+      | Some m -> Error (Printf.sprintf "%s: reprint does not parse: %s" path m)
+      | None -> raise e)
+    | t2 ->
+      if not (Scenario.equal t t2) then
+        Error (Printf.sprintf "%s: print -> parse round trip is not a fixpoint" path)
+      else if not (String.equal printed (Scenario.to_string t2)) then
+        Error (Printf.sprintf "%s: second print differs from the first" path)
+      else
+        (match Scenario.find t.Scenario.name with
+        | Some reg when not (Scenario.equal reg t) ->
+          Error
+            (Printf.sprintf "%s: diverges from the registry entry %s (regenerate with: \
+                             substrate_extract scenarios --print %s)"
+               path t.Scenario.name t.Scenario.name)
+        | Some _ | None -> Ok t))
+
+let run_scenarios print_name check_opts files =
+  let checks = check_opts @ files in
+  match (print_name, checks) with
+  | Some name, _ -> (
+    match Scenario.load name with
+    | exception e -> (
+      match scenario_error_message e with
+      | Some m ->
+        Printf.eprintf "%s\n" m;
+        exit_user_error
+      | None -> raise e)
+    | t ->
+      print_string (Scenario.to_string t);
+      exit_ok)
+  | None, [] ->
+    List.iter print_endline (Scenario.list_lines ());
+    exit_ok
+  | None, checks ->
+    let failures =
+      List.filter_map
+        (fun path ->
+          match check_scenario_file path with
+          | Ok t ->
+            Printf.printf "ok %s (%s, %d contacts)\n" path t.Scenario.name
+              (Layout.n_contacts (Scenario.layout t));
+            None
+          | Error m ->
+            Printf.printf "FAIL %s\n" m;
+            Some path)
+        checks
+    in
+    if failures = [] then exit_ok else exit_user_error
+
+let print_scenario_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "print" ] ~docv:"NAME|FILE"
+        ~doc:"Print the canonical .scn text of a scenario (checked-in files are regenerated this way).")
+
+let check_scenario_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "check" ] ~docv:"FILE"
+        ~doc:
+          "Parse $(docv), verify the print -> parse round-trip fixpoint and (for registry names) \
+           agreement with the built-in entry. Repeatable; any failure exits 1.")
+
+let scenario_files_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"FILE" ~doc:"Additional .scn files to check (same as --check).")
+
+let scenarios_cmd =
+  Cmd.v
+    (Cmd.info "scenarios"
+       ~doc:"List the scenario registry, print canonical .scn text, or check .scn files.")
+    Term.(const run_scenarios $ print_scenario_arg $ check_scenario_arg $ scenario_files_arg)
 
 (* ------------------------------------------------------------------ *)
 (* extract *)
@@ -72,10 +174,8 @@ let method_name = function `Lowrank -> "lowrank" | `Wavelet -> "wavelet"
 let write_output repr ~problem ~layout ~method_ ~threshold path =
   if Filename.check_suffix path ".sca" then begin
     let source =
-      Printf.sprintf "substrate_extract --layout %s --per-side %d --seed %d --solver %s%s"
-        problem.layout_name problem.per_side problem.seed
-        (match problem.solver with `Eig -> "eig" | `Fd -> "fd" | `Fd_direct -> "fd-direct")
-        (if threshold > 1.0 then Printf.sprintf " --threshold %g" threshold else "")
+      problem_source problem
+        ~extra:(if threshold > 1.0 then Printf.sprintf " --threshold %g" threshold else "")
     in
     Repr.save repr ~kind:(method_name method_) ~source ~path;
     Printf.printf "wrote %s (operator artifact: n = %d, %d + %d stored nonzeros)\n" path
@@ -143,11 +243,8 @@ let run_sharded problem ~jobs ~method_ ~output ~probe_digest ~resilience ~max_at
         match resilience with `Off | `Fail_fast -> [] | `Retry | `Degrade -> fallbacks
       in
       let source =
-        Printf.sprintf
-          "substrate_extract --layout %s --per-side %d --seed %d --solver %s --method %s --shards %d"
-          problem.layout_name problem.per_side problem.seed
-          (match problem.solver with `Eig -> "eig" | `Fd -> "fd" | `Fd_direct -> "fd-direct")
-          (method_name method_) shard_level
+        problem_source problem
+          ~extra:(Printf.sprintf " --method %s --shards %d" (method_name method_) shard_level)
       in
       match
         Sharded.extract ~jobs ~policy ~fallbacks ~source ~method_ ~shard_level ~dir layout bb
@@ -189,8 +286,9 @@ let run_sharded problem ~jobs ~method_ ~output ~probe_digest ~resilience ~max_at
           exit_ok)
     end
 
-let run_extract problem jobs method_ threshold verify estimate spy output probe_digest resilience
-    max_attempts checkpoint chaos shards resume trace trace_summary =
+let run_extract problem_res jobs method_ threshold verify estimate spy output probe_digest
+    resilience max_attempts checkpoint chaos shards resume trace trace_summary =
+  with_problem problem_res @@ fun problem ->
   trace_setup ~trace ~trace_summary;
   match shards with
   | Some shard_level ->
@@ -429,7 +527,8 @@ let extract_cmd =
 (* ------------------------------------------------------------------ *)
 (* solve *)
 
-let run_solve problem contact =
+let run_solve problem_res contact =
+  with_problem problem_res @@ fun problem ->
   let layout = layout_of_problem problem in
   let n = Layout.n_contacts layout in
   if contact < 0 || contact >= n then begin
@@ -461,9 +560,26 @@ let solve_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* Top level: subcommands, plus --list-scenarios as a bare flag. *)
+let list_scenarios_arg =
+  Arg.(
+    value & flag
+    & info [ "list-scenarios" ]
+        ~doc:"Print the scenario registry (name and one-line description per entry) and exit.")
+
+let default_term =
+  let run list_scenarios =
+    if list_scenarios then begin
+      List.iter print_endline (Scenario.list_lines ());
+      `Ok exit_ok
+    end
+    else `Help (`Pager, None)
+  in
+  Term.(ret (const run $ list_scenarios_arg))
+
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
   let doc = "Substrate coupling extraction and sparsification (Kanapka/Phillips/White, DAC 2000)." in
   let info = Cmd.info "substrate_extract" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ layouts_cmd; extract_cmd; solve_cmd ]))
+  exit (Cmd.eval' (Cmd.group ~default:default_term info [ layouts_cmd; scenarios_cmd; extract_cmd; solve_cmd ]))

@@ -16,18 +16,16 @@
 
      dune exec examples/circuit_sim.exe *)
 
-module Profile = Substrate.Profile
 module Blackbox = Substrate.Blackbox
 module Layout = Geometry.Layout
 open Sparsify
 
 let () =
-  let layout = Layout.regular_grid ~size:128.0 ~per_side:16 ~fill:0.5 () in
+  let scenario = Scenario.load "regular" in
+  let layout = Scenario.layout scenario in
   let n = Layout.n_contacts layout in
   let victim = n - 1 in
-  let profile = Profile.thesis_default () in
-  let solver = Eigsolver.Eig_solver.create profile layout ~panels_per_side:64 in
-  let blackbox = Eigsolver.Eig_solver.blackbox solver in
+  let blackbox = Scenario.blackbox scenario layout in
 
   (* Extract the substrate model once. *)
   let repr = Repr.threshold (Lowrank.extract layout blackbox) ~target:6.0 in
@@ -76,5 +74,5 @@ let () =
   Printf.printf
     "\nEach step costs ~%d sparse applies of %d nonzeros instead of a dense %dx%d product\n"
     (!total_iters / steps) (Repr.nnz_gw repr) n n;
-  Printf.printf "or a fresh substrate solve on %d panel unknowns.\n"
-    (Eigsolver.Eig_solver.panel_count solver)
+  Printf.printf "or a fresh substrate solve through the scenario's %s solver.\n"
+    (Scenario.solver_name scenario.Scenario.solver)

@@ -13,58 +13,37 @@
 
      dune exec examples/guard_ring.exe *)
 
-module Profile = Substrate.Profile
 module Blackbox = Substrate.Blackbox
 module Layout = Geometry.Layout
 module Contact = Geometry.Contact
 open Sparsify
 
-let size = 128.0
+(* The ringed floorplan ships as the "guard-ring-heavy" scenario:
+   aggressor first, victim second, digital fillers, then the twelve ring
+   strips. The strips are recovered geometrically — they are the contacts
+   inside the ring's bounding box [96,120]^2 other than the 8 x 8 victim
+   itself — and the no-ring control layout is the same floorplan with
+   those strips dropped. *)
+let ring_strip c =
+  c.Contact.x0 >= 96.0 && c.Contact.x1 <= 120.0 && c.Contact.y0 >= 96.0
+  && c.Contact.y1 <= 120.0
+  && Contact.area c < 60.0
 
-(* Aggressor bottom-left, victim top-right; optionally a grounded ring of
-   strip contacts around the victim. *)
-let build ~with_ring =
-  let contacts = ref [] in
-  let add c = contacts := c :: !contacts in
-  (* Aggressor: a large contact. *)
-  add (Contact.make ~x0:18.0 ~y0:18.0 ~x1:28.0 ~y1:28.0);
-  (* Victim: a small analog contact (one level-4 quadtree cell). *)
-  add (Contact.make ~x0:104.0 ~y0:104.0 ~x1:112.0 ~y1:112.0);
-  (* Filler digital contacts that keep the rest of the chip realistic,
-     aligned so each fits inside a level-4 quadtree square. *)
-  for k = 0 to 6 do
-    let x0 = 10.0 +. (float_of_int k *. 16.0) in
-    add (Contact.make ~x0 ~y0:58.0 ~x1:(x0 +. 6.0) ~y1:64.0)
-  done;
-  let ring = ref [] in
-  if with_ring then begin
-    (* A ring of 8-unit strips around the victim (cells of the level-4
-       quadtree, 8 units each). *)
-    (* Strips aligned to 8-unit quadtree cells so each fits in one
-       finest-level square. *)
-    let strips =
-      [
-        (* bottom and top runs *)
-        (96.0, 96.0, 104.0, 100.0); (104.0, 96.0, 112.0, 100.0); (112.0, 96.0, 120.0, 100.0);
-        (96.0, 116.0, 104.0, 120.0); (104.0, 116.0, 112.0, 120.0); (112.0, 116.0, 120.0, 120.0);
-        (* left and right runs *)
-        (96.0, 100.0, 100.0, 104.0); (96.0, 104.0, 100.0, 112.0); (96.0, 112.0, 100.0, 116.0);
-        (116.0, 100.0, 120.0, 104.0); (116.0, 104.0, 120.0, 112.0); (116.0, 112.0, 120.0, 116.0);
-      ]
-    in
-    List.iter
-      (fun (x0, y0, x1, y1) ->
-        ring := List.length !contacts :: !ring;
-        add (Contact.make ~x0 ~y0 ~x1 ~y1))
-      strips
-  end;
-  let contacts = Array.of_list (List.rev !contacts) in
-  ({ Layout.size; contacts; name = (if with_ring then "with guard ring" else "no guard ring") }, List.rev !ring)
+let split_ring scenario =
+  let ringed = Scenario.layout scenario in
+  let ring_ids =
+    Array.to_list (Array.mapi (fun i c -> (i, c)) ringed.Layout.contacts)
+    |> List.filter (fun (_, c) -> ring_strip c)
+    |> List.map fst
+  in
+  let bare_contacts =
+    Array.of_list
+      (List.filter (fun c -> not (ring_strip c)) (Array.to_list ringed.Layout.contacts))
+  in
+  (ringed, { ringed with Layout.contacts = bare_contacts; name = "no guard ring" }, ring_ids)
 
-let victim_current layout =
-  let profile = Profile.thesis_default () in
-  let solver = Eigsolver.Eig_solver.create profile layout ~panels_per_side:64 in
-  let bb = Eigsolver.Eig_solver.blackbox solver in
+let victim_current scenario layout =
+  let bb = Scenario.blackbox scenario layout in
   let n = Layout.n_contacts layout in
   let v = Array.make n 0.0 in
   v.(0) <- 1.0;
@@ -73,11 +52,11 @@ let victim_current layout =
   (currents.(1), bb)
 
 let () =
-  let bare, _ = build ~with_ring:false in
-  let ringed, ring_ids = build ~with_ring:true in
+  let scenario = Scenario.load "guard-ring-heavy" in
+  let ringed, bare, ring_ids = split_ring scenario in
   Printf.printf "%s" (Layout.render ~width:48 ringed);
-  let i_bare, _ = victim_current bare in
-  let i_ringed, bb = victim_current ringed in
+  let i_bare, _ = victim_current scenario bare in
+  let i_ringed, bb = victim_current scenario ringed in
   Printf.printf "\nvictim current from a 1 V aggressor (all other contacts grounded):\n";
   Printf.printf "  without guard ring: %.5f\n" (Float.abs i_bare);
   Printf.printf "  with grounded ring: %.5f\n" (Float.abs i_ringed);

@@ -10,48 +10,35 @@
 
      dune exec examples/mixed_signal.exe *)
 
-module Profile = Substrate.Profile
 module Blackbox = Substrate.Blackbox
 module Layout = Geometry.Layout
 module Contact = Geometry.Contact
 open Sparsify
 
-let build_layout () =
-  let size = 128.0 in
-  let per_side = 16 in
-  let cell = size /. float_of_int per_side in
-  let contacts = ref [] in
-  (* Digital block: dense small contacts on the left 2/3. *)
-  for j = 0 to per_side - 1 do
-    for i = 0 to (2 * per_side / 3) - 1 do
-      let x0 = (float_of_int i +. 0.3) *. cell and y0 = (float_of_int j +. 0.3) *. cell in
-      contacts := Contact.make ~x0 ~y0 ~x1:(x0 +. (0.4 *. cell)) ~y1:(y0 +. (0.4 *. cell)) :: !contacts
-    done
-  done;
-  let digital = List.length !contacts in
-  (* Analog block: a handful of larger, well-spaced contacts on the right. *)
-  for j = 0 to (per_side / 4) - 1 do
-    for i = 0 to 1 do
-      let bx = float_of_int ((2 * per_side / 3) + 1 + (2 * i)) and by = float_of_int ((4 * j) + 1) in
-      let x0 = (bx +. 0.2) *. cell and y0 = (by +. 0.2) *. cell in
-      contacts := Contact.make ~x0 ~y0 ~x1:(x0 +. (0.6 *. cell)) ~y1:(y0 +. (0.6 *. cell)) :: !contacts
-    done
-  done;
-  let contacts = Array.of_list (List.rev !contacts) in
-  ( { Layout.size; contacts; name = "mixed-signal chip" },
-    Array.init digital Fun.id,
-    Array.init (Array.length contacts - digital) (fun k -> digital + k) )
+(* The floorplan ships with the "epi" scenario: a checkerboard digital
+   block on the left and a column of larger analog contacts on the right.
+   The two blocks are recovered geometrically — the analog contacts are
+   the big ones (5 x 5 vs the digital 4 x 4). *)
+let classify layout =
+  let idx pred =
+    layout.Layout.contacts
+    |> Array.to_seq
+    |> Seq.mapi (fun i c -> (i, c))
+    |> Seq.filter (fun (_, c) -> pred (Contact.area c))
+    |> Seq.map fst |> Array.of_seq
+  in
+  (idx (fun a -> a <= 20.0), idx (fun a -> a > 20.0))
 
 let () =
-  let layout, digital, analog = build_layout () in
+  let scenario = Scenario.load "epi" in
+  let layout = Scenario.layout scenario in
+  let digital, analog = classify layout in
   let n = Layout.n_contacts layout in
-  Printf.printf "mixed-signal chip: %d digital + %d analog contacts\n" (Array.length digital)
-    (Array.length analog);
+  Printf.printf "mixed-signal chip (%s process): %d digital + %d analog contacts\n"
+    scenario.Scenario.name (Array.length digital) (Array.length analog);
   print_string (Layout.render ~width:48 layout);
 
-  let profile = Profile.thesis_default () in
-  let solver = Eigsolver.Eig_solver.create profile layout ~panels_per_side:64 in
-  let blackbox = Eigsolver.Eig_solver.blackbox solver in
+  let blackbox = Scenario.blackbox scenario layout in
 
   (* Extract once. *)
   let repr = Repr.threshold (Lowrank.extract layout blackbox) ~target:6.0 in

@@ -1,32 +1,32 @@
 (* Quickstart: extract a sparsified substrate coupling model.
 
-   Builds the thesis's standard layered substrate, places a small grid of
-   contacts on it, wraps the eigenfunction solver as a black box, runs the
-   low-rank extraction, and applies the resulting sparse representation.
+   Loads the "regular" scenario from the registry — the thesis's standard
+   layered substrate under a 16 x 16 contact grid, with its eigenfunction
+   solver hint — runs the low-rank extraction, and applies the resulting
+   sparse representation. Any .scn file works in place of the name:
+   substrate stack, contact placement and solver all come from the
+   scenario.
 
      dune exec examples/quickstart.exe *)
 
-module Profile = Substrate.Profile
 module Blackbox = Substrate.Blackbox
 module Layout = Geometry.Layout
 open Sparsify
 
 let () =
-  (* 1. The substrate: 128 x 128 x 40, layered 1 / 100 / 0.1 (thesis §3.7). *)
-  let profile = Profile.thesis_default () in
-
-  (* 2. The contacts: a 16 x 16 grid of square contacts. *)
-  let layout = Layout.regular_grid ~size:128.0 ~per_side:16 ~fill:0.5 () in
+  (* 1. The problem: substrate stack + contacts + solver, as data. *)
+  let scenario = Scenario.load "regular" in
+  let layout = Scenario.layout scenario in
   let n = Layout.n_contacts layout in
+  Printf.printf "scenario: %s — %s\n" scenario.Scenario.name scenario.Scenario.description;
   Printf.printf "layout: %s (%d contacts)\n" layout.Layout.name n;
 
-  (* 3. The black-box substrate solver: contact voltages -> contact
-     currents. Any solver with this signature works; here, the
-     eigenfunction (DCT) solver. *)
-  let solver = Eigsolver.Eig_solver.create profile layout ~panels_per_side:64 in
-  let blackbox = Eigsolver.Eig_solver.blackbox solver in
+  (* 2. The black-box substrate solver: contact voltages -> contact
+     currents. The scenario's solver hint picks the eigenfunction (DCT)
+     solver here; any solver with this signature works. *)
+  let blackbox = Scenario.blackbox scenario layout in
 
-  (* 4. Extract the sparsified representation G ~ Q G_w Q' with the
+  (* 3. Extract the sparsified representation G ~ Q G_w Q' with the
      low-rank method (thesis Chapter 4). *)
   let repr = Lowrank.extract layout blackbox in
   Printf.printf "extracted with %d black-box solves (naive method needs %d: %.1fx reduction)\n"
@@ -35,12 +35,12 @@ let () =
   Printf.printf "G_w sparsity factor: %.1f; Q sparsity factor: %.1f\n" (Repr.sparsity_gw repr)
     (Repr.sparsity_q repr);
 
-  (* 5. Trade accuracy for more sparsity by thresholding. *)
+  (* 4. Trade accuracy for more sparsity by thresholding. *)
   let sparse = Repr.threshold repr ~target:6.0 in
   Printf.printf "after 6x thresholding: G_w sparsity %.1f (%d nonzeros for %d entries)\n"
     (Repr.sparsity_gw sparse) (Repr.nnz_gw sparse) (n * n);
 
-  (* 6. Apply the model: currents drawn when the left half of the chip
+  (* 5. Apply the model: currents drawn when the left half of the chip
      switches to 1 V. *)
   let v =
     Array.init n (fun i ->

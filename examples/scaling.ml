@@ -8,20 +8,20 @@
 
      dune exec examples/scaling.exe *)
 
-module Profile = Substrate.Profile
 module Blackbox = Substrate.Blackbox
 module Layout = Geometry.Layout
 open Sparsify
 
 let () =
-  let profile = Profile.thesis_default () in
+  let base = Scenario.load "regular" in
   Printf.printf "%6s %8s %10s %10s %12s %14s\n" "n" "solves" "reduction" "nnz(G_w)" "nnz/n" "G_w sparsity";
   List.iter
     (fun (per_side, panels) ->
-      let layout = Layout.regular_grid ~size:128.0 ~per_side ~fill:0.5 () in
+      (* Scenario surgery: the same registry problem at each sweep size. *)
+      let s = Scenario.with_panels (Scenario.with_per_side base per_side) panels in
+      let layout = Scenario.layout s in
       let n = Layout.n_contacts layout in
-      let solver = Eigsolver.Eig_solver.create ~tol:1e-7 profile layout ~panels_per_side:panels in
-      let bb = Eigsolver.Eig_solver.blackbox solver in
+      let bb = Scenario.blackbox s layout in
       let repr = Repr.threshold (Lowrank.extract layout bb) ~target:6.0 in
       Printf.printf "%6d %8d %10.1f %10d %12.1f %14.1f\n%!" n repr.Repr.solves
         (Metrics.solve_reduction ~n ~solves:repr.Repr.solves)

@@ -1,0 +1,810 @@
+(* The scenario layer: substrate problems as data.
+
+   A scenario bundles everything a tool needs to pose a substrate
+   coupling problem — the layered process stack (Substrate.Profile.t),
+   the contact placement (Geometry.Layout.t, either a named generator
+   with parameters or an explicit rectangle list), and a solver-stack
+   hint — parsed from a small sexp-style text format (.scn) with
+   line/column error diagnostics, or pulled from the registry of named
+   built-in processes. The printer's output re-parses to an equal value
+   (round-trip fixpoint), so scenarios can be persisted, diffed and
+   regenerated mechanically.
+
+   The CLI, the bench harness and the examples all build their problems
+   through this module; the legacy --layout/--per-side/--seed flags
+   resolve through {!of_legacy} onto the same registry entries, and the
+   solver stacks built here are call-for-call identical to the ones the
+   pre-scenario CLI constructed, so probe digests are bit-identical. *)
+
+module Sexp = Sexp
+module Profile = Substrate.Profile
+module Layout = Geometry.Layout
+module Contact = Geometry.Contact
+
+(* ------------------------------------------------------------------ *)
+(* Types.                                                              *)
+
+type gen_kind = Regular | Irregular | Alternating | Mixed | Large
+
+type generator = {
+  gen : gen_kind;
+  per_side : int;
+  seed : int;
+  fill : float option;  (* Regular/Irregular only; None = generator default *)
+}
+
+type placement = Generator of generator | Rects of Contact.t array
+
+type solver =
+  | Eig of { panels : int }
+  | Fd of { nx : int; nz : int }
+  | Fd_direct of { nx : int; nz : int }
+
+type substrate = {
+  profile : Profile.t;
+  layer_names : string list;  (* parallel to profile.layers *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  substrate : substrate;
+  fd_substrate : substrate option;
+      (* optional grid-friendly override used by the fd solvers *)
+  placement : placement;
+  solver : solver;
+}
+
+let gen_name = function
+  | Regular -> "regular"
+  | Irregular -> "irregular"
+  | Alternating -> "alternating"
+  | Mixed -> "mixed"
+  | Large -> "large"
+
+let gen_of_name = function
+  | "regular" -> Some Regular
+  | "irregular" -> Some Irregular
+  | "alternating" -> Some Alternating
+  | "mixed" -> Some Mixed
+  | "large" -> Some Large
+  | _ -> None
+
+let solver_name = function Eig _ -> "eig" | Fd _ -> "fd" | Fd_direct _ -> "fd-direct"
+
+(* ------------------------------------------------------------------ *)
+(* Equality: bit-exact on every float, so the round-trip fixpoint test
+   means "the printed file reconstructs the identical problem". *)
+
+let float_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let layer_equal (l1 : Profile.layer) (l2 : Profile.layer) =
+  float_eq l1.Profile.thickness l2.Profile.thickness
+  && float_eq l1.Profile.conductivity l2.Profile.conductivity
+
+let profile_equal (p1 : Profile.t) (p2 : Profile.t) =
+  float_eq p1.Profile.a p2.Profile.a
+  && float_eq p1.Profile.b p2.Profile.b
+  && List.length p1.Profile.layers = List.length p2.Profile.layers
+  && List.for_all2 layer_equal p1.Profile.layers p2.Profile.layers
+  && (match (p1.Profile.backplane, p2.Profile.backplane) with
+     | Profile.Grounded, Profile.Grounded | Profile.Floating, Profile.Floating -> true
+     | Profile.Grounded, Profile.Floating | Profile.Floating, Profile.Grounded -> false)
+
+let substrate_equal s1 s2 =
+  profile_equal s1.profile s2.profile
+  && List.length s1.layer_names = List.length s2.layer_names
+  && List.for_all2 String.equal s1.layer_names s2.layer_names
+
+let contact_equal (c1 : Contact.t) (c2 : Contact.t) =
+  float_eq c1.Contact.x0 c2.Contact.x0
+  && float_eq c1.Contact.y0 c2.Contact.y0
+  && float_eq c1.Contact.x1 c2.Contact.x1
+  && float_eq c1.Contact.y1 c2.Contact.y1
+
+let placement_equal pl1 pl2 =
+  match (pl1, pl2) with
+  | Generator g1, Generator g2 ->
+    (match (g1.gen, g2.gen) with
+    | Regular, Regular | Irregular, Irregular | Alternating, Alternating | Mixed, Mixed
+    | Large, Large ->
+      true
+    | (Regular | Irregular | Alternating | Mixed | Large), _ -> false)
+    && g1.per_side = g2.per_side && g1.seed = g2.seed
+    && (match (g1.fill, g2.fill) with
+       | None, None -> true
+       | Some f1, Some f2 -> float_eq f1 f2
+       | None, Some _ | Some _, None -> false)
+  | Rects r1, Rects r2 ->
+    Array.length r1 = Array.length r2
+    && Array.for_all2 contact_equal r1 r2
+  | Generator _, Rects _ | Rects _, Generator _ -> false
+
+let solver_equal s1 s2 =
+  match (s1, s2) with
+  | Eig { panels = p1 }, Eig { panels = p2 } -> p1 = p2
+  | Fd { nx = x1; nz = z1 }, Fd { nx = x2; nz = z2 }
+  | Fd_direct { nx = x1; nz = z1 }, Fd_direct { nx = x2; nz = z2 } ->
+    x1 = x2 && z1 = z2
+  | (Eig _ | Fd _ | Fd_direct _), _ -> false
+
+let equal t1 t2 =
+  String.equal t1.name t2.name
+  && String.equal t1.description t2.description
+  && substrate_equal t1.substrate t2.substrate
+  && (match (t1.fd_substrate, t2.fd_substrate) with
+     | None, None -> true
+     | Some s1, Some s2 -> substrate_equal s1 s2
+     | None, Some _ | Some _, None -> false)
+  && placement_equal t1.placement t2.placement
+  && solver_equal t1.solver t2.solver
+
+(* ------------------------------------------------------------------ *)
+(* Printing. Floats print as the shortest decimal that parses back to
+   the identical bits, so print -> parse is a fixpoint. *)
+
+let float_repr x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else begin
+    let bits = Int64.bits_of_float x in
+    let rec go p =
+      let s = Printf.sprintf "%.*g" p x in
+      match float_of_string_opt s with
+      | Some y when Int64.equal (Int64.bits_of_float y) bits -> s
+      | Some _ | None -> if p >= 17 then Printf.sprintf "%.17g" x else go (p + 1)
+    in
+    go 1
+  end
+
+let print_substrate b ~key { profile; layer_names } =
+  Buffer.add_string b (Printf.sprintf " (%s\n  (size %s)\n  (layers\n" key (float_repr profile.Profile.a));
+  let n_layers = List.length profile.Profile.layers in
+  List.iteri
+    (fun i (l : Profile.layer) ->
+      let name =
+        match List.nth_opt layer_names i with
+        | Some n -> n
+        | None -> Printf.sprintf "layer%d" (i + 1)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "   (layer (name %s) (thickness %s) (conductivity %s))%s\n"
+           (Sexp.print_atom name) (float_repr l.Profile.thickness)
+           (float_repr l.Profile.conductivity)
+           (if i = n_layers - 1 then ")" else "")))
+    profile.Profile.layers;
+  Buffer.add_string b
+    (Printf.sprintf "  (backplane %s))\n"
+       (match profile.Profile.backplane with Profile.Grounded -> "grounded" | Profile.Floating -> "floating"))
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "(scenario\n";
+  Buffer.add_string b (Printf.sprintf " (name %s)\n" (Sexp.print_atom t.name));
+  Buffer.add_string b (Printf.sprintf " (description %s)\n" (Sexp.quote_atom t.description));
+  print_substrate b ~key:"substrate" t.substrate;
+  (match t.fd_substrate with
+  | None -> ()
+  | Some s -> print_substrate b ~key:"fd-substrate" s);
+  (match t.placement with
+  | Generator g ->
+    Buffer.add_string b
+      (Printf.sprintf " (contacts\n  (generator %s (per-side %d) (seed %d)%s))\n" (gen_name g.gen)
+         g.per_side g.seed
+         (match g.fill with None -> "" | Some f -> Printf.sprintf " (fill %s)" (float_repr f)))
+  | Rects rects ->
+    Buffer.add_string b " (contacts\n  (rects\n";
+    let n = Array.length rects in
+    Array.iteri
+      (fun i (c : Contact.t) ->
+        Buffer.add_string b
+          (Printf.sprintf "   (rect %s %s %s %s)%s\n" (float_repr c.Contact.x0)
+             (float_repr c.Contact.y0) (float_repr c.Contact.x1) (float_repr c.Contact.y1)
+             (if i = n - 1 then "))" else "")))
+      rects);
+  (match t.solver with
+  | Eig { panels } -> Buffer.add_string b (Printf.sprintf " (solver eig (panels %d)))\n" panels)
+  | Fd { nx; nz } -> Buffer.add_string b (Printf.sprintf " (solver fd (grid %d %d)))\n" nx nz)
+  | Fd_direct { nx; nz } ->
+    Buffer.add_string b (Printf.sprintf " (solver fd-direct (grid %d %d)))\n" nx nz));
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: sexps -> t, with every error positioned. *)
+
+let sprintf = Printf.sprintf
+
+(* Collect the (key ...) forms of a body, rejecting unknown and duplicate
+   keys with the position of the offending form. *)
+let fields ~file ~scope ~allowed body =
+  List.fold_left
+    (fun acc sx ->
+      match sx with
+      | Sexp.List (p, Sexp.Atom (_, key) :: args) ->
+        if not (List.exists (String.equal key) allowed) then
+          Sexp.fail ~file ~pos:p
+            (sprintf "unknown field (%s ...) in (%s ...); expected one of: %s" key scope
+               (String.concat ", " allowed));
+        if List.mem_assoc key acc then
+          Sexp.fail ~file ~pos:p (sprintf "duplicate field (%s ...) in (%s ...)" key scope);
+        acc @ [ (key, (p, args)) ]
+      | _ ->
+        Sexp.fail ~file ~pos:(Sexp.pos_of sx)
+          (sprintf "expected a (field ...) form inside (%s ...)" scope))
+    [] body
+
+let required ~file ~scope ~pos flds key =
+  match List.assoc_opt key flds with
+  | Some v -> v
+  | None -> Sexp.fail ~file ~pos (sprintf "missing (%s ...) in (%s ...)" key scope)
+
+let one_atom ~file ~key (pos, args) =
+  match args with
+  | [ Sexp.Atom (_, a) ] -> a
+  | _ -> Sexp.fail ~file ~pos (sprintf "(%s ...) takes exactly one value" key)
+
+let float_atom ~file sx =
+  match sx with
+  | Sexp.Atom (p, a) -> (
+    match float_of_string_opt a with
+    | Some x when Float.is_finite x -> (p, x)
+    | Some _ -> Sexp.fail ~file ~pos:p (sprintf "number %s is not finite" a)
+    | None -> Sexp.fail ~file ~pos:p (sprintf "expected a number, got %s" (Sexp.print_atom a)))
+  | Sexp.List (p, _) -> Sexp.fail ~file ~pos:p "expected a number, got a list"
+
+let float_field ~file ~key (pos, args) =
+  match args with
+  | [ a ] -> snd (float_atom ~file a)
+  | _ -> Sexp.fail ~file ~pos (sprintf "(%s ...) takes exactly one number" key)
+
+let int_field ~file ~key (pos, args) =
+  match args with
+  | [ Sexp.Atom (p, a) ] -> (
+    match int_of_string_opt a with
+    | Some i -> i
+    | None -> Sexp.fail ~file ~pos:p (sprintf "expected an integer, got %s" (Sexp.print_atom a)))
+  | _ -> Sexp.fail ~file ~pos (sprintf "(%s ...) takes exactly one integer" key)
+
+let parse_layer ~file ~pos body =
+  let flds = fields ~file ~scope:"layer" ~allowed:[ "name"; "thickness"; "conductivity" ] body in
+  let name = one_atom ~file ~key:"name" (required ~file ~scope:"layer" ~pos flds "name") in
+  let thickness =
+    float_field ~file ~key:"thickness" (required ~file ~scope:"layer" ~pos flds "thickness")
+  in
+  let conductivity =
+    float_field ~file ~key:"conductivity" (required ~file ~scope:"layer" ~pos flds "conductivity")
+  in
+  (name, { Profile.thickness; conductivity })
+
+let parse_substrate ~file ~scope ~pos body =
+  let flds = fields ~file ~scope ~allowed:[ "size"; "layers"; "backplane" ] body in
+  let size_pos, size_args = required ~file ~scope ~pos flds "size" in
+  let size =
+    match size_args with
+    | [ a ] -> snd (float_atom ~file a)
+    | [ a1; a2 ] ->
+      let p1, x1 = float_atom ~file a1 in
+      let _, x2 = float_atom ~file a2 in
+      if not (float_eq x1 x2) then
+        Sexp.fail ~file ~pos:p1 "rectangular surfaces are not supported: the two (size ...) extents must be equal";
+      x1
+    | _ -> Sexp.fail ~file ~pos:size_pos "(size ...) takes one (square) or two equal extents"
+  in
+  let layers_pos, layers_args = required ~file ~scope ~pos flds "layers" in
+  let named_layers =
+    List.map
+      (fun sx ->
+        match sx with
+        | Sexp.List (p, Sexp.Atom (_, "layer") :: body) -> (p, parse_layer ~file ~pos:p body)
+        | _ ->
+          Sexp.fail ~file ~pos:(Sexp.pos_of sx) "expected (layer (name ...) (thickness ...) (conductivity ...))")
+      layers_args
+  in
+  if named_layers = [] then Sexp.fail ~file ~pos:layers_pos "(layers ...) needs at least one layer";
+  (* Duplicate layer names are almost certainly an editing slip. *)
+  List.iteri
+    (fun i (p, (name, _)) ->
+      List.iteri
+        (fun j (_, (other, _)) ->
+          if j < i && String.equal name other then
+            Sexp.fail ~file ~pos:p (sprintf "duplicate layer name %s" (Sexp.print_atom name)))
+        named_layers)
+    named_layers;
+  let bp_pos, bp_args = required ~file ~scope ~pos flds "backplane" in
+  let backplane =
+    match one_atom ~file ~key:"backplane" (bp_pos, bp_args) with
+    | "grounded" -> Profile.Grounded
+    | "floating" -> Profile.Floating
+    | other ->
+      Sexp.fail ~file ~pos:bp_pos
+        (sprintf "unknown backplane %s; expected grounded or floating" (Sexp.print_atom other))
+  in
+  let layer_names = List.map (fun (_, (n, _)) -> n) named_layers in
+  let layers = List.map (fun (_, (_, l)) -> l) named_layers in
+  (* Profile.make owns the numeric validation (it names the offending
+     field); re-raise its verdict with the file position of this form. *)
+  match Profile.make ~a:size ~b:size ~layers ~backplane with
+  | profile -> { profile; layer_names }
+  | exception Invalid_argument message -> Sexp.fail ~file ~pos message
+
+let parse_generator ~file ~pos args =
+  match args with
+  | Sexp.Atom (gp, gname) :: body ->
+    let gen =
+      match gen_of_name gname with
+      | Some g -> g
+      | None ->
+        Sexp.fail ~file ~pos:gp
+          (sprintf "unknown generator %s; expected one of: regular, irregular, alternating, mixed, large"
+             (Sexp.print_atom gname))
+    in
+    let flds = fields ~file ~scope:"generator" ~allowed:[ "per-side"; "seed"; "fill" ] body in
+    let per_side =
+      match List.assoc_opt "per-side" flds with
+      | Some f -> int_field ~file ~key:"per-side" f
+      | None -> 16
+    in
+    if per_side < 1 then Sexp.fail ~file ~pos "(per-side ...) must be at least 1";
+    let seed =
+      match List.assoc_opt "seed" flds with Some f -> int_field ~file ~key:"seed" f | None -> 7
+    in
+    let fill =
+      match List.assoc_opt "fill" flds with
+      | None -> None
+      | Some ((fp, _) as f) ->
+        let x = float_field ~file ~key:"fill" f in
+        (match gen with
+        | Regular | Irregular -> ()
+        | Alternating | Mixed | Large ->
+          Sexp.fail ~file ~pos:fp
+            (sprintf "(fill ...) only applies to the regular and irregular generators, not %s"
+               (gen_name gen)));
+        if not (x > 0.0 && x <= 1.0) then
+          Sexp.fail ~file ~pos:fp (sprintf "(fill %s) out of range (0, 1]" (float_repr x));
+        Some x
+    in
+    Generator { gen; per_side; seed; fill }
+  | _ -> Sexp.fail ~file ~pos "expected (generator NAME (per-side N) (seed N) ...)"
+
+let parse_rects ~file ~size args =
+  let rects =
+    List.map
+      (fun sx ->
+        match sx with
+        | Sexp.List (p, Sexp.Atom (_, "rect") :: coords) -> (
+          match coords with
+          | [ a; b; c; d ] ->
+            let _, x0 = float_atom ~file a in
+            let _, y0 = float_atom ~file b in
+            let _, x1 = float_atom ~file c in
+            let _, y1 = float_atom ~file d in
+            if not (x0 < x1 && y0 < y1) then
+              Sexp.fail ~file ~pos:p "degenerate rectangle: need x0 < x1 and y0 < y1";
+            if x0 < 0.0 || y0 < 0.0 || x1 > size || y1 > size then
+              Sexp.fail ~file ~pos:p
+                (sprintf "rectangle outside the [0, %s] surface" (float_repr size));
+            Contact.make ~x0 ~y0 ~x1 ~y1
+          | _ -> Sexp.fail ~file ~pos:p "(rect ...) takes exactly x0 y0 x1 y1")
+        | _ -> Sexp.fail ~file ~pos:(Sexp.pos_of sx) "expected (rect x0 y0 x1 y1)")
+      args
+  in
+  Rects (Array.of_list rects)
+
+let parse_contacts ~file ~pos ~size args =
+  match args with
+  | [ Sexp.List (p, Sexp.Atom (_, "generator") :: gen_args) ] ->
+    parse_generator ~file ~pos:p gen_args
+  | [ Sexp.List (p, Sexp.Atom (_, "rects") :: rect_args) ] ->
+    if rect_args = [] then Sexp.fail ~file ~pos:p "(rects ...) needs at least one rectangle";
+    parse_rects ~file ~size rect_args
+  | _ ->
+    Sexp.fail ~file ~pos
+      "(contacts ...) takes exactly one (generator ...) or (rects ...) form"
+
+let parse_solver ~file ~pos args =
+  match args with
+  | Sexp.Atom (kp, kind) :: body -> (
+    let flds = fields ~file ~scope:"solver" ~allowed:[ "panels"; "grid" ] body in
+    let no_field key =
+      match List.assoc_opt key flds with
+      | None -> ()
+      | Some (p, _) ->
+        Sexp.fail ~file ~pos:p (sprintf "(%s ...) does not apply to the %s solver" key kind)
+    in
+    let grid ~default_nx ~default_nz =
+      match List.assoc_opt "grid" flds with
+      | None -> (default_nx, default_nz)
+      | Some (gp, gargs) -> (
+        match gargs with
+        | [ Sexp.Atom (p1, a1); Sexp.Atom (p2, a2) ] -> (
+          match (int_of_string_opt a1, int_of_string_opt a2) with
+          | Some nx, Some nz ->
+            if nx < 1 || nz < 1 then Sexp.fail ~file ~pos:gp "(grid NX NZ) needs positive counts";
+            (nx, nz)
+          | None, _ -> Sexp.fail ~file ~pos:p1 (sprintf "expected an integer, got %s" (Sexp.print_atom a1))
+          | _, None -> Sexp.fail ~file ~pos:p2 (sprintf "expected an integer, got %s" (Sexp.print_atom a2)))
+        | _ -> Sexp.fail ~file ~pos:gp "(grid ...) takes exactly NX NZ")
+    in
+    match kind with
+    | "eig" ->
+      no_field "grid";
+      let panels =
+        match List.assoc_opt "panels" flds with
+        | Some f -> int_field ~file ~key:"panels" f
+        | None -> 64
+      in
+      if panels < 1 then Sexp.fail ~file ~pos "(panels ...) must be positive";
+      Eig { panels }
+    | "fd" ->
+      no_field "panels";
+      let nx, nz = grid ~default_nx:64 ~default_nz:16 in
+      Fd { nx; nz }
+    | "fd-direct" ->
+      no_field "panels";
+      let nx, nz = grid ~default_nx:32 ~default_nz:8 in
+      Fd_direct { nx; nz }
+    | other ->
+      Sexp.fail ~file ~pos:kp
+        (sprintf "unknown solver %s; expected eig, fd or fd-direct" (Sexp.print_atom other)))
+  | _ -> Sexp.fail ~file ~pos "expected (solver eig|fd|fd-direct ...)"
+
+let of_string ~file text =
+  let top = Sexp.parse ~file text in
+  match top with
+  | [ Sexp.List (pos, Sexp.Atom (_, "scenario") :: body) ] ->
+    let flds =
+      fields ~file ~scope:"scenario"
+        ~allowed:[ "name"; "description"; "substrate"; "fd-substrate"; "contacts"; "solver" ]
+        body
+    in
+    let name = one_atom ~file ~key:"name" (required ~file ~scope:"scenario" ~pos flds "name") in
+    if String.length name = 0 then Sexp.fail ~file ~pos "(name ...) must not be empty";
+    let description =
+      match List.assoc_opt "description" flds with
+      | Some f -> one_atom ~file ~key:"description" f
+      | None -> ""
+    in
+    let sub_pos, sub_args = required ~file ~scope:"scenario" ~pos flds "substrate" in
+    let substrate = parse_substrate ~file ~scope:"substrate" ~pos:sub_pos sub_args in
+    let fd_substrate =
+      match List.assoc_opt "fd-substrate" flds with
+      | None -> None
+      | Some (p, args) -> Some (parse_substrate ~file ~scope:"fd-substrate" ~pos:p args)
+    in
+    let con_pos, con_args = required ~file ~scope:"scenario" ~pos flds "contacts" in
+    let placement =
+      parse_contacts ~file ~pos:con_pos ~size:substrate.profile.Profile.a con_args
+    in
+    let solver =
+      match List.assoc_opt "solver" flds with
+      | Some (p, args) -> parse_solver ~file ~pos:p args
+      | None -> Eig { panels = 64 }
+    in
+    { name; description; substrate; fd_substrate; placement; solver }
+  | [ sx ] -> Sexp.fail ~file ~pos:(Sexp.pos_of sx) "expected a single (scenario ...) form"
+  | [] -> Sexp.fail ~file ~pos:{ Sexp.line = 1; col = 1 } "empty scenario file"
+  | _ :: sx :: _ ->
+    Sexp.fail ~file ~pos:(Sexp.pos_of sx) "expected a single (scenario ...) form"
+
+let of_file path =
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  of_string ~file:path text
+
+(* ------------------------------------------------------------------ *)
+(* Materialization: Layout.t and the solver escalation stack. These are
+   call-for-call the constructions the pre-scenario cli_common made, so
+   registry scenarios reproduce the legacy CLI paths bit-identically. *)
+
+let layout t =
+  let size = t.substrate.profile.Profile.a in
+  match t.placement with
+  | Rects contacts -> { Layout.size; contacts; name = t.name }
+  | Generator g -> (
+    let rng = La.Rng.create g.seed in
+    match g.gen with
+    | Regular -> Layout.regular_grid ~size ~per_side:g.per_side ~fill:(Option.value g.fill ~default:0.5) ()
+    | Irregular ->
+      Layout.irregular ~size ~per_side:g.per_side ~fill:(Option.value g.fill ~default:0.4) rng ()
+    | Alternating -> Layout.alternating ~size ~per_side:g.per_side ()
+    | Mixed -> Layout.mixed_shapes ~size ~per_side:(max 16 g.per_side) ()
+    | Large -> Layout.large_mixed ~size ~per_side:g.per_side rng ())
+
+let fd_substrate_of t = match t.fd_substrate with Some s -> s | None -> t.substrate
+
+let solver_stack t lay =
+  match t.solver with
+  | Eig { panels } ->
+    let profile = t.substrate.profile in
+    let s = Eigsolver.Eig_solver.create profile lay ~panels_per_side:panels in
+    let fallbacks =
+      [
+        ( "eig tol=1e-11 4x iterations",
+          lazy
+            (Eigsolver.Eig_solver.blackbox
+               (Eigsolver.Eig_solver.with_tolerance ~tol:1e-11 ~max_iter:8000 s)) );
+        ( "eig re-plan tol=1e-11 16x iterations",
+          lazy
+            (Eigsolver.Eig_solver.blackbox
+               (Eigsolver.Eig_solver.create ~tol:1e-11 ~max_iter:32000 profile lay
+                  ~panels_per_side:panels)) );
+      ]
+    in
+    (Eigsolver.Eig_solver.blackbox s, fallbacks)
+  | Fd { nx; nz } ->
+    let fd_profile = (fd_substrate_of t).profile in
+    let s =
+      Fdsolver.Fd_solver.create
+        ~precond:(Fdsolver.Fd_solver.Fast_poisson (Fdsolver.Fd_solver.area_fraction lay))
+        fd_profile lay ~nx ~nz
+    in
+    let fallbacks =
+      [
+        ( "fd tol=1e-11 4x iterations",
+          lazy
+            (Fdsolver.Fd_solver.blackbox
+               (Fdsolver.Fd_solver.with_tolerance ~tol:1e-11 ~max_iter:20000 s)) );
+        ( "fd ICCG tol=1e-11",
+          lazy
+            (Fdsolver.Fd_solver.blackbox
+               (Fdsolver.Fd_solver.create ~precond:Fdsolver.Fd_solver.Ic0 ~tol:1e-11
+                  ~max_iter:20000 fd_profile lay ~nx ~nz)) );
+        ( "fd direct (sparse Cholesky, coarse grid)",
+          lazy
+            (Fdsolver.Direct_solver.blackbox
+               (Fdsolver.Direct_solver.create fd_profile lay ~nx:(max 1 (nx / 2))
+                  ~nz:(max 1 (nz / 2)))) );
+      ]
+    in
+    (Fdsolver.Fd_solver.blackbox s, fallbacks)
+  | Fd_direct { nx; nz } ->
+    let s = Fdsolver.Direct_solver.create (fd_substrate_of t).profile lay ~nx ~nz in
+    (Fdsolver.Direct_solver.blackbox s, [])
+
+let blackbox t lay = fst (solver_stack t lay)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario surgery: the CLI override / legacy-alias hooks. *)
+
+let with_per_side t per_side =
+  match t.placement with
+  | Generator g -> { t with placement = Generator { g with per_side } }
+  | Rects _ ->
+    invalid_arg
+      (sprintf "scenario %s places explicit rectangles; --per-side does not apply" t.name)
+
+let with_seed t seed =
+  match t.placement with
+  | Generator g -> { t with placement = Generator { g with seed } }
+  | Rects _ ->
+    invalid_arg (sprintf "scenario %s places explicit rectangles; --seed does not apply" t.name)
+
+let with_panels t panels =
+  match t.solver with
+  | Eig _ -> { t with solver = Eig { panels } }
+  | Fd _ | Fd_direct _ ->
+    invalid_arg
+      (sprintf "scenario %s uses the %s solver; --panels only applies to eig" t.name
+         (solver_name t.solver))
+
+let with_solver t kind =
+  let solver =
+    match kind with
+    | `Eig -> (match t.solver with Eig _ as s -> s | Fd _ | Fd_direct _ -> Eig { panels = 64 })
+    | `Fd -> Fd { nx = 64; nz = 16 }
+    | `Fd_direct -> Fd_direct { nx = 32; nz = 8 }
+  in
+  { t with solver }
+
+(* ------------------------------------------------------------------ *)
+(* The registry of built-in processes and layouts. Entries are built by
+   functions (not module-level values): the library is pool-reachable,
+   so it keeps no module-level state, mutable or lazy. *)
+
+(* The thesis §3.7 stack, exactly Profile.thesis_default. *)
+let thesis_substrate () =
+  { profile = Profile.thesis_default (); layer_names = [ "channel-stop"; "bulk"; "chuck" ] }
+
+(* The grid-friendly stack the legacy CLI used for its fd solvers:
+   layer boundaries at depths 2 and 30 sit on the h = 2 (nx = 64) grid. *)
+let legacy_fd_substrate () =
+  {
+    profile =
+      Profile.make ~a:128.0 ~b:128.0
+        ~layers:
+          [
+            { Profile.thickness = 2.0; conductivity = 1.0 };
+            { Profile.thickness = 28.0; conductivity = 100.0 };
+            { Profile.thickness = 2.0; conductivity = 0.1 };
+          ]
+        ~backplane:Profile.Grounded;
+    layer_names = [ "channel-stop"; "bulk"; "chuck" ];
+  }
+
+let legacy_entry ~name ~description ~gen ?fill () =
+  {
+    name;
+    description;
+    substrate = thesis_substrate ();
+    fd_substrate = Some (legacy_fd_substrate ());
+    placement = Generator { gen; per_side = 16; seed = 7; fill };
+    solver = Eig { panels = 64 };
+  }
+
+(* An epitaxial process: lightly doped epi on a heavily doped wafer. *)
+let epi_substrate () =
+  {
+    profile =
+      Profile.make ~a:128.0 ~b:128.0
+        ~layers:
+          [
+            { Profile.thickness = 2.0; conductivity = 1.0 };
+            { Profile.thickness = 38.0; conductivity = 500.0 };
+          ]
+        ~backplane:Profile.Grounded;
+    layer_names = [ "epi"; "wafer" ];
+  }
+
+(* A uniform lightly doped bulk wafer, no epi. *)
+let bulk_substrate () =
+  {
+    profile =
+      Profile.make ~a:128.0 ~b:128.0
+        ~layers:[ { Profile.thickness = 40.0; conductivity = 10.0 } ]
+        ~backplane:Profile.Grounded;
+    layer_names = [ "wafer" ];
+  }
+
+(* Two layers over a floating backplane; depth 32 so the boundary at 4
+   sits on the h = 4 (nx = 32) fd grid. *)
+let floating_substrate () =
+  {
+    profile =
+      Profile.make ~a:128.0 ~b:128.0
+        ~layers:
+          [
+            { Profile.thickness = 4.0; conductivity = 1.0 };
+            { Profile.thickness = 28.0; conductivity = 100.0 };
+          ]
+        ~backplane:Profile.Floating;
+    layer_names = [ "surface"; "bulk" ];
+  }
+
+(* Mixed-signal SoC floorplan: a checkerboarded digital standard-cell
+   block on the left two thirds, an analog island of larger well-spaced
+   contacts on the right (the §1.1 motivating scenario). Cell pitch 8 on
+   the 128 surface; every contact fits a level-4 quadtree square. *)
+let mixed_signal_rects () =
+  let acc = ref [] in
+  let cell = 8.0 in
+  for j = 0 to 15 do
+    for i = 0 to 9 do
+      if (i + j) mod 2 = 0 then begin
+        let x0 = (float_of_int i *. cell) +. 2.0 and y0 = (float_of_int j *. cell) +. 2.0 in
+        acc := Contact.make ~x0 ~y0 ~x1:(x0 +. 4.0) ~y1:(y0 +. 4.0) :: !acc
+      end
+    done
+  done;
+  for j = 0 to 3 do
+    for i = 0 to 1 do
+      let bx = float_of_int (11 + (2 * i)) and by = float_of_int ((4 * j) + 1) in
+      let x0 = (bx *. cell) +. 1.5 and y0 = (by *. cell) +. 1.5 in
+      acc := Contact.make ~x0 ~y0 ~x1:(x0 +. 5.0) ~y1:(y0 +. 5.0) :: !acc
+    done
+  done;
+  Array.of_list (List.rev !acc)
+
+(* Guard-ring floorplan: one large aggressor bottom-left, a small analog
+   victim top-right wrapped in a ring of twelve 8-unit grounded strips
+   (each one level-4 quadtree cell), and a row of digital fillers. The
+   geometry of examples/guard_ring.ml, as data. *)
+let guard_ring_rects () =
+  let acc = ref [] in
+  let add ~x0 ~y0 ~x1 ~y1 = acc := Contact.make ~x0 ~y0 ~x1 ~y1 :: !acc in
+  add ~x0:18.0 ~y0:18.0 ~x1:28.0 ~y1:28.0;
+  add ~x0:104.0 ~y0:104.0 ~x1:112.0 ~y1:112.0;
+  for k = 0 to 6 do
+    let x0 = 10.0 +. (float_of_int k *. 16.0) in
+    add ~x0 ~y0:58.0 ~x1:(x0 +. 6.0) ~y1:64.0
+  done;
+  List.iter
+    (fun (x0, y0, x1, y1) -> add ~x0 ~y0 ~x1 ~y1)
+    [
+      (96.0, 96.0, 104.0, 100.0); (104.0, 96.0, 112.0, 100.0); (112.0, 96.0, 120.0, 100.0);
+      (96.0, 116.0, 104.0, 120.0); (104.0, 116.0, 112.0, 120.0); (112.0, 116.0, 120.0, 120.0);
+      (96.0, 100.0, 100.0, 104.0); (96.0, 104.0, 100.0, 112.0); (96.0, 112.0, 100.0, 116.0);
+      (116.0, 100.0, 120.0, 104.0); (116.0, 104.0, 120.0, 112.0); (116.0, 112.0, 120.0, 116.0);
+    ];
+  Array.of_list (List.rev !acc)
+
+let builtins () =
+  [
+    legacy_entry ~name:"regular"
+      ~description:"Thesis Fig 3-6: regular 16x16 grid of equal contacts on the thesis-default process"
+      ~gen:Regular ~fill:0.5 ();
+    legacy_entry ~name:"irregular"
+      ~description:"Thesis Fig 3-7: jittered placement with large coherent gaps on the thesis-default process"
+      ~gen:Irregular ~fill:0.4 ();
+    legacy_entry ~name:"alternating"
+      ~description:"Thesis Fig 3-8: rows of alternating large and small contacts on the thesis-default process"
+      ~gen:Alternating ();
+    legacy_entry ~name:"mixed"
+      ~description:"Thesis Fig 4-8: guard rings, thin runs and small squares on the thesis-default process"
+      ~gen:Mixed ();
+    legacy_entry ~name:"large"
+      ~description:"Thesis Fig 4-10: blocks of dense small and sparse large contacts on the thesis-default process"
+      ~gen:Large ();
+    legacy_entry ~name:"thesis-default"
+      ~description:"The thesis-default process (0.5/38.5/1 at conductivity 1/100/0.1, grounded) under a regular grid"
+      ~gen:Regular ~fill:0.5 ();
+    {
+      name = "epi";
+      description =
+        "Epitaxial process (thin epi over a heavily doped wafer) under a mixed-signal SoC floorplan";
+      substrate = epi_substrate ();
+      fd_substrate = None;
+      placement = Rects (mixed_signal_rects ());
+      solver = Eig { panels = 64 };
+    };
+    {
+      name = "bulk";
+      description = "Uniform lightly doped bulk wafer under the large mixed block layout";
+      substrate = bulk_substrate ();
+      fd_substrate = None;
+      placement = Generator { gen = Large; per_side = 16; seed = 7; fill = None };
+      solver = Eig { panels = 64 };
+    };
+    {
+      name = "floating-backplane";
+      description =
+        "Two-layer stack over a floating backplane, finite-difference solver on a 32x32x8 grid";
+      substrate = floating_substrate ();
+      fd_substrate = None;
+      placement = Generator { gen = Regular; per_side = 8; seed = 7; fill = Some 0.5 };
+      solver = Fd { nx = 32; nz = 8 };
+    };
+    {
+      name = "guard-ring-heavy";
+      description =
+        "Thesis-default process under a guard-ring floorplan: aggressor, ringed analog victim, digital fillers";
+      substrate = thesis_substrate ();
+      fd_substrate = Some (legacy_fd_substrate ());
+      placement = Rects (guard_ring_rects ());
+      solver = Eig { panels = 64 };
+    };
+  ]
+
+let names () = List.map (fun t -> t.name) (builtins ())
+
+let find name = List.find_opt (fun t -> String.equal t.name name) (builtins ())
+
+let list_lines () =
+  List.map (fun t -> sprintf "%-19s %s" t.name t.description) (builtins ())
+
+(* [--scenario NAME|FILE]: a registry name wins; anything else must be a
+   readable .scn file. *)
+let load spec =
+  match find spec with
+  | Some t -> t
+  | None ->
+    if Sys.file_exists spec then of_file spec
+    else
+      invalid_arg
+        (sprintf "unknown scenario %S: not a registry name (try --list-scenarios) and no such file"
+           spec)
+
+(* The legacy CLI surface (--layout/--per-side/--seed/--solver/--panels)
+   as a registry alias: the defaults reproduce the registry entry
+   exactly, explicit values override the corresponding scenario knobs. *)
+let of_legacy ~layout:layout_name ~per_side ~seed ~solver ~panels =
+  let base =
+    match find layout_name with
+    | Some t -> t
+    | None -> invalid_arg (sprintf "unknown layout %S" layout_name)
+  in
+  let base = with_seed (with_per_side base per_side) seed in
+  let solver =
+    match solver with
+    | `Eig -> Eig { panels }
+    | `Fd -> Fd { nx = 64; nz = 16 }
+    | `Fd_direct -> Fd_direct { nx = 32; nz = 8 }
+  in
+  { base with solver }

@@ -1,0 +1,130 @@
+(** The scenario layer: substrate problems as data.
+
+    A scenario bundles a layered process stack, a contact placement and
+    a solver-stack hint. Scenarios parse from a small sexp-style text
+    format (.scn) with line/column diagnostics, print back to text that
+    re-parses to an equal value (round-trip fixpoint), and ship as a
+    registry of named built-in processes and layouts. The CLIs, the
+    bench harness and the examples all pose their problems through this
+    module; the legacy [--layout]/[--per-side]/[--seed] flags resolve
+    through {!of_legacy} onto the same registry entries.
+
+    Trust boundary: .scn files are data, not code — the parser accepts
+    only the grammar below, validates every number (via
+    [Substrate.Profile.make] for the stack), and positions every
+    rejection as [file:line:col]. *)
+
+module Sexp : module type of Sexp
+
+type gen_kind = Regular | Irregular | Alternating | Mixed | Large
+
+type generator = {
+  gen : gen_kind;
+  per_side : int;
+  seed : int;
+  fill : float option;  (** Regular/Irregular only; [None] = generator default *)
+}
+
+type placement = Generator of generator | Rects of Geometry.Contact.t array
+
+type solver =
+  | Eig of { panels : int }
+  | Fd of { nx : int; nz : int }
+  | Fd_direct of { nx : int; nz : int }
+
+type substrate = {
+  profile : Substrate.Profile.t;
+  layer_names : string list;  (** parallel to [profile.layers] *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  substrate : substrate;
+  fd_substrate : substrate option;
+      (** optional grid-friendly override used by the fd solvers *)
+  placement : placement;
+  solver : solver;
+}
+
+val gen_name : gen_kind -> string
+val solver_name : solver -> string
+
+(** Structural equality, bit-exact on every float. *)
+val equal : t -> t -> bool
+
+(** Shortest decimal that parses back to the identical bits. *)
+val float_repr : float -> string
+
+(** Canonical .scn text; [of_string (to_string t)] equals [t], and
+    printing the re-parse reproduces the text byte-for-byte. *)
+val to_string : t -> string
+
+(** Parse one [(scenario ...)] document.
+    @raise Sexp.Error positioned at the offending form on any syntax or
+    validation failure (including [Substrate.Profile.make] rejections). *)
+val of_string : file:string -> string -> t
+
+(** @raise Sexp.Error as {!of_string}; [Sys_error] if unreadable. *)
+val of_file : string -> t
+
+(** Materialize the contact layout. Generator scenarios call the
+    [Geometry.Layout] generators with exactly the legacy CLI arguments,
+    so layouts (and hence probe digests) are bit-identical to the
+    pre-scenario paths. *)
+val layout : t -> Geometry.Layout.t
+
+(** The substrate the fd solvers discretize: [fd_substrate] if present,
+    else [substrate]. *)
+val fd_substrate_of : t -> substrate
+
+(** The primary black box plus its lazy escalation ladder for
+    [--resilience], built exactly as the legacy CLI built it. *)
+val solver_stack :
+  t ->
+  Geometry.Layout.t ->
+  Substrate.Blackbox.t * (string * Substrate.Blackbox.t Lazy.t) list
+
+val blackbox : t -> Geometry.Layout.t -> Substrate.Blackbox.t
+
+(** Scenario surgery for CLI overrides. [with_per_side]/[with_seed]
+    @raise Invalid_argument on explicit-rectangle scenarios;
+    [with_panels] on non-eig scenarios. *)
+
+val with_per_side : t -> int -> t
+
+val with_seed : t -> int -> t
+val with_panels : t -> int -> t
+
+(** Replace the solver kind, keeping an eig panel count but resetting fd
+    grids to their kind defaults (64x16 for fd, 32x8 for fd-direct). *)
+val with_solver : t -> [ `Eig | `Fd | `Fd_direct ] -> t
+
+(** The registry of built-in scenarios: the five legacy layouts (plus
+    the [thesis-default] process alias) and the epi, bulk,
+    floating-backplane and guard-ring-heavy processes. *)
+val builtins : unit -> t list
+
+val names : unit -> string list
+val find : string -> t option
+
+(** One [name  description] line per registry entry, for
+    [--list-scenarios]. *)
+val list_lines : unit -> string list
+
+(** Resolve [--scenario NAME|FILE]: registry name first, else a .scn
+    path. @raise Invalid_argument when neither matches;
+    @raise Sexp.Error on a file that fails to parse. *)
+val load : string -> t
+
+(** The legacy CLI surface as a registry alias: [of_legacy
+    ~layout:"regular" ~per_side:16 ~seed:7 ~solver:`Eig ~panels:64]
+    equals the registry entry; explicit values override the scenario's
+    knobs. @raise Invalid_argument on an unknown layout name. *)
+val of_legacy :
+  layout:string ->
+  per_side:int ->
+  seed:int ->
+  solver:[ `Eig | `Fd | `Fd_direct ] ->
+  panels:int ->
+  t

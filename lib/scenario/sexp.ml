@@ -1,0 +1,211 @@
+(* Positioned s-expressions for the scenario config format.
+
+   The lexer is the escape-correct machinery of lib/lint/dune_deps.ml
+   (atoms, lists, [;] line comments, double-quoted strings with
+   OCaml-style escapes) extended with line/column tracking so every
+   parse and validation error can name the exact spot in the .scn file
+   that caused it. Unknown escapes are kept verbatim rather than
+   rejected: a surprising backslash should not throw away the file. *)
+
+type pos = { line : int; col : int }
+
+type t = Atom of pos * string | List of pos * t list
+
+exception
+  Error of {
+    file : string;
+    line : int;
+    col : int;
+    message : string;
+  }
+
+let fail ~file ~pos message = raise (Error { file; line = pos.line; col = pos.col; message })
+
+let format_error ~file ~line ~col ~message =
+  Printf.sprintf "%s:%d:%d: %s" file line col message
+
+let pos_of = function Atom (p, _) -> p | List (p, _) -> p
+
+let parse ~file (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let col = ref 1 in
+  let here () = { line = !line; col = !col } in
+  let err ?at message =
+    let p = match at with Some p -> p | None -> here () in
+    fail ~file ~pos:p message
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  (* Every byte consumed goes through [advance], keeping line/col honest. *)
+  let advance () =
+    (if !pos < n then
+       match s.[!pos] with
+       | '\n' ->
+         incr line;
+         col := 1
+       | _ -> incr col);
+    incr pos
+  in
+  let advance_k k =
+    for _ = 1 to k do
+      advance ()
+    done
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some ';' ->
+      while !pos < n && not (Char.equal s.[!pos] '\n') do
+        advance ()
+      done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let atom_char = function
+    | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | '"' -> false
+    | _ -> true
+  in
+  let digit_val c = Char.code c - Char.code '0' in
+  let hex_val c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> -1
+  in
+  let rec parse_one () =
+    skip_ws ();
+    let start = here () in
+    match peek () with
+    | None -> err "unexpected end of input"
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        match peek () with
+        | Some ')' -> advance ()
+        | None -> err ~at:start "unclosed ("
+        | Some _ ->
+          items := parse_one () :: !items;
+          loop ()
+      in
+      loop ();
+      List (start, List.rev !items)
+    | Some '"' ->
+      advance ();
+      let b = Buffer.create 16 in
+      let rec loop () =
+        match peek () with
+        | None -> err ~at:start "unclosed string"
+        | Some '"' -> advance ()
+        | Some '\\' when !pos + 1 < n ->
+          (match s.[!pos + 1] with
+          | 'n' ->
+            Buffer.add_char b '\n';
+            advance_k 2
+          | 't' ->
+            Buffer.add_char b '\t';
+            advance_k 2
+          | 'r' ->
+            Buffer.add_char b '\r';
+            advance_k 2
+          | 'b' ->
+            Buffer.add_char b '\b';
+            advance_k 2
+          | ('\\' | '"' | '\'' | ' ') as c ->
+            Buffer.add_char b c;
+            advance_k 2
+          | '\n' ->
+            (* backslash-newline continuation: swallow it and the
+               continuation line's indentation *)
+            advance_k 2;
+            while
+              !pos < n && (Char.equal s.[!pos] ' ' || Char.equal s.[!pos] '\t')
+            do
+              advance ()
+            done
+          | '0' .. '9'
+            when !pos + 3 < n
+                 && (match (s.[!pos + 2], s.[!pos + 3]) with
+                    | '0' .. '9', '0' .. '9' -> true
+                    | _ -> false) ->
+            let code =
+              (100 * digit_val s.[!pos + 1])
+              + (10 * digit_val s.[!pos + 2])
+              + digit_val s.[!pos + 3]
+            in
+            if code > 255 then err "decimal escape out of range";
+            Buffer.add_char b (Char.chr code);
+            advance_k 4
+          | 'x' when !pos + 3 < n && hex_val s.[!pos + 2] >= 0 && hex_val s.[!pos + 3] >= 0 ->
+            Buffer.add_char b (Char.chr ((16 * hex_val s.[!pos + 2]) + hex_val s.[!pos + 3]));
+            advance_k 4
+          | c ->
+            Buffer.add_char b '\\';
+            Buffer.add_char b c;
+            advance_k 2);
+          loop ()
+        | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          loop ()
+      in
+      loop ();
+      Atom (start, Buffer.contents b)
+    | Some ')' -> err "unexpected )"
+    | Some _ ->
+      let b = Buffer.create 16 in
+      while !pos < n && atom_char s.[!pos] do
+        Buffer.add_char b s.[!pos];
+        advance ()
+      done;
+      Atom (start, Buffer.contents b)
+  in
+  let out = ref [] in
+  let rec loop () =
+    skip_ws ();
+    if !pos < n then begin
+      out := parse_one () :: !out;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Printing.                                                           *)
+
+let atom_needs_quoting a =
+  String.length a = 0
+  || String.exists
+       (function
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | '"' | '\\' -> true
+         | c -> Char.code c < 32 || Char.code c > 126)
+       a
+
+(* Quote an atom as a double-quoted string literal that [parse] decodes
+   back to the same bytes. *)
+let quote_atom a =
+  let b = Buffer.create (String.length a + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\b' -> Buffer.add_string b "\\b"
+      | c when Char.code c < 32 || Char.code c > 126 ->
+        Buffer.add_string b (Printf.sprintf "\\%03d" (Char.code c))
+      | c -> Buffer.add_char b c)
+    a;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let print_atom a = if atom_needs_quoting a then quote_atom a else a

@@ -1,0 +1,36 @@
+(** Positioned s-expressions for the scenario config format: atoms,
+    lists, [;] line comments and double-quoted strings with OCaml-style
+    escapes, each node carrying the 1-based line/column where it starts. *)
+
+type pos = { line : int; col : int }
+
+type t = Atom of pos * string | List of pos * t list
+
+(** Raised by {!parse} and by scenario validation; render it with
+    {!format_error} as [file:line:col: message]. *)
+exception
+  Error of {
+    file : string;
+    line : int;
+    col : int;
+    message : string;
+  }
+
+val fail : file:string -> pos:pos -> string -> 'a
+
+val format_error : file:string -> line:int -> col:int -> message:string -> string
+
+val pos_of : t -> pos
+
+(** Parse a whole document into its top-level forms.
+    @raise Error with [file] and the offending position on malformed input. *)
+val parse : file:string -> string -> t list
+
+val atom_needs_quoting : string -> bool
+
+(** Quote an atom as a double-quoted string literal that {!parse} decodes
+    back to the same bytes. *)
+val quote_atom : string -> string
+
+(** [a] verbatim if it can stand as a bare atom, [quote_atom a] otherwise. *)
+val print_atom : string -> string

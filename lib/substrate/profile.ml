@@ -16,13 +16,23 @@ type t = {
   backplane : backplane;
 }
 
+(* Validation names the offending field (and layer index) so that a
+   scenario config routed through here reports exactly what to fix; the
+   [not (x > 0)] form also rejects NaN, which [x <= 0] would admit. *)
 let make ~a ~b ~layers ~backplane =
-  if a <= 0.0 || b <= 0.0 then invalid_arg "Profile.make: nonpositive surface extent";
-  if layers = [] then invalid_arg "Profile.make: no layers";
-  List.iter
-    (fun l ->
-      if l.thickness <= 0.0 || l.conductivity <= 0.0 then
-        invalid_arg "Profile.make: layers need positive thickness and conductivity")
+  let bad field value =
+    invalid_arg
+      (Printf.sprintf "Profile.make: %s = %g (must be positive and finite)" field value)
+  in
+  if not (a > 0.0 && a < Float.infinity) then bad "surface extent a" a;
+  if not (b > 0.0 && b < Float.infinity) then bad "surface extent b" b;
+  if layers = [] then invalid_arg "Profile.make: layers is empty (need at least one layer)";
+  List.iteri
+    (fun i l ->
+      if not (l.thickness > 0.0 && l.thickness < Float.infinity) then
+        bad (Printf.sprintf "layers.(%d).thickness" i) l.thickness;
+      if not (l.conductivity > 0.0 && l.conductivity < Float.infinity) then
+        bad (Printf.sprintf "layers.(%d).conductivity" i) l.conductivity)
     layers;
   { a; b; layers; backplane }
 

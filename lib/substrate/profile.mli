@@ -10,6 +10,9 @@ type t = {
   backplane : backplane;
 }
 
+(** @raise Invalid_argument naming the offending field (and layer index)
+    on a nonpositive/non-finite extent, thickness or conductivity, or an
+    empty layer list. *)
 val make : a:float -> b:float -> layers:layer list -> backplane:backplane -> t
 
 (** Total substrate thickness. *)

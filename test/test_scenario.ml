@@ -1,0 +1,419 @@
+(* Tests for the scenario layer: the .scn parser (positive and negative
+   fixtures per construct), the print -> parse round-trip fixpoint on
+   every checked-in scenario file, registry agreement, the legacy CLI
+   aliases, and bit-exact layout parity against the direct generator
+   calls the CLIs used to make. *)
+
+module Layout = Geometry.Layout
+module Contact = Geometry.Contact
+module Profile = Substrate.Profile
+
+let contains_substring hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let parse text = Scenario.of_string ~file:"<test>" text
+
+let expect_error ?contains text () =
+  match parse text with
+  | (_ : Scenario.t) -> Alcotest.fail "expected a parse error, got a scenario"
+  | exception Scenario.Sexp.Error { file; line; col; message } ->
+    Alcotest.(check string) "error file" "<test>" file;
+    if line < 1 || col < 1 then
+      Alcotest.failf "error position %d:%d is not 1-based" line col;
+    (match contains with
+    | Some sub ->
+      if not (contains_substring message sub) then
+        Alcotest.failf "error %S does not mention %S" message sub
+    | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Positive fixtures *)
+
+let base_scn =
+  {|(scenario
+  (name t)
+  (substrate
+    (size 16)
+    (layers (layer (name epi) (thickness 4) (conductivity 2)))
+    (backplane grounded))
+  (contacts (generator regular (per-side 4) (seed 1)))
+  (solver eig (panels 8)))|}
+
+let test_parse_minimal () =
+  let s = parse base_scn in
+  Alcotest.(check string) "name" "t" s.Scenario.name;
+  Alcotest.(check string) "description defaults empty" "" s.Scenario.description;
+  Alcotest.(check (float 0.0)) "size" 16.0 s.Scenario.substrate.Scenario.profile.Profile.a;
+  Alcotest.(check (list string)) "layer names" [ "epi" ] s.Scenario.substrate.Scenario.layer_names;
+  (match s.Scenario.solver with
+  | Scenario.Eig { panels } -> Alcotest.(check int) "panels" 8 panels
+  | _ -> Alcotest.fail "expected an eig solver");
+  match s.Scenario.placement with
+  | Scenario.Generator g ->
+    Alcotest.(check int) "per-side" 4 g.Scenario.per_side;
+    Alcotest.(check int) "seed" 1 g.Scenario.seed;
+    Alcotest.(check bool) "no fill" true (g.Scenario.fill = None)
+  | Scenario.Rects _ -> Alcotest.fail "expected a generator placement"
+
+let test_parse_defaults () =
+  (* Solver, per-side, seed and description are all optional. *)
+  let s =
+    parse
+      {|(scenario (name d)
+         (substrate (size 8)
+           (layers (layer (name l) (thickness 1) (conductivity 1)))
+           (backplane grounded))
+         (contacts (generator regular)))|}
+  in
+  (match s.Scenario.solver with
+  | Scenario.Eig { panels } -> Alcotest.(check int) "default panels" 64 panels
+  | _ -> Alcotest.fail "default solver should be eig");
+  match s.Scenario.placement with
+  | Scenario.Generator g ->
+    Alcotest.(check int) "default per-side" 16 g.Scenario.per_side;
+    Alcotest.(check int) "default seed" 7 g.Scenario.seed
+  | Scenario.Rects _ -> Alcotest.fail "expected a generator placement"
+
+let test_parse_rects_and_fd_substrate () =
+  let s =
+    parse
+      {|(scenario (name r)
+         (description "two explicit pads")
+         (substrate (size 32)
+           (layers (layer (name l) (thickness 8) (conductivity 1)))
+           (backplane floating))
+         (fd-substrate (size 32)
+           (layers (layer (name g) (thickness 8) (conductivity 1)))
+           (backplane grounded))
+         (contacts (rects (rect 1 1 3 3) (rect 10 10 14 12)))
+         (solver fd (grid 16 4)))|}
+  in
+  Alcotest.(check string) "description" "two explicit pads" s.Scenario.description;
+  Alcotest.(check bool) "backplane floating" true
+    (s.Scenario.substrate.Scenario.profile.Profile.backplane = Profile.Floating);
+  Alcotest.(check bool) "fd override present" true (s.Scenario.fd_substrate <> None);
+  Alcotest.(check bool) "fd override grounded" true
+    ((Scenario.fd_substrate_of s).Scenario.profile.Profile.backplane = Profile.Grounded);
+  (match s.Scenario.solver with
+  | Scenario.Fd { nx; nz } ->
+    Alcotest.(check int) "nx" 16 nx;
+    Alcotest.(check int) "nz" 4 nz
+  | _ -> Alcotest.fail "expected an fd solver");
+  match s.Scenario.placement with
+  | Scenario.Rects rects ->
+    Alcotest.(check int) "two rects" 2 (Array.length rects);
+    Alcotest.(check (float 0.0)) "x1" 3.0 rects.(0).Contact.x1
+  | Scenario.Generator _ -> Alcotest.fail "expected explicit rects"
+
+let test_parse_comments_and_escapes () =
+  let s =
+    parse
+      "(scenario (name e) ; trailing comment\n\
+      \  (description \"line one\\nline \\\"two\\\"\")\n\
+      \  (substrate (size 8)\n\
+      \    (layers (layer (name l) (thickness 1) (conductivity 1)))\n\
+      \    (backplane grounded))\n\
+      \  (contacts (generator regular)))"
+  in
+  Alcotest.(check string) "escapes decoded" "line one\nline \"two\"" s.Scenario.description;
+  (* And the decoded value survives a print -> parse round trip. *)
+  let s2 = Scenario.of_string ~file:"<reprint>" (Scenario.to_string s) in
+  Alcotest.(check string) "escape round trip" s.Scenario.description s2.Scenario.description
+
+(* ------------------------------------------------------------------ *)
+(* Negative fixtures: one per construct the grammar validates *)
+
+let substrate_with body =
+  Printf.sprintf
+    {|(scenario (name bad)
+       (substrate %s)
+       (contacts (generator regular)))|}
+    body
+
+let neg_cases =
+  [
+    ( "unknown field",
+      "unknown",
+      {|(scenario (name b) (frobnicate 3)
+         (substrate (size 8) (layers (layer (name l) (thickness 1) (conductivity 1))) (backplane grounded))
+         (contacts (generator regular)))|}
+    );
+    ( "duplicate field",
+      "duplicate",
+      {|(scenario (name b) (name twice)
+         (substrate (size 8) (layers (layer (name l) (thickness 1) (conductivity 1))) (backplane grounded))
+         (contacts (generator regular)))|}
+    );
+    ( "bad number",
+      "number",
+      substrate_with
+        {|(size eight) (layers (layer (name l) (thickness 1) (conductivity 1))) (backplane grounded)|}
+    );
+    ( "non-finite number",
+      "finite",
+      substrate_with
+        {|(size inf) (layers (layer (name l) (thickness 1) (conductivity 1))) (backplane grounded)|}
+    );
+    ( "missing backplane",
+      "backplane",
+      substrate_with {|(size 8) (layers (layer (name l) (thickness 1) (conductivity 1)))|} );
+    ( "duplicate layer names",
+      "duplicate",
+      substrate_with
+        {|(size 8)
+          (layers (layer (name l) (thickness 1) (conductivity 1))
+                  (layer (name l) (thickness 2) (conductivity 3)))
+          (backplane grounded)|}
+    );
+    ( "profile validation carries the field name",
+      "thickness",
+      substrate_with
+        {|(size 8) (layers (layer (name l) (thickness -1) (conductivity 1))) (backplane grounded)|}
+    );
+    ( "degenerate rect",
+      "rect",
+      {|(scenario (name b)
+         (substrate (size 8) (layers (layer (name l) (thickness 1) (conductivity 1))) (backplane grounded))
+         (contacts (rects (rect 3 1 3 2))))|}
+    );
+    ( "rect outside the surface",
+      "outside",
+      {|(scenario (name b)
+         (substrate (size 8) (layers (layer (name l) (thickness 1) (conductivity 1))) (backplane grounded))
+         (contacts (rects (rect 1 1 9 2))))|}
+    );
+    ( "unknown generator",
+      "generator",
+      {|(scenario (name b)
+         (substrate (size 8) (layers (layer (name l) (thickness 1) (conductivity 1))) (backplane grounded))
+         (contacts (generator spiral)))|}
+    );
+    ( "unknown solver",
+      "solver",
+      {|(scenario (name b)
+         (substrate (size 8) (layers (layer (name l) (thickness 1) (conductivity 1))) (backplane grounded))
+         (contacts (generator regular))
+         (solver magic))|}
+    );
+    ( "fill outside (0,1]",
+      "fill",
+      {|(scenario (name b)
+         (substrate (size 8) (layers (layer (name l) (thickness 1) (conductivity 1))) (backplane grounded))
+         (contacts (generator regular (fill 1.5))))|}
+    );
+    ( "unterminated list",
+      "",
+      {|(scenario (name b)|} );
+  ]
+
+let test_negative () =
+  List.iter
+    (fun (label, contains, text) ->
+      let contains = if contains = "" then None else Some contains in
+      try expect_error ?contains text ()
+      with Alcotest.Test_error | Failure _ ->
+        Alcotest.failf "negative fixture %S did not fail as expected" label)
+    neg_cases
+
+(* ------------------------------------------------------------------ *)
+(* Profile.make names the offending field (the scenario parser leans on
+   these messages for its diagnostics) *)
+
+let expect_invalid_arg ~contains f =
+  match f () with
+  | (_ : Profile.t) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    if not (contains_substring msg contains) then
+      Alcotest.failf "Invalid_argument %S does not mention %S" msg contains
+
+let test_profile_make_messages () =
+  let layer = { Profile.thickness = 1.0; conductivity = 1.0 } in
+  expect_invalid_arg ~contains:"surface extent a" (fun () ->
+      Profile.make ~a:(-1.0) ~b:1.0 ~layers:[ layer ] ~backplane:Profile.Grounded);
+  expect_invalid_arg ~contains:"surface extent b" (fun () ->
+      Profile.make ~a:1.0 ~b:Float.nan ~layers:[ layer ] ~backplane:Profile.Grounded);
+  expect_invalid_arg ~contains:"layers is empty" (fun () ->
+      Profile.make ~a:1.0 ~b:1.0 ~layers:[] ~backplane:Profile.Grounded);
+  expect_invalid_arg ~contains:"layers.(1).thickness" (fun () ->
+      Profile.make ~a:1.0 ~b:1.0
+        ~layers:[ layer; { Profile.thickness = 0.0; conductivity = 1.0 } ]
+        ~backplane:Profile.Grounded);
+  expect_invalid_arg ~contains:"layers.(0).conductivity" (fun () ->
+      Profile.make ~a:1.0 ~b:1.0
+        ~layers:[ { Profile.thickness = 1.0; conductivity = Float.infinity } ]
+        ~backplane:Profile.Grounded)
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip fixpoint on every checked-in .scn, plus registry agreement *)
+
+let scenario_files () =
+  (* Under `dune runtest` the cwd is _build/default/test and the
+     (source_tree ../scenarios) dep sits one level up; under `dune exec`
+     the cwd is the project root and the sources are used directly. *)
+  let dir =
+    List.find Sys.file_exists [ Filename.concat ".." "scenarios"; "scenarios" ]
+  in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".scn")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let test_checked_in_fixpoint () =
+  let files = scenario_files () in
+  Alcotest.(check bool) "scenarios/ ships files" true (List.length files >= 10);
+  List.iter
+    (fun path ->
+      let t = Scenario.of_file path in
+      let printed = Scenario.to_string t in
+      let t2 = Scenario.of_string ~file:(path ^ " (reprinted)") printed in
+      if not (Scenario.equal t t2) then Alcotest.failf "%s: print -> parse is not a fixpoint" path;
+      Alcotest.(check string) (path ^ " second print is byte-stable") printed (Scenario.to_string t2);
+      (* The file contents themselves must be the canonical print. *)
+      let ic = open_in_bin path in
+      let on_disk = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) (path ^ " is canonical") printed on_disk;
+      match Scenario.find t.Scenario.name with
+      | Some reg ->
+        if not (Scenario.equal t reg) then
+          Alcotest.failf "%s: drifted from registry entry %s" path t.Scenario.name
+      | None -> Alcotest.failf "%s: name %s is not in the registry" path t.Scenario.name)
+    files
+
+let test_registry_covers_legacy () =
+  let names = Scenario.names () in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l ^ " in registry") true (List.mem l names))
+    [ "regular"; "irregular"; "alternating"; "mixed"; "large" ];
+  Alcotest.(check bool) "at least two industrial placements" true
+    (List.mem "epi" names && List.mem "guard-ring-heavy" names)
+
+(* ------------------------------------------------------------------ *)
+(* Legacy aliases: the old CLI flags resolve to registry entries *)
+
+let test_legacy_alias_equals_registry () =
+  List.iter
+    (fun layout ->
+      let via_alias =
+        Scenario.of_legacy ~layout ~per_side:16 ~seed:7 ~solver:`Eig ~panels:64
+      in
+      let reg = Option.get (Scenario.find layout) in
+      if not (Scenario.equal via_alias reg) then
+        Alcotest.failf "--layout %s --per-side 16 --seed 7 differs from the registry entry" layout)
+    [ "regular"; "irregular"; "alternating"; "mixed"; "large" ]
+
+let test_legacy_alias_overrides () =
+  let s = Scenario.of_legacy ~layout:"regular" ~per_side:8 ~seed:3 ~solver:`Fd ~panels:64 in
+  (match s.Scenario.placement with
+  | Scenario.Generator g ->
+    Alcotest.(check int) "per-side override" 8 g.Scenario.per_side;
+    Alcotest.(check int) "seed override" 3 g.Scenario.seed
+  | Scenario.Rects _ -> Alcotest.fail "expected a generator");
+  match s.Scenario.solver with
+  | Scenario.Fd { nx; nz } ->
+    Alcotest.(check int) "fd nx default" 64 nx;
+    Alcotest.(check int) "fd nz default" 16 nz
+  | _ -> Alcotest.fail "expected the fd solver"
+
+let test_surgery_guards () =
+  let epi = Option.get (Scenario.find "epi") in
+  (match Scenario.with_per_side epi 8 with
+  | (_ : Scenario.t) -> Alcotest.fail "with_per_side on explicit rects should raise"
+  | exception Invalid_argument _ -> ());
+  let fd = Option.get (Scenario.find "floating-backplane") in
+  match Scenario.with_panels fd 32 with
+  | (_ : Scenario.t) -> Alcotest.fail "with_panels on an fd scenario should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_load_unknown () =
+  match Scenario.load "no-such-scenario-or-file" with
+  | (_ : Scenario.t) -> Alcotest.fail "load of an unknown name should raise"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "mentions --list-scenarios" true
+      (contains_substring msg "--list-scenarios")
+
+(* ------------------------------------------------------------------ *)
+(* Layout parity: scenario materialization is bit-identical to the
+   direct generator calls the legacy CLI made *)
+
+let layouts_equal a b =
+  a.Layout.size = b.Layout.size
+  && Array.length a.Layout.contacts = Array.length b.Layout.contacts
+  && Array.for_all2
+       (fun (c : Contact.t) (d : Contact.t) ->
+         let eq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+         eq c.Contact.x0 d.Contact.x0 && eq c.Contact.y0 d.Contact.y0
+         && eq c.Contact.x1 d.Contact.x1 && eq c.Contact.y1 d.Contact.y1)
+       a.Layout.contacts b.Layout.contacts
+
+let scenario_layout ?per_side ?seed name =
+  let s = Option.get (Scenario.find name) in
+  let s = match per_side with Some n -> Scenario.with_per_side s n | None -> s in
+  let s = match seed with Some v -> Scenario.with_seed s v | None -> s in
+  Scenario.layout s
+
+let test_layout_parity () =
+  let check name a b =
+    if not (layouts_equal a b) then Alcotest.failf "%s: scenario layout differs from generator" name
+  in
+  check "regular"
+    (scenario_layout ~per_side:8 "regular")
+    (Layout.regular_grid ~size:128.0 ~per_side:8 ~fill:0.5 ());
+  check "irregular"
+    (scenario_layout ~per_side:8 "irregular")
+    (Layout.irregular ~size:128.0 ~per_side:8 ~fill:0.4 (La.Rng.create 7) ());
+  check "alternating"
+    (scenario_layout ~per_side:8 "alternating")
+    (Layout.alternating ~size:128.0 ~per_side:8 ());
+  check "mixed" (scenario_layout "mixed") (Layout.mixed_shapes ~size:128.0 ~per_side:16 ());
+  check "large"
+    (scenario_layout ~per_side:8 ~seed:11 "large")
+    (Layout.large_mixed ~size:128.0 ~per_side:8 (La.Rng.create 11) ())
+
+(* ------------------------------------------------------------------ *)
+(* float_repr: shortest representation, exact bits back *)
+
+let test_float_repr_roundtrip () =
+  List.iter
+    (fun x ->
+      let s = Scenario.float_repr x in
+      let y = float_of_string s in
+      if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)) then
+        Alcotest.failf "float_repr %h -> %s -> %h lost bits" x s y)
+    [ 0.5; 38.5; 1.0; 0.1; 128.0; 1.0 /. 3.0; 1e-17; 4.0 *. atan 1.0 ];
+  Alcotest.(check string) "integers print bare" "128" (Scenario.float_repr 128.0);
+  Alcotest.(check string) "decimals stay short" "0.5" (Scenario.float_repr 0.5)
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "minimal scenario" `Quick test_parse_minimal;
+          Alcotest.test_case "optional fields default" `Quick test_parse_defaults;
+          Alcotest.test_case "rects + fd-substrate" `Quick test_parse_rects_and_fd_substrate;
+          Alcotest.test_case "comments and string escapes" `Quick test_parse_comments_and_escapes;
+          Alcotest.test_case "negative fixtures" `Quick test_negative;
+        ] );
+      ( "profile",
+        [ Alcotest.test_case "make names the offending field" `Quick test_profile_make_messages ] );
+      ( "registry",
+        [
+          Alcotest.test_case "checked-in .scn fixpoint + agreement" `Quick test_checked_in_fixpoint;
+          Alcotest.test_case "registry covers the legacy layouts" `Quick test_registry_covers_legacy;
+          Alcotest.test_case "load rejects unknown names" `Quick test_load_unknown;
+        ] );
+      ( "legacy",
+        [
+          Alcotest.test_case "alias equals registry entry" `Quick test_legacy_alias_equals_registry;
+          Alcotest.test_case "alias overrides apply" `Quick test_legacy_alias_overrides;
+          Alcotest.test_case "surgery guards" `Quick test_surgery_guards;
+        ] );
+      ( "materialize",
+        [ Alcotest.test_case "layout parity with the generators" `Quick test_layout_parity ] );
+      ( "print",
+        [ Alcotest.test_case "float_repr round-trips bits" `Quick test_float_repr_roundtrip ] );
+    ]

@@ -67,6 +67,31 @@ REQUIRED_SECTIONS = {
     ],
 }
 
+# Sections newer than the committed baseline snapshot: validated with the
+# same row shapes when present, but their absence is not an error (the
+# baseline predates them and must keep validating).
+OPTIONAL_SECTIONS = {
+    "shard": [
+        ("layout", str),
+        ("n", int),
+        ("level", int),
+        ("shards", int),
+        ("fresh_s", float),
+        ("resume_s", float),
+        ("total_solves", int),
+        ("resume_live_solves", int),
+        ("bitwise_identical", bool),
+    ],
+    "scenario_matrix": [
+        ("scenario", str),
+        ("solver", str),
+        ("n", int),
+        ("solves", int),
+        ("wall_s", float),
+        ("probe_digest", str),
+    ],
+}
+
 
 def typecheck(value, expected):
     # ints serialize as valid floats; accept them where a float is expected.
@@ -92,14 +117,15 @@ def validate_schema(doc, path):
     if doc.get("schema_version") not in (None, SCHEMA_VERSION):
         errors.append(f"{path}: schema_version {doc['schema_version']} "
                       f"unsupported (validator knows {SCHEMA_VERSION})")
-    for section, fields in REQUIRED_SECTIONS.items():
+    def check_section(section, fields, required):
         rows = doc.get(section)
         if rows is None:
-            errors.append(f"{path}: missing section '{section}'")
-            continue
+            if required:
+                errors.append(f"{path}: missing section '{section}'")
+            return
         if not isinstance(rows, list):
             errors.append(f"{path}: section '{section}' is not an array")
-            continue
+            return
         for i, row in enumerate(rows):
             for field, expected in fields:
                 if field not in row:
@@ -107,6 +133,11 @@ def validate_schema(doc, path):
                 elif not typecheck(row[field], expected):
                     errors.append(f"{path}: {section}[{i}].{field} has type "
                                   f"{type(row[field]).__name__}, want {expected.__name__}")
+
+    for section, fields in REQUIRED_SECTIONS.items():
+        check_section(section, fields, required=True)
+    for section, fields in OPTIONAL_SECTIONS.items():
+        check_section(section, fields, required=False)
     return errors
 
 
