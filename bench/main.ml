@@ -1287,6 +1287,132 @@ let bench_scenario_matrix ~full () =
     (Scenario.builtins ())
 
 (* ------------------------------------------------------------------ *)
+(* Serving daemon: matvec throughput vs jobs, coalescing gain *)
+
+type serve_record = {
+  sv_mode : string;  (* "uncoalesced" | "coalesced" | "batched" *)
+  sv_jobs : int;
+  sv_clients : int;
+  sv_requests : int;
+  sv_wall_s : float;
+  sv_rps : float;  (* matvecs per second through the socket *)
+  sv_mean_batch : float;  (* mean coalesced batch width (0 when unbatched) *)
+  sv_bit_identical : bool;
+}
+
+let serve_records : serve_record list ref = ref []
+
+let bench_serve ~full () =
+  section "Serving daemon — matvec throughput vs jobs, coalescing gain (gate: bit-identical)";
+  let n = if full then 512 else 192 in
+  let clients = if full then 8 else 4 in
+  let per = if full then 40 else 25 in
+  (* Synthetic representation (orthogonal Q from QR, random symmetric
+     G_w): exactly representable, so the experiment times the serving
+     stack, not a solver. *)
+  let q = (La.Qr.decomp (Mat.random rng n n)).La.Qr.q in
+  let m = Mat.random rng n n in
+  let gw = Mat.add m (Mat.transpose m) in
+  let repr = Repr.make ~q:(Sparsemat.Csr.of_dense q) ~gw:(Sparsemat.Csr.of_dense gw) ~solves:0 in
+  let dir = Filename.temp_file "subcouple_serve" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      Repr.save repr ~kind:"bench" ~source:"bench serve experiment"
+        ~path:(Filename.concat dir "g.sca");
+      let total = clients * per in
+      let vs = Array.init total (fun i -> La.Rng.gaussian_array (La.Rng.create (31337 + i)) n) in
+      let reference = Subcouple_op.apply_batch ~jobs:1 (Repr.op repr) vs in
+      let vec_bits_equal a b =
+        Array.length a = Array.length b
+        && Array.for_all2
+             (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+             a b
+      in
+      Printf.printf "  n = %d, %d clients x %d matvecs each (%d total)\n" n clients per total;
+      Printf.printf "  %-12s %5s %10s %12s %11s  %s\n" "mode" "jobs" "wall (s)" "matvecs/s"
+        "mean batch" "bit-identical";
+      let run_mode ~mode ~jobs =
+        (* Fresh daemon per run: clean stats, cold-to-warm cache outside
+           the timed window. *)
+        let sock = Filename.concat dir "bench.sock" in
+        let srv = Serve.Server.create ~jobs ~root:dir ~listen:(`Unix sock) () in
+        let th = Thread.create Serve.Server.run srv in
+        let results = Array.make total [||] in
+        let wall =
+          Fun.protect
+            ~finally:(fun () ->
+              Serve.Server.stop srv;
+              Thread.join th)
+            (fun () ->
+              Serve.Client.with_connection (`Unix sock) (fun cl ->
+                  ignore (Serve.Client.info cl ~artifact:"g.sca" : Serve.Client.info));
+              let t0 = Unix.gettimeofday () in
+              (match mode with
+              | `Batched ->
+                (* One pre-formed batch: the fused-sweep ceiling. *)
+                Serve.Client.with_connection (`Unix sock) (fun cl ->
+                    let outs, _ = Serve.Client.apply_batch cl ~artifact:"g.sca" vs in
+                    Array.blit outs 0 results 0 total)
+              | `Singles coalesce ->
+                let threads =
+                  List.init clients (fun c ->
+                      Thread.create
+                        (fun () ->
+                          Serve.Client.with_connection (`Unix sock) (fun cl ->
+                              for k = 0 to per - 1 do
+                                let i = (c * per) + k in
+                                let y, _ =
+                                  Serve.Client.apply ~coalesce cl ~artifact:"g.sca" vs.(i)
+                                in
+                                results.(i) <- y
+                              done))
+                        ())
+                in
+                List.iter Thread.join threads);
+              Unix.gettimeofday () -. t0)
+        in
+        let mean_batch =
+          Option.value ~default:0.0
+            (List.assoc_opt "batch.size.mean" (Serve.Stats.pairs (Serve.Server.stats srv)))
+        in
+        let identical = Array.for_all2 vec_bits_equal reference results in
+        let name =
+          match mode with
+          | `Batched -> "batched"
+          | `Singles true -> "coalesced"
+          | `Singles false -> "uncoalesced"
+        in
+        let rps = float_of_int total /. wall in
+        Printf.printf "  %-12s %5d %10.4f %12.0f %11.2f  %b\n%!" name jobs wall rps mean_batch
+          identical;
+        serve_records :=
+          {
+            sv_mode = name;
+            sv_jobs = jobs;
+            sv_clients = (match mode with `Batched -> 1 | `Singles _ -> clients);
+            sv_requests = total;
+            sv_wall_s = wall;
+            sv_rps = rps;
+            sv_mean_batch = mean_batch;
+            sv_bit_identical = identical;
+          }
+          :: !serve_records;
+        if not identical then
+          failwith ("serve bench: " ^ name ^ " responses are not bit-identical to direct apply")
+      in
+      List.iter
+        (fun jobs ->
+          run_mode ~mode:(`Singles false) ~jobs;
+          run_mode ~mode:(`Singles true) ~jobs;
+          run_mode ~mode:`Batched ~jobs)
+        [ 1; 4 ])
+
+(* ------------------------------------------------------------------ *)
 (* JSON results (--json FILE): hand-rolled writer, no JSON dependency *)
 
 let json_escape s =
@@ -1410,6 +1536,21 @@ let write_json path ~full records =
             (if i = List.length scs - 1 then "" else ","))
         scs;
       Printf.fprintf oc "  ],\n";
+      (* New in this PR (optional for the validator, like "shard" and
+         "scenario_matrix"). *)
+      Printf.fprintf oc "  \"serve\": [\n";
+      let svs = List.rev !serve_records in
+      List.iteri
+        (fun i s ->
+          Printf.fprintf oc
+            "    {\"mode\": \"%s\", \"jobs\": %d, \"clients\": %d, \"requests\": %d, \
+             \"wall_s\": %.6f, \"matvecs_per_s\": %.1f, \"mean_batch\": %.3f, \
+             \"bit_identical\": %b}%s\n"
+            (json_escape s.sv_mode) s.sv_jobs s.sv_clients s.sv_requests s.sv_wall_s s.sv_rps
+            s.sv_mean_batch s.sv_bit_identical
+            (if i = List.length svs - 1 then "" else ","))
+        svs;
+      Printf.fprintf oc "  ],\n";
       Printf.fprintf oc "  \"kernels\": [\n";
       let krs = List.rev !kernel_records in
       List.iteri
@@ -1461,6 +1602,7 @@ let experiments =
     ("chaos", "Resilience: wrapper overhead on clean runs, chaos recovery", bench_chaos);
     ("shard", "Sharded extraction: fault domains, resume cost, composed parity", bench_shard);
     ("trace", "Tracing: disabled-path overhead gate, enabled-run audit", bench_trace);
+    ("serve", "Serving daemon: matvec throughput vs jobs, coalescing gain", bench_serve);
   ]
 
 let run only full list_only list_scenarios json jobs =

@@ -220,8 +220,16 @@ let response_digest (responses : La.Vec.t array) =
     responses;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
+(* The digest line from responses already in hand: substrate_serve's
+   client hashes what came over the socket instead of applying locally,
+   so equality with substrate_apply --digest proves socket transport is
+   bit-exact too. *)
+let probe_digest_line_of_responses ?(probes = default_probes) ?(seed = default_probe_seed) ~n
+    responses =
+  Printf.sprintf "probe digest: %s (%d probes, seed %d, n %d)" (response_digest responses) probes
+    seed n
+
 let probe_digest_line ?(probes = default_probes) ?(seed = default_probe_seed) ~jobs op =
   let n = Subcouple_op.n op in
   let responses = Subcouple_op.apply_batch ~jobs op (probe_vectors ~n ~probes ~seed) in
-  Printf.sprintf "probe digest: %s (%d probes, seed %d, n %d)" (response_digest responses) probes
-    seed n
+  probe_digest_line_of_responses ~probes ~seed ~n responses

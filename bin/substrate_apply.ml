@@ -128,27 +128,39 @@ let run_apply path jobs threshold columns probes seed digest trace trace_summary
     Printf.eprintf "--threshold applies to single-operator artifacts, not shard manifests\n";
     exit_user_error
   | loaded ->
-  let op =
+  let op, health =
     match loaded with
     | `Manifest m ->
       let op, health = compose_or_exit ~dir:(Filename.dirname path) m in
       print_health health;
-      op
+      (op, health)
     | `Operator a ->
       let repr = Repr.of_artifact a in
       let repr = if threshold > 1.0 then Repr.threshold repr ~target:threshold else repr in
       if threshold > 1.0 then
         Printf.printf "thresholded G_w to %d nonzeros (sparsity factor %.1f)\n" (Repr.nnz_gw repr)
           (Repr.sparsity_gw repr);
-      Repr.op repr
+      (Repr.op repr, Op.Full)
+  in
+  (* A degraded composition answers masked rows with zeros. That must
+     never be silent: every answer served below carries a warning naming
+     the masked contacts. *)
+  let warn_degraded ~context =
+    match Op.degraded_warning ~context health with
+    | Some w -> Printf.eprintf "warning: %s\n" w
+    | None -> ()
   in
   let code =
     match columns with
     | _ :: _ -> (
       match Op.columns ~jobs op (Array.of_list columns) with
       | cols ->
+        let masked = Op.masked_of_health health in
         List.iteri
           (fun k j ->
+            warn_degraded ~context:(Printf.sprintf "column %d" j);
+            if Array.exists (fun m -> m = j) masked then
+              Printf.eprintf "warning: contact %d is itself masked; column %d is all zeros\n" j j;
             print_vector ~label:(Printf.sprintf "column %d of G (unit voltage on contact %d):" j j)
               cols.(k))
           columns;
@@ -159,6 +171,7 @@ let run_apply path jobs threshold columns probes seed digest trace trace_summary
     | [] ->
       let vs = probe_vectors ~n:(Op.n op) ~probes ~seed in
       let responses = Op.apply_batch ~jobs op vs in
+      warn_degraded ~context:(Printf.sprintf "%d probe response(s)" (Array.length vs));
       if digest then
         print_endline (probe_digest_line ~probes ~seed ~jobs op)
       else begin

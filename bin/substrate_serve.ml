@@ -1,0 +1,350 @@
+(* substrate_serve: the operator-serving daemon and its client CLI.
+
+     substrate_serve serve --root DIR --socket /tmp/sub.sock --jobs 4
+     substrate_serve info g.sca --socket /tmp/sub.sock
+     substrate_serve apply g.sca --digest --socket /tmp/sub.sock
+     substrate_serve stats --socket /tmp/sub.sock
+     substrate_serve shutdown --socket /tmp/sub.sock
+
+   The daemon keeps decoded operators resident (LRU against a byte
+   budget), coalesces concurrent matvecs into fused batches on the Domain
+   pool, and answers over a length-prefixed binary protocol on a Unix or
+   TCP socket. Served answers are bit-identical to substrate_apply
+   against the same artifact, at every --jobs, coalesced or not — the
+   `apply --digest` subcommand proves it end to end by hashing the probe
+   responses exactly as substrate_apply does, except the vectors traveled
+   through the daemon. *)
+
+module Op = Subcouple_op
+open Cmdliner
+open Cli_common
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint selection, shared by the daemon and every client command. *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc:"Unix-domain socket path for the daemon.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "TCP endpoint for the daemon (mutually exclusive with --socket). The daemon prints the \
+           bound port, so PORT 0 picks a free one.")
+
+let resolve_endpoint socket tcp =
+  match (socket, tcp) with
+  | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+  | Some path, None -> Ok (`Unix path)
+  | None, Some spec -> (
+    match String.rindex_opt spec ':' with
+    | None -> Error (Printf.sprintf "--tcp %s: expected HOST:PORT" spec)
+    | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 -> Ok (`Tcp (host, p))
+      | _ -> Error (Printf.sprintf "--tcp %s: bad port %S" spec port)))
+  | None, None -> Error "an endpoint is required: --socket PATH or --tcp HOST:PORT"
+
+let with_endpoint socket tcp f =
+  match resolve_endpoint socket tcp with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit_user_error
+  | Ok ep -> f ep
+
+(* Client transport/protocol failures all map to the operational exit. *)
+let with_client socket tcp f =
+  with_endpoint socket tcp (fun ep ->
+      match Serve.Client.with_connection ep f with
+      | code -> code
+      | exception Serve.Client.Server_error msg ->
+        Printf.eprintf "server error: %s\n" msg;
+        exit_bad_artifact
+      | exception Serve.Protocol.Error msg ->
+        Printf.eprintf "protocol error: %s\n" msg;
+        exit_bad_artifact
+      | exception End_of_file ->
+        Printf.eprintf "connection closed by the daemon\n";
+        exit_bad_artifact
+      | exception Unix.Unix_error (e, fn, _) ->
+        Printf.eprintf "%s: %s\n" fn (Unix.error_message e);
+        exit_bad_artifact)
+
+let artifact_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"NAME"
+        ~doc:
+          "Artifact name, relative to the daemon's serving root (an .sca operator or .scm shard \
+           manifest).")
+
+(* The client-side face of the per-request degradation report: same
+   message the local tools print, built from what came over the wire. *)
+let warn_degraded ~context = function
+  | None -> ()
+  | Some { Serve.Protocol.masked; quarantined_shards; pending_shards } ->
+    let k = Array.length masked in
+    Printf.eprintf "warning: degraded %s: %d masked contact%s %s served as zeros (%d quarantined \
+                    shard%s, %d pending)\n"
+      context k
+      (if k = 1 then "" else "s")
+      (Op.format_indices masked) quarantined_shards
+      (if quarantined_shards = 1 then "" else "s")
+      pending_shards
+
+(* ------------------------------------------------------------------ *)
+(* serve: the daemon itself. *)
+
+let run_serve socket tcp root cache_mb jobs =
+  with_endpoint socket tcp (fun listen ->
+      let jobs = resolve_jobs jobs in
+      match
+        Serve.Server.create ~max_bytes:(cache_mb * 1024 * 1024) ~jobs ~root ~listen ()
+      with
+      | exception Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit_user_error
+      | exception Unix.Unix_error (e, fn, arg) ->
+        Printf.eprintf "%s(%s): %s\n" fn arg (Unix.error_message e);
+        exit_user_error
+      | t ->
+        List.iter
+          (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> Serve.Server.stop t)))
+          [ Sys.sigint; Sys.sigterm ];
+        (match Serve.Server.address t with
+        | `Unix path -> Printf.printf "serving %s on unix socket %s (jobs %d)\n%!" root path jobs
+        | `Tcp (host, port) ->
+          Printf.printf "serving %s on tcp %s:%d (jobs %d)\n%!" root host port jobs);
+        Serve.Server.run t;
+        exit_ok)
+
+let root_arg =
+  Arg.(
+    value & opt string "."
+    & info [ "root" ] ~docv:"DIR"
+        ~doc:"Serving root: artifact names resolve under this directory, and never outside it.")
+
+let cache_mb_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-mb" ] ~docv:"MB"
+        ~doc:"Resident-operator cache budget in MiB; least-recently-used artifacts are evicted.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the serving daemon: resident-operator cache, coalesced batched matvecs, one trace \
+          span per request.")
+    Term.(const run_serve $ socket_arg $ tcp_arg $ root_arg $ cache_mb_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* info *)
+
+let run_info artifact socket tcp =
+  with_client socket tcp (fun c ->
+      let i = Serve.Client.info c ~artifact in
+      Printf.printf "artifact: %s (served)\n" artifact;
+      Printf.printf "kind: %s\n" (if String.equal i.Serve.Client.kind "" then "(unset)" else i.Serve.Client.kind);
+      if not (String.equal i.Serve.Client.source "") then
+        Printf.printf "source: %s\n" i.Serve.Client.source;
+      Printf.printf "n: %d contacts\n" i.Serve.Client.n;
+      Printf.printf "solves spent extracting: %d\n" i.Serve.Client.solves;
+      Printf.printf "storage: %d floats (dense G would store %d)\n" i.Serve.Client.storage_floats
+        (i.Serve.Client.n * i.Serve.Client.n);
+      (match i.Serve.Client.degraded with
+      | None -> ()
+      | Some d ->
+        Printf.printf "health: degraded (%d masked contact(s), %d quarantined shard(s), %d \
+                       pending)\n"
+          (Array.length d.Serve.Protocol.masked)
+          d.Serve.Protocol.quarantined_shards d.Serve.Protocol.pending_shards);
+      exit_ok)
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe a served artifact: provenance, size, build cost, health.")
+    Term.(const run_info $ artifact_arg $ socket_arg $ tcp_arg)
+
+(* ------------------------------------------------------------------ *)
+(* apply *)
+
+let print_vector ~label v =
+  Printf.printf "%s\n" label;
+  let n = Array.length v in
+  Array.iteri (fun i c -> if i < 32 then Printf.printf "  I[%d] = %+.5f\n" i c) v;
+  if n > 32 then Printf.printf "  ... (%d more)\n" (n - 32);
+  Printf.printf "  |I|_2 = %.6g\n" (La.Vec.norm2 v)
+
+let run_apply artifact socket tcp probes seed digest singles =
+  with_client socket tcp (fun c ->
+      let i = Serve.Client.info c ~artifact in
+      let n = i.Serve.Client.n in
+      let vs = probe_vectors ~n ~probes ~seed in
+      let responses, degraded =
+        if singles then begin
+          (* One coalescible request per probe — exercises the daemon's
+             batching queue; answers are bit-identical to the one-shot
+             batch either way. *)
+          let degraded = ref None in
+          let outs =
+            Array.map
+              (fun v ->
+                let y, d = Serve.Client.apply c ~artifact v in
+                (match d with Some _ -> degraded := d | None -> ());
+                y)
+              vs
+          in
+          (outs, !degraded)
+        end
+        else Serve.Client.apply_batch c ~artifact vs
+      in
+      warn_degraded ~context:(Printf.sprintf "%d probe response(s)" (Array.length vs)) degraded;
+      if digest then print_endline (probe_digest_line_of_responses ~probes ~seed ~n responses)
+      else begin
+        Printf.printf "applied the served operator to %d probe vector(s) (seed %d%s)\n"
+          (Array.length vs) seed
+          (if singles then ", one request per probe" else ", one batched request");
+        Array.iteri
+          (fun i r -> Printf.printf "  probe %d: |G v|_2 = %.6g\n" i (La.Vec.norm2 r))
+          responses
+      end;
+      exit_ok)
+
+let probes_arg =
+  Arg.(
+    value & opt int default_probes
+    & info [ "probes" ] ~docv:"K" ~doc:"Number of deterministic probe vectors to apply.")
+
+let probe_seed_arg =
+  Arg.(
+    value & opt int default_probe_seed
+    & info [ "probe-seed" ] ~docv:"SEED" ~doc:"Seed for the deterministic probe vectors.")
+
+let digest_arg =
+  Arg.(
+    value & flag
+    & info [ "digest" ]
+        ~doc:
+          "Print the probe-response digest instead of norms. Matches substrate_apply --digest \
+           against the same artifact when the daemon serves bit-identically.")
+
+let singles_arg =
+  Arg.(
+    value & flag
+    & info [ "singles" ]
+        ~doc:
+          "Send one coalescible request per probe instead of a single batched request (same \
+           answers, different server path).")
+
+let apply_cmd =
+  Cmd.v
+    (Cmd.info "apply"
+       ~doc:"Apply a served operator to deterministic probe vectors over the socket.")
+    Term.(
+      const run_apply $ artifact_arg $ socket_arg $ tcp_arg $ probes_arg $ probe_seed_arg
+      $ digest_arg $ singles_arg)
+
+(* ------------------------------------------------------------------ *)
+(* column *)
+
+let run_column artifact socket tcp columns =
+  with_client socket tcp (fun c ->
+      if columns = [] then begin
+        Printf.eprintf "at least one --column is required\n";
+        exit_user_error
+      end
+      else begin
+        List.iter
+          (fun j ->
+            let v, degraded = Serve.Client.column c ~artifact j in
+            warn_degraded ~context:(Printf.sprintf "column %d" j) degraded;
+            (match degraded with
+            | Some d when Array.exists (fun m -> m = j) d.Serve.Protocol.masked ->
+              Printf.eprintf "warning: contact %d is itself masked; column %d is all zeros\n" j j
+            | _ -> ());
+            print_vector ~label:(Printf.sprintf "column %d of G (unit voltage on contact %d):" j j)
+              v)
+          columns;
+        exit_ok
+      end)
+
+let columns_arg =
+  Arg.(
+    value & opt_all int []
+    & info [ "column"; "c" ] ~docv:"I" ~doc:"Serve column $(docv) of G (repeatable).")
+
+let column_cmd =
+  Cmd.v
+    (Cmd.info "column" ~doc:"Serve columns of a served operator over the socket.")
+    Term.(const run_column $ artifact_arg $ socket_arg $ tcp_arg $ columns_arg)
+
+(* ------------------------------------------------------------------ *)
+(* threshold *)
+
+let run_threshold artifact socket tcp target =
+  with_client socket tcp (fun c ->
+      let r = Serve.Client.threshold c ~artifact ~target in
+      Printf.printf "thresholded G_w: %d -> %d nonzeros (target %gx); storage %d floats\n"
+        r.Serve.Client.nnz_before r.Serve.Client.nnz_after target r.Serve.Client.storage_floats;
+      exit_ok)
+
+let target_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "target"; "t" ] ~docv:"X"
+        ~doc:"Preview thresholding the served G_w to roughly X times fewer nonzeros.")
+
+let threshold_cmd =
+  Cmd.v
+    (Cmd.info "threshold"
+       ~doc:"Preview sparsifying a served operator artifact (server-side, nothing persisted).")
+    Term.(const run_threshold $ artifact_arg $ socket_arg $ tcp_arg $ target_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats / shutdown *)
+
+let run_stats socket tcp =
+  with_client socket tcp (fun c ->
+      let table, _ = Serve.Client.stats c in
+      print_string table;
+      exit_ok)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print the daemon's counters and latency distributions (same deterministic layout as \
+          --trace-summary).")
+    Term.(const run_stats $ socket_arg $ tcp_arg)
+
+let run_shutdown socket tcp =
+  with_client socket tcp (fun c ->
+      Serve.Client.shutdown c;
+      Printf.printf "daemon acknowledged shutdown\n";
+      exit_ok)
+
+let shutdown_cmd =
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask the daemon to stop.")
+    Term.(const run_shutdown $ socket_arg $ tcp_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Info);
+  let doc = "Serve substrate operator artifacts from a resident-cache daemon over a socket." in
+  let info = Cmd.info "substrate_serve" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ serve_cmd; info_cmd; apply_cmd; column_cmd; threshold_cmd; stats_cmd; shutdown_cmd ]))

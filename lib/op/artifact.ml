@@ -119,11 +119,11 @@ let frame ~family ~version body =
    but not the data, had the file not been synced first). Best-effort: some
    filesystems refuse to open a directory for reading. *)
 let fsync_dir path =
-  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  match Io_retry.restart (fun () -> Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0) with
   | fd ->
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-      (fun () -> Unix.fsync fd)
+      (fun () -> Io_retry.restart (fun () -> Unix.fsync fd))
   | exception Unix.Unix_error _ -> ()
 
 (* Temp file + fsync + rename + directory fsync: a crashed (or power-lost)
@@ -138,12 +138,11 @@ let write_atomic ~path b =
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
         let bytes = Buffer.to_bytes b in
-        let len = Bytes.length bytes in
-        let off = ref 0 in
-        while !off < len do
-          off := !off + Unix.write fd bytes !off (len - !off)
-        done;
-        Unix.fsync fd);
+        (* EINTR-restarting: a bare [Unix.write] loop aborts mid-file when
+           a signal lands (daemons handle signals routinely), leaving a
+           torn tmp file for the rename below to publish. *)
+        Io_retry.write_all fd bytes 0 (Bytes.length bytes);
+        Io_retry.restart (fun () -> Unix.fsync fd));
     Sys.rename tmp path;
     fsync_dir path
   with

@@ -7,6 +7,7 @@
    benchmarks, serving — only ever sees the operator. *)
 
 module Artifact = Artifact
+module Io_retry = Io_retry
 
 type meta = {
   kind : string;
@@ -140,6 +141,40 @@ let pp_health ppf = function
       (if quarantined = [] then "none"
        else String.concat ", " (List.map (fun (id, _) -> string_of_int id) quarantined))
       pending (Array.length masked_contacts)
+
+let masked_of_health = function
+  | Full -> [||]
+  | Degraded { masked_contacts; _ } -> Array.copy masked_contacts
+
+(* Render at most [max_shown] indices; a degraded large manifest can mask
+   thousands of contacts, and the warning must stay one readable line. *)
+let format_indices ?(max_shown = 16) a =
+  let n = Array.length a in
+  let shown = min n max_shown in
+  let b = Buffer.create 64 in
+  Buffer.add_char b '[';
+  for i = 0 to shown - 1 do
+    if i > 0 then Buffer.add_string b ", ";
+    Buffer.add_string b (string_of_int a.(i))
+  done;
+  if n > shown then Buffer.add_string b (Printf.sprintf ", ... %d more" (n - shown));
+  Buffer.add_char b ']';
+  Buffer.contents b
+
+let degraded_warning ?(context = "answer") health =
+  match health with
+  | Full -> None
+  | Degraded { quarantined; pending; masked_contacts } ->
+    Some
+      (Printf.sprintf
+         "degraded %s: %d masked contact%s %s served as zeros (%d quarantined shard%s, %d pending)"
+         context
+         (Array.length masked_contacts)
+         (if Array.length masked_contacts = 1 then "" else "s")
+         (format_indices masked_contacts)
+         (List.length quarantined)
+         (if List.length quarantined = 1 then "" else "s")
+         pending)
 
 let of_manifest ~dir (m : Artifact.Manifest.t) =
   let slots =

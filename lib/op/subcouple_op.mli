@@ -15,6 +15,9 @@
 (** On-disk operator artifacts (save/load of sparsified representations). *)
 module Artifact = Artifact
 
+(** EINTR-restarting raw-fd I/O (artifact saves, serve-protocol framing). *)
+module Io_retry = Io_retry
+
 (** Operator provenance, carried along so downstream consumers can report
     what they are applying without threading extra arguments. *)
 type meta = {
@@ -109,6 +112,21 @@ type health =
     }
 
 val pp_health : Format.formatter -> health -> unit
+
+(** The contact ids a degraded composition masks ([[||]] when [Full]).
+    A fresh copy: callers may sort or mutate it. *)
+val masked_of_health : health -> int array
+
+(** Render an index set as ["[2, 5, 9]"], truncated past [max_shown]
+    (default 16) as ["[0, 1, ... 984 more]"]. *)
+val format_indices : ?max_shown:int -> int array -> string
+
+(** The one-line per-request warning a consumer must surface when serving
+    answers from a degraded composition: names the masked contact ids
+    (truncated), the quarantined-shard count and the pending-shard count.
+    [None] when the composition is [Full]. [context] names the request
+    kind ("answer", "column 3", ...). *)
+val degraded_warning : ?context:string -> health -> string option
 
 (** Compose a shard manifest back into one operator: block-diagonal over
     the shard regions, [y.(C_s) = G(C_s, C_s) v.(C_s)] per complete shard.

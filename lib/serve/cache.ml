@@ -1,0 +1,174 @@
+(* Load-on-demand artifact cache, keyed by content digest, LRU-evicted
+   against a byte budget.
+
+   Requests name artifacts by root-relative path; the cache resolves the
+   name, fingerprints the file (MD5 of its exact bytes — the same digest
+   discipline the shard manifests pin their artifacts with), and keeps
+   the decoded operator resident keyed by that digest. Keying by content
+   rather than by path means two names for the same bytes share one
+   resident operator, and an artifact overwritten in place (re-extraction
+   into the same file) is re-loaded instead of served stale: the path ->
+   digest memo is validated against the file's (dev, ino, mtime, size)
+   stat signature and re-fingerprinted whenever the signature moves.
+
+   Residency accounting uses the operator's own storage_floats (8 bytes a
+   float, the thesis's storage currency) plus a fixed per-entry overhead.
+   Eviction drops least-recently-used entries until the budget holds; a
+   single entry larger than the whole budget is still admitted (the
+   alternative is refusing to serve it at all) and simply evicts
+   everything else.
+
+   Name policy (the filesystem end of the trust boundary): names must be
+   relative, must not contain ".." components, and resolve strictly under
+   the serving root. Violations raise [Rejected] before any filesystem
+   access. *)
+
+module Artifact = Subcouple_op.Artifact
+
+exception Rejected of string
+
+type entry = {
+  digest : string;
+  path : string;
+  op : Subcouple_op.t;
+  health : Subcouple_op.health;
+  payload : Artifact.payload option;  (* Some for .sca operators, None for manifests *)
+  bytes : int;
+}
+
+type node = { e : entry; mutable last_use : int }
+
+(* (dev, ino, mtime, size): enough to catch in-place rewrites, renames
+   over the name, and truncation without hashing the file every request. *)
+type stat_sig = { sg_dev : int; sg_ino : int; sg_mtime : float; sg_size : int }
+
+type t = {
+  root : string;
+  max_bytes : int;
+  stats : Stats.t;
+  mutex : Mutex.t;
+  mutable tick : int;
+  mutable resident_bytes : int;
+  entries : (string, node) Hashtbl.t;  (* digest -> node *)
+  paths : (string, stat_sig * string) Hashtbl.t;  (* resolved path -> (sig, digest) *)
+}
+
+let default_max_bytes = 256 * 1024 * 1024
+
+(* Decoded CSR indices, hashtable slots, closures: call it 4 KiB per
+   entry beyond the float payload. *)
+let entry_overhead_bytes = 4096
+
+let create ?(max_bytes = default_max_bytes) ~root ~stats () =
+  if max_bytes <= 0 then invalid_arg "Cache.create: byte budget must be positive";
+  {
+    root;
+    max_bytes;
+    stats;
+    mutex = Mutex.create ();
+    tick = 0;
+    resident_bytes = 0;
+    entries = Hashtbl.create 16;
+    paths = Hashtbl.create 16;
+  }
+
+let resolve t name =
+  if String.length name = 0 then raise (Rejected "empty artifact name");
+  if String.length name > Protocol.max_name_bytes then
+    raise (Rejected "artifact name too long");
+  if not (Filename.is_relative name) then
+    raise (Rejected (Printf.sprintf "artifact name %S is absolute; names are root-relative" name));
+  let parts = String.split_on_char '/' name in
+  if List.exists (fun p -> String.equal p "..") parts then
+    raise (Rejected (Printf.sprintf "artifact name %S escapes the serving root" name));
+  Filename.concat t.root name
+
+let stat_sig path =
+  let st = Unix.stat path in
+  {
+    sg_dev = st.Unix.st_dev;
+    sg_ino = st.Unix.st_ino;
+    sg_mtime = st.Unix.st_mtime;
+    sg_size = st.Unix.st_size;
+  }
+
+let sig_equal a b =
+  a.sg_dev = b.sg_dev && a.sg_ino = b.sg_ino
+  && Float.equal a.sg_mtime b.sg_mtime (* stat timestamps compare for identity, not arithmetic *)
+  && a.sg_size = b.sg_size
+
+let load_entry path digest =
+  match Artifact.load_any ~path with
+  | `Operator p ->
+    let op = Subcouple_op.of_payload p in
+    {
+      digest;
+      path;
+      op;
+      health = Subcouple_op.Full;
+      payload = Some p;
+      bytes = (8 * Subcouple_op.storage_floats op) + entry_overhead_bytes;
+    }
+  | `Manifest m ->
+    let op, health = Subcouple_op.of_manifest ~dir:(Filename.dirname path) m in
+    {
+      digest;
+      path;
+      op;
+      health;
+      payload = None;
+      bytes = (8 * Subcouple_op.storage_floats op) + entry_overhead_bytes;
+    }
+
+let evict_lru t ~keep =
+  let victim =
+    Hashtbl.fold
+      (fun digest node acc ->
+        if String.equal digest keep then acc
+        else
+          match acc with
+          | Some (_, best) when best.last_use <= node.last_use -> acc
+          | _ -> Some (digest, node))
+      t.entries None
+  in
+  match victim with
+  | None -> false
+  | Some (digest, node) ->
+    Hashtbl.remove t.entries digest;
+    t.resident_bytes <- t.resident_bytes - node.e.bytes;
+    Stats.incr t.stats "cache.evictions";
+    true
+
+let get t name =
+  let path = resolve t name in
+  Mutex.protect t.mutex (fun () ->
+      t.tick <- t.tick + 1;
+      let current_sig = stat_sig path in
+      let digest =
+        match Hashtbl.find_opt t.paths path with
+        | Some (cached_sig, digest) when sig_equal cached_sig current_sig -> digest
+        | _ ->
+          let digest = Digest.file path in
+          Hashtbl.replace t.paths path (current_sig, digest);
+          digest
+      in
+      match Hashtbl.find_opt t.entries digest with
+      | Some node ->
+        node.last_use <- t.tick;
+        Stats.incr t.stats "cache.hits";
+        node.e
+      | None ->
+        Stats.incr t.stats "cache.misses";
+        let e = load_entry path digest in
+        Hashtbl.replace t.entries digest { e; last_use = t.tick };
+        t.resident_bytes <- t.resident_bytes + e.bytes;
+        while t.resident_bytes > t.max_bytes && evict_lru t ~keep:digest do
+          ()
+        done;
+        e)
+
+let resident t =
+  Mutex.protect t.mutex (fun () -> (Hashtbl.length t.entries, t.resident_bytes))
+
+let max_bytes t = t.max_bytes
+let root t = t.root

@@ -1,0 +1,54 @@
+(** Load-on-demand artifact cache: operators resident in memory, keyed by
+    content digest, LRU-evicted against a byte budget.
+
+    Artifact names are root-relative paths; resolution validates them
+    against the trust boundary (no absolute names, no [..] components)
+    before touching the filesystem, raising {!Rejected} on violation. The
+    resident key is the MD5 of the file's exact bytes — two names for the
+    same bytes share one entry, and a file rewritten in place is detected
+    by its stat signature and re-fingerprinted, never served stale.
+
+    Residency is charged at [8 * storage_floats + overhead] bytes per
+    entry; inserting past the budget evicts least-recently-used entries
+    until it holds (an entry alone bigger than the whole budget is still
+    admitted). All operations are mutex-protected and safe from any
+    connection thread; loads happen under the lock, so a miss briefly
+    serializes other cache traffic — by design, so two concurrent
+    requests for one cold artifact decode it once, not twice. *)
+
+(** An artifact name that violates the trust boundary (absolute, [..],
+    empty, oversized). Raised before any filesystem access. *)
+exception Rejected of string
+
+type entry = {
+  digest : string;  (** MD5 of the artifact file bytes *)
+  path : string;  (** resolved filesystem path *)
+  op : Subcouple_op.t;
+  health : Subcouple_op.health;  (** [Full] for single-operator artifacts *)
+  payload : Subcouple_op.Artifact.payload option;
+      (** the decoded payload for [.sca] operators (threshold queries need
+          the factors); [None] for manifest compositions *)
+  bytes : int;  (** residency charge *)
+}
+
+type t
+
+(** [create ~root ~stats ()] serves artifacts under directory [root],
+    recording hit/miss/eviction counters into [stats]. [max_bytes]
+    defaults to 256 MiB.
+    @raise Invalid_argument on a non-positive budget. *)
+val create : ?max_bytes:int -> root:string -> stats:Stats.t -> unit -> t
+
+(** Resolve a name to its resident operator, loading (and evicting) as
+    needed.
+    @raise Rejected on a name-policy violation.
+    @raise Subcouple_op.Artifact.Error if the file is missing, torn,
+    corrupt, or a shard artifact fails its manifest digest pin.
+    @raise Unix.Unix_error / Sys_error on filesystem failure. *)
+val get : t -> string -> entry
+
+(** Point-in-time (entry count, resident bytes). *)
+val resident : t -> int * int
+
+val max_bytes : t -> int
+val root : t -> string

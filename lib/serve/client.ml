@@ -1,0 +1,98 @@
+(* Blocking client for the serve protocol: one socket, one in-flight
+   request. Concurrency comes from holding several clients (the bench
+   runs one per thread); the server interleaves and coalesces across
+   connections. *)
+
+exception Server_error of string
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect target =
+  let domain, addr =
+    match target with
+    | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) ->
+      let a =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> invalid_arg (Printf.sprintf "cannot resolve host %s" host))
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (a, port))
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd addr with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  { fd; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_connection target f =
+  let t = connect target in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let roundtrip t req =
+  if t.closed then invalid_arg "Client: connection is closed";
+  Protocol.write_request t.fd req;
+  match Protocol.read_response t.fd with
+  | Protocol.Error_r msg -> raise (Server_error msg)
+  | resp -> resp
+
+let unexpected what = raise (Server_error ("unexpected response to " ^ what))
+
+type info = {
+  n : int;
+  kind : string;
+  source : string;
+  solves : int;
+  storage_floats : int;
+  degraded : Protocol.degraded option;
+}
+
+let info t ~artifact =
+  match roundtrip t (Protocol.Info { artifact }) with
+  | Protocol.Info_r { n; kind; source; solves; storage_floats; degraded } ->
+    { n; kind; source; solves; storage_floats; degraded }
+  | _ -> unexpected "info"
+
+let one_vector what = function
+  | Protocol.Vectors { vs = [| y |]; degraded } -> (y, degraded)
+  | _ -> unexpected what
+
+let apply ?(coalesce = true) t ~artifact v =
+  one_vector "apply" (roundtrip t (Protocol.Apply { artifact; v; coalesce }))
+
+let apply_batch t ~artifact vs =
+  match roundtrip t (Protocol.Apply_batch { artifact; vs }) with
+  | Protocol.Vectors { vs = outs; degraded } ->
+    if Array.length outs <> Array.length vs then unexpected "apply_batch" else (outs, degraded)
+  | _ -> unexpected "apply_batch"
+
+let column ?(coalesce = true) t ~artifact index =
+  one_vector "column" (roundtrip t (Protocol.Column { artifact; index; coalesce }))
+
+type threshold_result = { nnz_before : int; nnz_after : int; storage_floats : int }
+
+let threshold t ~artifact ~target =
+  match roundtrip t (Protocol.Threshold { artifact; target }) with
+  | Protocol.Threshold_r { nnz_before; nnz_after; storage_floats } ->
+    { nnz_before; nnz_after; storage_floats }
+  | _ -> unexpected "threshold"
+
+let stats t =
+  match roundtrip t Protocol.Stats with
+  | Protocol.Stats_r { table; pairs } -> (table, pairs)
+  | _ -> unexpected "stats"
+
+let shutdown t =
+  match roundtrip t Protocol.Shutdown with
+  | Protocol.Shutting_down -> ()
+  | _ -> unexpected "shutdown"

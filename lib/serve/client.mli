@@ -1,0 +1,62 @@
+(** Blocking client for the serve protocol: one socket, one in-flight
+    request at a time. For concurrent load, hold one client per thread —
+    the server interleaves and coalesces across connections.
+
+    Every call raises {!Server_error} when the daemon answers with an
+    error response, [Unix.Unix_error] / [End_of_file] on transport
+    failure, and [Protocol.Error] on a malformed reply. *)
+
+exception Server_error of string
+
+type t
+
+(** Connect to a serving daemon.
+    @raise Unix.Unix_error if the connection fails.
+    @raise Invalid_argument on an unresolvable TCP host. *)
+val connect : [ `Unix of string | `Tcp of string * int ] -> t
+
+(** Idempotent. *)
+val close : t -> unit
+
+(** Connect, run, close (also on exception). *)
+val with_connection : [ `Unix of string | `Tcp of string * int ] -> (t -> 'a) -> 'a
+
+type info = {
+  n : int;
+  kind : string;
+  source : string;
+  solves : int;
+  storage_floats : int;
+  degraded : Protocol.degraded option;
+}
+
+val info : t -> artifact:string -> info
+
+(** One matvec. [coalesce] (default [true]) lets the server batch it with
+    concurrent strangers' requests — answers are bit-identical either
+    way. Returns the response vector and the degradation report, if the
+    artifact is a manifest with missing shards. *)
+val apply : ?coalesce:bool -> t -> artifact:string -> float array -> float array * Protocol.degraded option
+
+(** A pre-formed batch, applied fused server-side; responses in input
+    order. *)
+val apply_batch :
+  t -> artifact:string -> float array array -> float array array * Protocol.degraded option
+
+(** Column [index] of the operator (a unit-vector matvec server-side). *)
+val column :
+  ?coalesce:bool -> t -> artifact:string -> int -> float array * Protocol.degraded option
+
+type threshold_result = { nnz_before : int; nnz_after : int; storage_floats : int }
+
+(** Preview sparsifying an operator artifact to [target] times fewer
+    G_w nonzeros (server-side, nothing persisted). Manifests are
+    refused. *)
+val threshold : t -> artifact:string -> target:float -> threshold_result
+
+(** The daemon's counters: the rendered table (same deterministic layout
+    as [--trace-summary]) and the machine-readable rows behind it. *)
+val stats : t -> string * (string * float) list
+
+(** Ask the daemon to stop; returns once it acknowledges. *)
+val shutdown : t -> unit

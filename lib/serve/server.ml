@@ -1,0 +1,438 @@
+(* The operator-serving daemon.
+
+   Architecture: one accept loop (select over the listening socket and a
+   self-pipe, so [stop] can wake it from any thread or a signal handler),
+   one thread per connection framing requests off the socket, and one
+   batcher thread that coalesces concurrent single matvecs into fused
+   [Subcouple_op.apply_batch] runs across the Domain pool.
+
+   Coalescing preserves bit-identity: the fused CSR sweeps behind
+   [Subcouple_op.of_payload] process each right-hand side independently
+   in per-column arithmetic order, so an answer computed in a batch of 40
+   strangers' requests is bit-identical to the same request applied
+   alone. That is the invariant the serve CI job and the bench
+   experiment's parity checks enforce; batching changes wall-clock only.
+
+   Shutdown discipline: [stop] (idempotent, callable from a signal
+   handler or another thread) closes the listener, wakes the batcher
+   (which drains and fails any still-queued cells), shuts down every live
+   connection socket, and joins all threads before [run] returns — no
+   request thread outlives the daemon. A SIGKILLed daemon leaves only the
+   artifact files it never mutates, so a restart against the same root
+   serves identical answers from a cold cache. *)
+
+module Op = Subcouple_op
+module Artifact = Subcouple_op.Artifact
+module Io_retry = Subcouple_op.Io_retry
+module Repr = Sparsify.Repr
+
+let src = Logs.Src.create "serve.server" ~doc:"Operator-serving daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+(* One waiting coalesced request: the connection thread parks on the
+   cell's condition until the batcher (or shutdown) fills the result. *)
+type cell = {
+  c_mutex : Mutex.t;
+  c_cond : Condition.t;
+  mutable c_result : (float array, string) result option;
+}
+
+type pending = { p_key : string; p_op : Op.t; p_v : float array; p_cell : cell }
+
+type t = {
+  cache : Cache.t;
+  jobs : int;
+  stats : Stats.t;
+  listen_fd : Unix.file_descr;
+  sock_path : string option;  (* unix-domain socket file to unlink on stop *)
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  stopping : bool Atomic.t;
+  q_mutex : Mutex.t;
+  q_cond : Condition.t;
+  queue : pending Queue.t;
+  conns_mutex : Mutex.t;
+  mutable conns : (int * Unix.file_descr * Thread.t) list;
+  mutable next_conn_id : int;
+}
+
+let span_request = "serve.request"
+let span_batch = "serve.batch"
+
+(* --- construction ------------------------------------------------------ *)
+
+let open_listener listen =
+  match listen with
+  | `Unix path ->
+    (* A SIGKILLed daemon leaves its socket file behind; a stale *socket*
+       is ours to reclaim, anything else under that name is not. *)
+    (match Unix.stat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+    | _ -> invalid_arg (Printf.sprintf "socket path %s exists and is not a socket" path)
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, Some path)
+  | `Tcp (host, port) ->
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+        | _ -> invalid_arg (Printf.sprintf "cannot resolve host %s" host))
+    in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 64;
+    (fd, None)
+
+let create ?max_bytes ?(jobs = 1) ~root ~listen () =
+  if jobs < 1 then invalid_arg "Server.create: jobs must be >= 1";
+  (* A peer closing mid-response must surface as EPIPE, not kill the
+     process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stats = Stats.create () in
+  let cache = Cache.create ?max_bytes ~root ~stats () in
+  let listen_fd, sock_path = open_listener listen in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  {
+    cache;
+    jobs;
+    stats;
+    listen_fd;
+    sock_path;
+    stop_r;
+    stop_w;
+    stopping = Atomic.make false;
+    q_mutex = Mutex.create ();
+    q_cond = Condition.create ();
+    queue = Queue.create ();
+    conns_mutex = Mutex.create ();
+    conns = [];
+    next_conn_id = 0;
+  }
+
+let address t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_UNIX path -> `Unix path
+  | Unix.ADDR_INET (addr, port) -> `Tcp (Unix.string_of_inet_addr addr, port)
+
+let stats t = t.stats
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* One byte down the self-pipe wakes the accept loop's select; the
+       byte's value is irrelevant. Restart on EINTR — this may run inside
+       a signal handler's window. *)
+    Io_retry.write_all t.stop_w (Bytes.make 1 '!') 0 1;
+    (* Wake the batcher so it can drain and exit. *)
+    Mutex.protect t.q_mutex (fun () -> Condition.broadcast t.q_cond)
+  end
+
+(* --- the coalescing batcher -------------------------------------------- *)
+
+let fulfill cell result =
+  Mutex.protect cell.c_mutex (fun () ->
+      cell.c_result <- Some result;
+      Condition.signal cell.c_cond)
+
+let await cell =
+  Mutex.lock cell.c_mutex;
+  while Option.is_none cell.c_result do
+    Condition.wait cell.c_cond cell.c_mutex
+  done;
+  let r = cell.c_result in
+  Mutex.unlock cell.c_mutex;
+  Option.get r
+
+(* Split a drained batch into per-operator groups, preserving arrival
+   order inside each group (not that order changes answers — per-column
+   arithmetic is order-free across a batch — but deterministic request
+   handling is easier to reason about). *)
+let group_by_key items =
+  let groups = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt groups p.p_key with
+      | Some l -> l := p :: !l
+      | None ->
+        Hashtbl.add groups p.p_key (ref [ p ]);
+        order := p.p_key :: !order)
+    items;
+  List.rev_map (fun key -> List.rev !(Hashtbl.find groups key)) !order
+
+let run_group t group =
+  let items = Array.of_list group in
+  let op = items.(0).p_op in
+  let vs = Array.map (fun p -> p.p_v) items in
+  Stats.observe t.stats "batch.size" (float_of_int (Array.length vs));
+  match Trace.with_span span_batch (fun () -> Op.apply_batch ~jobs:t.jobs op vs) with
+  | outs -> Array.iteri (fun i p -> fulfill p.p_cell (Ok outs.(i))) items
+  | exception e ->
+    (* The batcher outlives any single bad batch: a failure (wrong-length
+       vector that slipped validation, allocation failure on a huge
+       batch) answers every waiting request with the error instead of
+       wedging their connection threads forever. *)
+    (let msg = Printexc.to_string e in
+     Array.iter (fun p -> fulfill p.p_cell (Error msg)) items)
+      [@lint.allow no_catch_all
+        "batcher thread: any exception must fail the waiting cells, not leak upward and wedge \
+         every parked connection"]
+
+let batcher_loop t =
+  let drain () =
+    Mutex.lock t.q_mutex;
+    while Queue.is_empty t.queue && not (Atomic.get t.stopping) do
+      Condition.wait t.q_cond t.q_mutex
+    done;
+    let items = List.rev (Queue.fold (fun acc p -> p :: acc) [] t.queue) in
+    Queue.clear t.queue;
+    Mutex.unlock t.q_mutex;
+    items
+  in
+  let rec loop () =
+    match drain () with
+    | [] -> ()  (* stopping, queue empty: done *)
+    | items ->
+      Stats.observe t.stats "batch.queue_depth" (float_of_int (List.length items));
+      List.iter (run_group t) (group_by_key items);
+      loop ()
+  in
+  loop ();
+  (* Shutdown race: requests enqueued after the final drain would park
+     forever; fail them. *)
+  Mutex.protect t.q_mutex (fun () ->
+      Queue.iter (fun p -> fulfill p.p_cell (Error "server shutting down")) t.queue;
+      Queue.clear t.queue)
+
+let enqueue t ~key ~op v =
+  let cell = { c_mutex = Mutex.create (); c_cond = Condition.create (); c_result = None } in
+  Mutex.protect t.q_mutex (fun () ->
+      Queue.push { p_key = key; p_op = op; p_v = v; p_cell = cell } t.queue;
+      Condition.signal t.q_cond);
+  await cell
+
+(* --- request handling -------------------------------------------------- *)
+
+let degraded_of_health = function
+  | Op.Full -> None
+  | Op.Degraded { quarantined; pending; masked_contacts } ->
+    Some
+      {
+        Protocol.masked = masked_contacts;
+        quarantined_shards = List.length quarantined;
+        pending_shards = pending;
+      }
+
+let matvec t (entry : Cache.entry) ~coalesce v =
+  if Array.length v <> Op.n entry.op then
+    Error
+      (Printf.sprintf "expected a vector of %d components, got %d" (Op.n entry.op)
+         (Array.length v))
+  else if coalesce then begin
+    Stats.incr t.stats "batch.coalesced";
+    enqueue t ~key:entry.digest ~op:entry.op v
+  end
+  else begin
+    Stats.incr t.stats "batch.direct";
+    match Op.apply_batch ~jobs:t.jobs entry.op [| v |] with
+    | outs -> Ok outs.(0)
+    | exception Invalid_argument msg -> Error msg
+  end
+
+let unit_vector n i =
+  let e = Array.make n 0.0 in
+  e.(i) <- 1.0;
+  e
+
+(* Answer one request. Artifact/cache failures are caught here and turned
+   into [Error_r] — the connection survives a request for a missing or
+   corrupt artifact. *)
+let handle t req =
+  let fetch name = Cache.get t.cache name in
+  let vectors_of entry = function
+    | Ok y -> Protocol.Vectors { vs = [| y |]; degraded = degraded_of_health entry.Cache.health }
+    | Error msg -> Protocol.Error_r msg
+  in
+  match req with
+  | Protocol.Info { artifact } ->
+    Stats.incr t.stats "requests.info";
+    let entry = fetch artifact in
+    let meta = Op.describe entry.Cache.op in
+    Protocol.Info_r
+      {
+        n = Op.n entry.Cache.op;
+        kind = meta.Op.kind;
+        source = meta.Op.source;
+        solves = Op.solves_spent entry.Cache.op;
+        storage_floats = Op.storage_floats entry.Cache.op;
+        degraded = degraded_of_health entry.Cache.health;
+      }
+  | Protocol.Apply { artifact; v; coalesce } ->
+    Stats.incr t.stats "requests.apply";
+    let entry = fetch artifact in
+    vectors_of entry (matvec t entry ~coalesce v)
+  | Protocol.Apply_batch { artifact; vs } ->
+    Stats.incr t.stats "requests.apply_batch";
+    let entry = fetch artifact in
+    Stats.incr ~by:(Array.length vs) t.stats "batch.direct";
+    (match Op.apply_batch ~jobs:t.jobs entry.Cache.op vs with
+    | outs -> Protocol.Vectors { vs = outs; degraded = degraded_of_health entry.Cache.health }
+    | exception Invalid_argument msg -> Protocol.Error_r msg)
+  | Protocol.Column { artifact; index; coalesce } ->
+    Stats.incr t.stats "requests.column";
+    let entry = fetch artifact in
+    let n = Op.n entry.Cache.op in
+    if index < 0 || index >= n then
+      Protocol.Error_r (Printf.sprintf "column index %d out of range [0, %d)" index n)
+    else vectors_of entry (matvec t entry ~coalesce (unit_vector n index))
+  | Protocol.Threshold { artifact; target } ->
+    Stats.incr t.stats "requests.threshold";
+    let entry = fetch artifact in
+    (match entry.Cache.payload with
+    | None -> Protocol.Error_r "threshold applies to single-operator artifacts, not shard manifests"
+    | Some p ->
+      let repr = Repr.of_artifact p in
+      let nnz_before = Repr.nnz_gw repr in
+      (match Repr.threshold repr ~target with
+      | sparser ->
+        Protocol.Threshold_r
+          {
+            nnz_before;
+            nnz_after = Repr.nnz_gw sparser;
+            storage_floats = Repr.storage_floats sparser;
+          }
+      | exception Invalid_argument msg -> Protocol.Error_r msg))
+  | Protocol.Stats ->
+    Stats.incr t.stats "requests.stats";
+    let entries, bytes = Cache.resident t.cache in
+    let extra =
+      [
+        ("cache.resident_entries", entries);
+        ("cache.resident_bytes", bytes);
+        ("cache.max_bytes", Cache.max_bytes t.cache);
+        ("serve.jobs", t.jobs);
+      ]
+    in
+    Protocol.Stats_r { table = Stats.render ~extra t.stats; pairs = Stats.pairs ~extra t.stats }
+  | Protocol.Shutdown ->
+    Stats.incr t.stats "requests.shutdown";
+    Protocol.Shutting_down
+
+let opcode_name = function
+  | Protocol.Info _ -> "info"
+  | Protocol.Apply _ -> "apply"
+  | Protocol.Apply_batch _ -> "apply_batch"
+  | Protocol.Column _ -> "column"
+  | Protocol.Threshold _ -> "threshold"
+  | Protocol.Stats -> "stats"
+  | Protocol.Shutdown -> "shutdown"
+
+let handle_timed t req =
+  let t0 = Trace.now_ns () in
+  let resp =
+    match Trace.with_span span_request (fun () -> handle t req) with
+    | resp -> resp
+    | exception Cache.Rejected msg -> Protocol.Error_r msg
+    | exception Artifact.Error { path; error } ->
+      Protocol.Error_r (Printf.sprintf "%s: %s" path (Artifact.error_message error))
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Protocol.Error_r (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+    | exception Sys_error msg -> Protocol.Error_r msg
+  in
+  let dt_s = Int64.to_float (Int64.sub (Trace.now_ns ()) t0) *. 1e-9 in
+  Stats.observe t.stats (Printf.sprintf "latency_s.%s" (opcode_name req)) dt_s;
+  (match resp with
+  | Protocol.Error_r _ -> Stats.incr t.stats "requests.errors"
+  | _ -> ());
+  resp
+
+(* One connection: frame requests until the peer closes (or shutdown
+   closes the socket under us), answering each in order. *)
+let connection_loop t fd =
+  let rec loop () =
+    match Protocol.read_request fd with
+    | req ->
+      let resp = handle_timed t req in
+      Protocol.write_response fd resp;
+      (match resp with
+      | Protocol.Shutting_down -> stop t
+      | _ -> loop ())
+    | exception End_of_file -> ()
+    | exception Protocol.Error msg ->
+      (* Framing is broken (hostile length, malformed opcode): answer if
+         the pipe still works, then drop the connection — there is no
+         trustworthy record boundary to resynchronize on. *)
+      (try Protocol.write_response fd (Protocol.Error_r msg)
+       with Unix.Unix_error _ | Protocol.Error _ -> ());
+      Stats.incr t.stats "requests.errors"
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ()
+
+let forget_conn t id =
+  Mutex.protect t.conns_mutex (fun () ->
+      t.conns <- List.filter (fun (cid, _, _) -> cid <> id) t.conns)
+
+let spawn_connection t fd =
+  Mutex.protect t.conns_mutex (fun () ->
+      let id = t.next_conn_id in
+      t.next_conn_id <- id + 1;
+      Stats.incr t.stats "connections.accepted";
+      let thread =
+        Thread.create
+          (fun () ->
+            Fun.protect
+              ~finally:(fun () ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                (* During shutdown [run] owns the list and joins us. *)
+                if not (Atomic.get t.stopping) then forget_conn t id)
+              (fun () -> connection_loop t fd))
+          ()
+      in
+      t.conns <- (id, fd, thread) :: t.conns)
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      let ready, _, _ =
+        Io_retry.restart (fun () -> Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0))
+      in
+      if not (List.mem t.stop_r ready) then begin
+        if List.mem t.listen_fd ready then (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ -> spawn_connection t fd
+          | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) -> ());
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let run t =
+  let batcher = Thread.create batcher_loop t in
+  Log.info (fun f -> f "serving %s (jobs %d, cache budget %d bytes)" (Cache.root t.cache) t.jobs
+      (Cache.max_bytes t.cache));
+  accept_loop t;
+  (* Stop sequence: no new connections, wake and drain the batcher, shut
+     down live sockets so their read loops see EOF, join everything. *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.sock_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ());
+  Mutex.protect t.q_mutex (fun () -> Condition.broadcast t.q_cond);
+  Thread.join batcher;
+  let conns = Mutex.protect t.conns_mutex (fun () -> t.conns) in
+  List.iter
+    (fun (_, fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter (fun (_, _, thread) -> Thread.join thread) conns;
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  Log.info (fun f -> f "serve loop stopped")

@@ -1,0 +1,50 @@
+(** The operator-serving daemon.
+
+    One accept loop, one thread per connection, and a batcher thread that
+    coalesces concurrent single matvecs into fused
+    [Subcouple_op.apply_batch] runs across the Domain pool. Coalescing
+    never changes answers: the fused sweeps process each right-hand side
+    in per-column arithmetic order, so a coalesced response is
+    bit-identical to the same request applied alone — batching changes
+    wall-clock only.
+
+    Every request runs under a [lib/trace] span and feeds the bounded
+    {!Stats} aggregates; the [Stats] request renders them in the same
+    deterministic layout as [--trace-summary].
+
+    The daemon never mutates artifacts, so a kill at any point leaves
+    the serving root intact: a restarted daemon serves bit-identical
+    answers from a cold cache. *)
+
+type t
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+(** [create ~root ~listen ()] binds the listening socket (unlinking a
+    stale Unix-domain socket file left by a killed predecessor) but does
+    not accept yet. [max_bytes] is the cache budget (default 256 MiB);
+    [jobs] (default 1) is the Domain-pool width for batched applies.
+    Installs a [SIGPIPE] ignore — a peer closing mid-response must
+    surface as an error on that connection, not kill the daemon.
+    @raise Unix.Unix_error if the bind fails.
+    @raise Invalid_argument on [jobs < 1], a non-positive budget, an
+    unresolvable TCP host, or a Unix socket path occupied by a
+    non-socket. *)
+val create : ?max_bytes:int -> ?jobs:int -> root:string -> listen:listen -> unit -> t
+
+(** The bound address — for [`Tcp (host, 0)], the port the kernel
+    picked. *)
+val address : t -> listen
+
+val stats : t -> Stats.t
+
+(** Serve until {!stop}. Blocks; run it on a dedicated thread if the
+    caller needs to keep working. On return every connection thread has
+    been joined and every daemon-owned descriptor closed. *)
+val run : t -> unit
+
+(** Initiate shutdown: idempotent, safe from any thread and from a signal
+    handler. Wakes the accept loop, drains the batcher (failing any
+    still-queued requests with an error response), and shuts down live
+    connections; {!run} returns once all of that completes. *)
+val stop : t -> unit

@@ -1,0 +1,104 @@
+(* Serving counters and latency distributions.
+
+   lib/trace records every event for later export — right for a bounded
+   CLI run, wrong for a daemon that must hold steady-state memory over
+   millions of requests. This module keeps only aggregates: O(distinct
+   names) space no matter how many requests pass through. Rendering uses
+   the exact column layout of [Trace.pp_summary] (name-sorted, so the
+   "stats" response is deterministic for a given request history), and
+   request handlers still open real [Trace] spans so a traced serve run
+   exports per-request timelines like every other instrumented path. *)
+
+type dist_state = {
+  mutable d_count : int;
+  mutable d_total : float;
+  mutable d_max : float;
+  mutable d_min : float;
+}
+
+type t = {
+  mutex : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  dists : (string, dist_state) Hashtbl.t;
+}
+
+let create () = { mutex = Mutex.create (); counters = Hashtbl.create 32; dists = Hashtbl.create 32 }
+
+let incr ?(by = 1) t name =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add t.counters name (ref by))
+
+let observe t name value =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.dists name with
+      | Some d ->
+        d.d_count <- d.d_count + 1;
+        d.d_total <- d.d_total +. value;
+        if value > d.d_max then d.d_max <- value;
+        if value < d.d_min then d.d_min <- value
+      | None ->
+        Hashtbl.add t.dists name { d_count = 1; d_total = value; d_max = value; d_min = value })
+
+let counter_value t name =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Snapshot both tables under the lock, render outside it. [extra] lets
+   the server append point-in-time gauges (resident cache bytes, live
+   connections) that are not events. *)
+let snapshot t =
+  Mutex.protect t.mutex (fun () ->
+      ( List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.counters),
+        List.map
+          (fun (k, d) -> (k, (d.d_count, d.d_total, d.d_max, d.d_min)))
+          (sorted_bindings t.dists) ))
+
+let render ?(extra = []) t =
+  let counters, dists = snapshot t in
+  let counters =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) (counters @ extra)
+  in
+  let b = Buffer.create 1024 in
+  if dists <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "%-40s %8s %12s %12s %12s\n" "distribution (values)" "count" "total" "mean"
+         "max");
+    List.iter
+      (fun (name, (count, total, mx, _)) ->
+        Buffer.add_string b
+          (Printf.sprintf "%-40s %8d %12.6g %12.6g %12.6g\n" name count total
+             (total /. float_of_int count)
+             mx))
+      dists
+  end;
+  if counters <> [] then begin
+    Buffer.add_string b (Printf.sprintf "%-40s %8s\n" "counter" "value");
+    List.iter
+      (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%-40s %8d\n" name v))
+      counters
+  end;
+  Buffer.contents b
+
+(* The machine-readable face of the same snapshot: counters verbatim,
+   distributions expanded into .count/.mean/.max, name-sorted. *)
+let pairs ?(extra = []) t =
+  let counters, dists = snapshot t in
+  let rows =
+    List.map (fun (name, v) -> (name, float_of_int v)) (counters @ extra)
+    @ List.concat_map
+        (fun (name, (count, total, mx, mn)) ->
+          [
+            (name ^ ".count", float_of_int count);
+            (name ^ ".mean", total /. float_of_int count);
+            (name ^ ".max", mx);
+            (name ^ ".min", mn);
+          ])
+        dists
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows

@@ -1,0 +1,27 @@
+(** Bounded serving metrics: counters and value distributions aggregated
+    in place (O(distinct names) memory — a daemon cannot afford
+    [lib/trace]'s keep-every-event model over millions of requests).
+    All operations are mutex-protected and safe from any thread. *)
+
+type t
+
+val create : unit -> t
+
+(** Bump counter [name] by [by] (default 1), creating it at 0 first. *)
+val incr : ?by:int -> t -> string -> unit
+
+(** Fold one sample into distribution [name] (count/total/max/min). *)
+val observe : t -> string -> float -> unit
+
+(** Current value of a counter (0 if never bumped). *)
+val counter_value : t -> string -> int
+
+(** Render the aggregates in {!Trace.pp_summary}'s column layout,
+    name-sorted (deterministic for a given request history). [extra]
+    appends point-in-time gauges to the counter section. *)
+val render : ?extra:(string * int) list -> t -> string
+
+(** The same snapshot as machine-readable (name, value) rows: counters
+    verbatim, each distribution expanded into [.count]/[.mean]/[.max]/
+    [.min]. Name-sorted. *)
+val pairs : ?extra:(string * int) list -> t -> (string * float) list

@@ -98,17 +98,21 @@ let load_entries path =
 (* Push a flushed append to stable storage. Without the fsync a power loss
    can forget records the process already counted as persisted — a resume
    would then re-run solves it believes are on disk. *)
-let sync oc = Unix.fsync (Unix.descr_of_out_channel oc)
+let sync oc =
+  Subcouple_op.Io_retry.restart (fun () -> Unix.fsync (Unix.descr_of_out_channel oc))
 
 (* Make the checkpoint file's directory entry itself durable (matters for
    the very first append after creating the file). Best-effort: some
    filesystems refuse to open a directory for reading. *)
 let fsync_dir path =
-  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  match
+    Subcouple_op.Io_retry.restart (fun () ->
+        Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0)
+  with
   | fd ->
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-      (fun () -> Unix.fsync fd)
+      (fun () -> Subcouple_op.Io_retry.restart (fun () -> Unix.fsync fd))
   | exception Unix.Unix_error _ -> ()
 
 let create path =

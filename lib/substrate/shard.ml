@@ -266,9 +266,12 @@ let run ?(source = "sharded extraction") ~dir ~extract (p : plan) =
           Checkpoint.close ck;
           Subcouple_op.Artifact.save ~path:sca_path payload;
           (* The artifact supersedes the checkpoint; drop it so a later
-             resume never replays stale stages into a fresh re-extraction. *)
+             resume never replays stale stages into a fresh re-extraction.
+             Unlink unconditionally and swallow only ENOENT: the
+             exists-then-remove spelling races with a concurrent resume
+             that already removed (or is removing) the same file. *)
           let ck_path = Filename.concat dir (checkpoint_basename id) in
-          if Sys.file_exists ck_path then Sys.remove ck_path;
+          (try Unix.unlink ck_path with Unix.Unix_error (Unix.ENOENT, _, _) -> ());
           let solves = payload.Subcouple_op.Artifact.solves in
           entries.(id) <-
             Some

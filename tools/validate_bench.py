@@ -90,6 +90,16 @@ OPTIONAL_SECTIONS = {
         ("wall_s", float),
         ("probe_digest", str),
     ],
+    "serve": [
+        ("mode", str),
+        ("jobs", int),
+        ("clients", int),
+        ("requests", int),
+        ("wall_s", float),
+        ("matvecs_per_s", float),
+        ("mean_batch", float),
+        ("bit_identical", bool),
+    ],
 }
 
 
@@ -154,6 +164,11 @@ def validate_invariants(doc, path):
     for i, row in enumerate(doc.get("parallel_extraction", [])):
         if row.get("bitwise_identical") is not True:
             errors.append(f"{path}: parallel_extraction[{i}] is not bitwise identical")
+    for i, row in enumerate(doc.get("serve", [])):
+        label = f"{path}: serve[{i}] ({row.get('mode', '?')}, jobs {row.get('jobs', '?')})"
+        if row.get("bit_identical") is not True:
+            errors.append(f"{label}: served matvecs are not bit-identical to the "
+                          f"direct apply_batch reference")
     return errors
 
 
